@@ -1,0 +1,330 @@
+package geomds
+
+// This file regenerates every table and figure of the paper's evaluation as
+// Go benchmarks, plus ablation benches for the design choices listed in
+// DESIGN.md. Each benchmark runs a size-reduced version of the corresponding
+// experiment (the shape and the strategy ordering are preserved; absolute
+// magnitudes are reported by cmd/metasim at full scale) and reports the
+// figure's key quantities via b.ReportMetric.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//	go test -bench=Figure7 -benchtime=3x
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"geomds/internal/cloud"
+	"geomds/internal/core"
+	"geomds/internal/experiments"
+	"geomds/internal/latency"
+	"geomds/internal/registry"
+	"geomds/internal/workloads"
+)
+
+// benchConfig is the reduced-size experiment configuration used by every
+// figure benchmark.
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.SizeFactor = 0.004
+	cfg.Nodes = 8
+	cfg.SyncInterval = 200 * time.Millisecond
+	cfg.FlushInterval = 100 * time.Millisecond
+	return cfg
+}
+
+// BenchmarkFigure1RemoteMetadataLatency regenerates Fig. 1: the cost of
+// posting file metadata from West Europe to a local, same-region and
+// geo-distant registry. Reported metrics are the simulated seconds for the
+// 5000-file case.
+func BenchmarkFigure1RemoteMetadataLatency(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.Local.Seconds(), "local_s")
+		b.ReportMetric(last.SameRegion.Seconds(), "same_region_s")
+		b.ReportMetric(last.GeoDistant.Seconds(), "geo_distant_s")
+	}
+}
+
+// BenchmarkFigure5Strategies regenerates Fig. 5: mean node execution time for
+// the four strategies at the largest per-node operation count. The reported
+// gain is the improvement of the hybrid strategy over the centralized
+// baseline (paper: up to 50 % for metadata-intensive workloads).
+func BenchmarkFigure5Strategies(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		biggest := experiments.Figure5OpCounts[len(experiments.Figure5OpCounts)-1]
+		central, _ := res.Cell(core.Centralized, biggest)
+		hybrid, _ := res.Cell(core.DecentralizedReplicated, biggest)
+		b.ReportMetric(central.MeanNodeTime.Seconds(), "centralized_s")
+		b.ReportMetric(hybrid.MeanNodeTime.Seconds(), "hybrid_s")
+		if central.MeanNodeTime > 0 {
+			gain := 100 * (1 - float64(hybrid.MeanNodeTime)/float64(central.MeanNodeTime))
+			b.ReportMetric(gain, "gain_%")
+		}
+	}
+}
+
+// BenchmarkFigure6Progress regenerates Fig. 6: the completion-progress curves
+// of the centralized and decentralized strategies and the speedup of local
+// replication in the 20-70 % band (paper: at least 1.25x).
+func BenchmarkFigure6Progress(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MidBandSpeedup, "dr_vs_dn_speedup")
+	}
+}
+
+// BenchmarkFigure7Throughput regenerates Fig. 7: metadata throughput while
+// scaling from 8 to 128 nodes. Reported metrics are the 128-node throughput
+// of the centralized baseline and of the decentralized strategy (paper:
+// ~1150 ops/s, near-linear scaling).
+func BenchmarkFigure7Throughput(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := experiments.ScalingNodeCounts[len(experiments.ScalingNodeCounts)-1]
+		cen, _ := res.Point(core.Centralized, last)
+		dec, _ := res.Point(core.Decentralized, last)
+		rep, _ := res.Point(core.Replicated, last)
+		b.ReportMetric(cen.Throughput, "centralized_ops_per_s")
+		b.ReportMetric(dec.Throughput, "decentralized_ops_per_s")
+		b.ReportMetric(rep.Throughput, "replicated_ops_per_s")
+	}
+}
+
+// BenchmarkFigure8Completion regenerates Fig. 8: completion time of a fixed
+// 32 000-operation workload as the node count grows.
+func BenchmarkFigure8Completion(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cen, _ := res.Point(core.Centralized, 128)
+		dec, _ := res.Point(core.Decentralized, 128)
+		b.ReportMetric(cen.CompletionTime.Seconds(), "centralized_128n_s")
+		b.ReportMetric(dec.CompletionTime.Seconds(), "decentralized_128n_s")
+	}
+}
+
+// BenchmarkFigure9WorkflowShapes regenerates Fig. 9: the DAG construction of
+// the two real-life workflows (the paper presents their shapes; the bench
+// verifies generation cost and reports the job counts).
+func BenchmarkFigure9WorkflowShapes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(float64(row.Jobs), row.Workflow+"_jobs")
+		}
+	}
+}
+
+// BenchmarkTableIScenarios regenerates Table I: the total metadata operation
+// counts per scenario derived from the generators.
+func BenchmarkTableIScenarios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.TableI().Rows
+		mi := rows[len(rows)-1]
+		b.ReportMetric(float64(mi.TotalOpsBuzz), "buzzflow_mi_ops")
+		b.ReportMetric(float64(mi.TotalOpsMontage), "montage_mi_ops")
+	}
+}
+
+// BenchmarkFigure10Workflows regenerates Fig. 10: the makespan of BuzzFlow
+// and Montage under the Table I scenarios for all four strategies. The
+// reported gains compare the hybrid strategy with the centralized baseline in
+// the metadata-intensive scenario (paper: 15 % for BuzzFlow, 28 % for
+// Montage).
+func BenchmarkFigure10Workflows(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, wf := range experiments.Figure10Workflows {
+			central, _ := res.Cell(wf, "MI", core.Centralized)
+			hybrid, _ := res.Cell(wf, "MI", core.DecentralizedReplicated)
+			if central.Makespan > 0 {
+				gain := 100 * (1 - float64(hybrid.Makespan)/float64(central.Makespan))
+				b.ReportMetric(gain, wf+"_mi_gain_%")
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benches (design choices called out in DESIGN.md)
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblationLocalReplica measures the read-path speedup of keeping a
+// local replica (Dec-Rep) vs pure hashing (Dec-NonRep).
+func BenchmarkAblationLocalReplica(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationLocalReplica(cfg, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Speedup, "read_speedup")
+		b.ReportMetric(res.LocalHitRate*100, "local_hit_%")
+	}
+}
+
+// BenchmarkAblationLazyVsEager measures the writer-perceived latency benefit
+// of lazy batched propagation over eager remote writes.
+func BenchmarkAblationLazyVsEager(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationLazyVsEager(cfg, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.WriteSpeedup, "write_speedup")
+	}
+}
+
+// BenchmarkAblationHashingChurn measures how many placements move when a
+// fifth site joins, under modulo vs consistent hashing.
+func BenchmarkAblationHashingChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.AblationHashingChurn(20000)
+		b.ReportMetric(res.ModuloFraction*100, "modulo_moved_%")
+		b.ReportMetric(res.RingFraction*100, "ring_moved_%")
+	}
+}
+
+// BenchmarkAblationRegistryCapacity measures how the centralized baseline
+// saturates with the capacity of its single cache instance while the
+// partitioned registry keeps scaling.
+func BenchmarkAblationRegistryCapacity(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationRegistryCapacity(cfg, cfg.ServiceTime, 16, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.CentralizedThroughput, "centralized_ops_per_s")
+		b.ReportMetric(res.DecentralizedThroughput, "decentralized_ops_per_s")
+	}
+}
+
+// BenchmarkAblationScheduler compares locality-aware, round-robin and random
+// task placement for a reduced Montage run under the hybrid strategy.
+func BenchmarkAblationScheduler(b *testing.B) {
+	cfg := benchConfig()
+	sc := workloads.Scenario{Name: "bench", OpsPerTask: 4, Compute: 100 * time.Millisecond}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationScheduler(cfg, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for name, makespan := range res.Makespan {
+			b.ReportMetric(makespan.Seconds(), name+"_s")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the metadata operations themselves
+// ---------------------------------------------------------------------------
+
+// newMicroService builds a no-latency service for pure-software-path
+// micro-benchmarks (encoding, hashing, cache operations).
+func newMicroService(b *testing.B, kind core.StrategyKind) core.MetadataService {
+	b.Helper()
+	topo := cloud.Azure4DC()
+	lat := latency.New(topo, latency.WithSeed(1), latency.WithSleeper(func(time.Duration) {}))
+	fabric := core.NewFabric(topo, lat, core.WithCacheCapacity(0, 0))
+	svc, err := core.NewService(fabric, kind)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { svc.Close() })
+	return svc
+}
+
+// BenchmarkMetadataCreate measures the software-path cost of publishing one
+// metadata entry under each strategy (latency injection disabled).
+func BenchmarkMetadataCreate(b *testing.B) {
+	for _, kind := range core.Strategies {
+		b.Run(kind.String(), func(b *testing.B) {
+			svc := newMicroService(b, kind)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := registry.NewEntry(fmt.Sprintf("micro/create/%d", i), 1024, "bench",
+					registry.Location{Site: cloud.SiteID(i % 4), Node: cloud.NodeID(i % 8)})
+				if _, err := svc.Create(cloud.SiteID(i%4), e); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMetadataLookup measures the software-path cost of resolving one
+// metadata entry under each strategy (latency injection disabled).
+func BenchmarkMetadataLookup(b *testing.B) {
+	for _, kind := range core.Strategies {
+		b.Run(kind.String(), func(b *testing.B) {
+			svc := newMicroService(b, kind)
+			const preload = 1024
+			for i := 0; i < preload; i++ {
+				e := registry.NewEntry(fmt.Sprintf("micro/lookup/%d", i), 1024, "bench",
+					registry.Location{Site: cloud.SiteID(i % 4), Node: cloud.NodeID(i % 8)})
+				if _, err := svc.Create(cloud.SiteID(i%4), e); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := svc.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				name := fmt.Sprintf("micro/lookup/%d", i%preload)
+				if _, err := svc.Lookup(cloud.SiteID(i%4), name); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationProvisioning measures the planning cost and the idle-time
+// reduction of provenance-driven data provisioning for a Montage run.
+func BenchmarkAblationProvisioning(b *testing.B) {
+	cfg := benchConfig()
+	sc := workloads.Scenario{Name: "bench-prov", OpsPerTask: 6, Compute: 2 * time.Second}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationProvisioning(cfg, sc, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Transfers), "transfers")
+		b.ReportMetric(res.IdleReduction*100, "idle_reduction_%")
+	}
+}

@@ -1,0 +1,121 @@
+// Command metactl is a small client for a running metadata registry server
+// (cmd/metaserver). It is the operator's tool for inspecting and manipulating
+// registry entries.
+//
+// Usage:
+//
+//	metactl -addr 127.0.0.1:7070 put  <name> <size> <site> [node]
+//	metactl -addr 127.0.0.1:7070 get  <name>
+//	metactl -addr 127.0.0.1:7070 del  <name>
+//	metactl -addr 127.0.0.1:7070 ls
+//	metactl -addr 127.0.0.1:7070 stat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"geomds/internal/cloud"
+	"geomds/internal/registry"
+	"geomds/internal/rpc"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "registry server address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	client, err := rpc.Dial(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer client.Close()
+
+	switch args[0] {
+	case "put":
+		if len(args) < 4 {
+			usage()
+			os.Exit(2)
+		}
+		size, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("size: %w", err))
+		}
+		site, err := strconv.Atoi(args[3])
+		if err != nil {
+			fatal(fmt.Errorf("site: %w", err))
+		}
+		node := int(registry.NoNode)
+		if len(args) > 4 {
+			if node, err = strconv.Atoi(args[4]); err != nil {
+				fatal(fmt.Errorf("node: %w", err))
+			}
+		}
+		e := registry.NewEntry(args[1], size, "metactl",
+			registry.Location{Site: cloud.SiteID(site), Node: cloud.NodeID(node)})
+		stored, err := client.Create(e)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("created %q version %d\n", stored.Name, stored.Version)
+
+	case "get":
+		if len(args) < 2 {
+			usage()
+			os.Exit(2)
+		}
+		e, err := client.Get(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		data, err := (registry.JSONCodec{}).Encode(e)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+
+	case "del":
+		if len(args) < 2 {
+			usage()
+			os.Exit(2)
+		}
+		if err := client.Delete(args[1]); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("deleted %q\n", args[1])
+
+	case "ls":
+		for _, name := range client.Names() {
+			fmt.Println(name)
+		}
+
+	case "stat":
+		fmt.Printf("address: %s\nsite:    %d\nentries: %d\n", client.Addr(), client.Site(), client.Len())
+
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: metactl [-addr host:port] <command>
+
+commands:
+  put <name> <size> <site> [node]   publish a metadata entry
+  get <name>                        print an entry as JSON
+  del <name>                        delete an entry
+  ls                                list entry names
+  stat                              print server statistics`)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "metactl: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command metaserver runs one metadata registry instance as a stand-alone
+// TCP server — the per-datacenter registry deployment of the paper, as a
+// separate process.
+//
+// Usage:
+//
+//	metaserver -addr :7070 -site 1 -name "West Europe"
+//
+// Clients (cmd/metactl, cmd/wfrun, or the core strategies via rpc.Dial)
+// connect to the printed address.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"geomds/internal/cloud"
+	"geomds/internal/memcache"
+	"geomds/internal/registry"
+	"geomds/internal/rpc"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7070", "address to listen on")
+		site        = flag.Int("site", 0, "site ID this registry instance serves")
+		name        = flag.String("name", "", "human-readable site name (informational)")
+		serviceTime = flag.Duration("service-time", 0, "simulated per-operation service time of the cache instance")
+		concurrency = flag.Int("concurrency", 0, "bound on concurrently served cache operations (0 = unbounded)")
+		ha          = flag.Bool("ha", false, "back the registry with a primary/replica cache pair")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "metaserver: ", log.LstdFlags)
+
+	newCache := func() *memcache.Cache {
+		return memcache.New(memcache.Config{
+			ServiceTime: *serviceTime,
+			Concurrency: *concurrency,
+		})
+	}
+	var store registry.Store
+	if *ha {
+		store = memcache.NewHA(newCache)
+	} else {
+		store = newCache()
+	}
+	inst := registry.NewInstance(cloud.SiteID(*site), store)
+	srv := rpc.NewServer(inst, logger)
+
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		logger.Fatalf("start: %v", err)
+	}
+	label := *name
+	if label == "" {
+		label = fmt.Sprintf("site-%d", *site)
+	}
+	fmt.Printf("metadata registry for %s (site %d) listening on %s\n", label, *site, bound)
+
+	// Periodically report the instance's size so operators can watch growth.
+	ticker := time.NewTicker(30 * time.Second)
+	defer ticker.Stop()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	for {
+		select {
+		case <-ticker.C:
+			logger.Printf("entries=%d requests=%d", inst.Len(), srv.Requests())
+		case s := <-sig:
+			logger.Printf("received %v, shutting down", s)
+			if err := srv.Close(); err != nil {
+				logger.Printf("close: %v", err)
+			}
+			return
+		}
+	}
+}

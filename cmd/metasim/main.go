@@ -1,0 +1,204 @@
+// Command metasim regenerates the paper's tables and figures on the
+// multi-site emulation.
+//
+// Usage:
+//
+//	metasim -fig 5                 # regenerate Figure 5 at paper scale
+//	metasim -fig 7 -quick          # reduced-size run (same shape, seconds)
+//	metasim -table 1               # regenerate Table I
+//	metasim -fig 10 -csv fig10.csv # also write the series as CSV
+//	metasim -ablations             # run the design-choice ablations
+//	metasim -all -quick            # everything, reduced size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"geomds/internal/experiments"
+	"geomds/internal/workloads"
+)
+
+func main() {
+	var (
+		fig       = flag.Int("fig", 0, "figure to regenerate (1, 5, 6, 7, 8, 9, 10)")
+		table     = flag.Int("table", 0, "table to regenerate (1)")
+		all       = flag.Bool("all", false, "regenerate every table and figure")
+		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
+		quick     = flag.Bool("quick", false, "reduced-size run (keeps the shape, finishes in seconds)")
+		scale     = flag.Float64("scale", 0, "override the time-compression factor (e.g. 0.01)")
+		size      = flag.Float64("size", 0, "override the workload size factor (1.0 = paper scale)")
+		nodes     = flag.Int("nodes", 0, "override the node count for fixed-size experiments")
+		csvPath   = flag.String("csv", "", "write the result series as CSV to this file")
+		seed      = flag.Int64("seed", 0, "override the random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *size > 0 {
+		cfg.SizeFactor = *size
+	}
+	if *nodes > 0 {
+		cfg.Nodes = *nodes
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	if !*all && *fig == 0 && *table == 0 && !*ablations {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	var csv string
+	var err error
+	switch {
+	case *all:
+		csv, err = runAll(cfg)
+	case *ablations:
+		err = runAblations(cfg)
+	case *table == 1:
+		fmt.Print(experiments.TableI().Render())
+	case *fig != 0:
+		csv, err = runFigure(cfg, *fig)
+	default:
+		err = fmt.Errorf("unknown table %d", *table)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metasim: %v\n", err)
+		os.Exit(1)
+	}
+	if *csvPath != "" && csv != "" {
+		if err := os.WriteFile(*csvPath, []byte(csv), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "metasim: writing %s: %v\n", *csvPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("CSV written to %s\n", *csvPath)
+	}
+	fmt.Printf("(completed in %v wall-clock, scale %.3g, size factor %.3g)\n",
+		time.Since(start).Round(time.Millisecond), cfg.Scale, cfg.SizeFactor)
+}
+
+func runFigure(cfg experiments.Config, fig int) (csv string, err error) {
+	switch fig {
+	case 1:
+		res, err := experiments.Figure1(cfg)
+		if err != nil {
+			return "", err
+		}
+		fmt.Print(res.Render())
+		return res.CSV(), nil
+	case 5:
+		res, err := experiments.Figure5(cfg)
+		if err != nil {
+			return "", err
+		}
+		fmt.Print(res.Render())
+		return res.CSV(), nil
+	case 6:
+		res, err := experiments.Figure6(cfg)
+		if err != nil {
+			return "", err
+		}
+		fmt.Print(res.Render())
+		return res.CSV(), nil
+	case 7:
+		res, err := experiments.Figure7(cfg)
+		if err != nil {
+			return "", err
+		}
+		fmt.Print(res.Render())
+		return res.CSV(), nil
+	case 8:
+		res, err := experiments.Figure8(cfg)
+		if err != nil {
+			return "", err
+		}
+		fmt.Print(res.Render())
+		return res.CSV(), nil
+	case 9:
+		res, err := experiments.Figure9()
+		if err != nil {
+			return "", err
+		}
+		fmt.Print(res.Render())
+		return "", nil
+	case 10:
+		res, err := experiments.Figure10(cfg)
+		if err != nil {
+			return "", err
+		}
+		fmt.Print(res.Render())
+		return res.CSV(), nil
+	default:
+		return "", fmt.Errorf("unknown figure %d (supported: 1, 5, 6, 7, 8, 9, 10)", fig)
+	}
+}
+
+func runAll(cfg experiments.Config) (string, error) {
+	fmt.Print(experiments.TableI().Render())
+	fmt.Println()
+	var lastCSV string
+	for _, fig := range []int{1, 5, 6, 7, 8, 9, 10} {
+		csv, err := runFigure(cfg, fig)
+		if err != nil {
+			return "", fmt.Errorf("figure %d: %w", fig, err)
+		}
+		if csv != "" {
+			lastCSV = csv
+		}
+		fmt.Println()
+	}
+	if err := runAblations(cfg); err != nil {
+		return "", err
+	}
+	return lastCSV, nil
+}
+
+func runAblations(cfg experiments.Config) error {
+	replica, err := experiments.AblationLocalReplica(cfg, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Print(replica.Render())
+
+	lazy, err := experiments.AblationLazyVsEager(cfg, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Print(lazy.Render())
+
+	fmt.Print(experiments.AblationHashingChurn(0).Render())
+
+	capa, err := experiments.AblationRegistryCapacity(cfg, cfg.ServiceTime, cfg.Nodes, cfg.ScaledOps(1000, 20))
+	if err != nil {
+		return err
+	}
+	fmt.Print(capa.Render())
+
+	sched, err := experiments.AblationScheduler(cfg, workloads.Scenario{
+		Name: "ablation", OpsPerTask: cfg.ScaledOps(100, 4), Compute: time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(sched.Render())
+
+	prov, err := experiments.AblationProvisioning(cfg, workloads.Scenario{
+		Name: "ablation", OpsPerTask: cfg.ScaledOps(100, 4), Compute: time.Second,
+	}, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(prov.Render())
+	return nil
+}

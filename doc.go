@@ -1,0 +1,17 @@
+// Package geomds is a Go reproduction of "Towards Multi-site Metadata
+// Management for Geographically Distributed Cloud Workflows"
+// (Pineda-Morales, Costan, Antoniu — IEEE CLUSTER 2015).
+//
+// The repository provides, under internal/, a multi-site cloud model with
+// WAN latency injection (cloud, latency), an in-memory cache tier modelled
+// after a managed cloud cache (memcache), a metadata registry built on it
+// (registry, dht), the paper's four metadata management strategies and their
+// supporting machinery (core), a TCP transport to run registry instances as
+// separate processes (rpc), a workflow DAG model and execution engine
+// (workflow), the paper's synthetic and real-life workloads (workloads), and
+// one harness per table and figure of the evaluation (experiments).
+//
+// Executables live under cmd/ (metasim, metaserver, metactl, wfrun), runnable
+// examples under examples/, and the benchmark suite that regenerates every
+// table and figure lives in bench_test.go at the repository root.
+package geomds

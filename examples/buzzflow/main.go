@@ -1,0 +1,101 @@
+// BuzzFlow example: execute the near-pipelined publication-mining workflow of
+// the paper (Fig. 9a) under all four metadata management strategies and show
+// how the choice of strategy changes both the makespan and the mix of
+// local/remote metadata operations.
+//
+// Run with:
+//
+//	go run ./examples/buzzflow
+//	go run ./examples/buzzflow -scenario MI -scheduler locality
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"geomds/internal/cloud"
+	"geomds/internal/core"
+	"geomds/internal/latency"
+	"geomds/internal/metrics"
+	"geomds/internal/workflow"
+	"geomds/internal/workloads"
+)
+
+func main() {
+	var (
+		scenarioName = flag.String("scenario", "SS", "Table I scenario: SS, CI or MI")
+		nodes        = flag.Int("nodes", 16, "number of execution nodes")
+		scale        = flag.Float64("scale", 0.02, "time-compression factor")
+		width        = flag.Int("width", 8, "tasks per parallel BuzzFlow stage (16 reproduces the paper's 72-job run)")
+		schedName    = flag.String("scheduler", "round-robin", "task scheduler: round-robin or locality")
+	)
+	flag.Parse()
+
+	var scenario workloads.Scenario
+	found := false
+	for _, sc := range workloads.Scenarios {
+		if sc.Short() == *scenarioName {
+			scenario, found = sc, true
+		}
+	}
+	if !found {
+		log.Fatalf("unknown scenario %q", *scenarioName)
+	}
+	var sched workflow.Scheduler = workflow.RoundRobinScheduler{}
+	if *schedName == "locality" {
+		sched = workflow.LocalityScheduler{}
+	}
+
+	cfg := workloads.DefaultBuzzFlowConfig(scenario)
+	cfg.Width = *width
+	shape := workloads.BuzzFlow(cfg)
+	stats, err := shape.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BuzzFlow (%s): %d jobs in a %d-level near-pipeline, ~%d metadata operations\n",
+		scenario.Name, stats.Tasks, stats.Levels, stats.MetadataOps)
+
+	for _, kind := range core.Strategies {
+		if err := run(cfg, kind, sched, *nodes, *scale); err != nil {
+			log.Fatalf("%s: %v", kind, err)
+		}
+	}
+}
+
+func run(cfg workloads.WorkflowConfig, kind core.StrategyKind, sched workflow.Scheduler, nodes int, scale float64) error {
+	topo := cloud.Azure4DC()
+	lat := latency.New(topo, latency.WithScale(scale), latency.WithSeed(23))
+	rec := metrics.NewRecorder()
+	rec.SetSimConverter(lat.ToSimulated)
+	fabric := core.NewFabric(topo, lat, core.WithRecorder(rec))
+	svc, err := core.NewService(fabric, kind)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	dep := cloud.NewDeployment(topo)
+	dep.SpreadNodes(nodes)
+
+	wf := workloads.BuzzFlow(cfg)
+	plan, err := sched.Schedule(wf, dep)
+	if err != nil {
+		return err
+	}
+	eng := workflow.NewEngine(dep, svc, lat, workflow.EngineConfig{})
+	res, err := eng.Run(wf, plan)
+	if err != nil {
+		return err
+	}
+
+	summary := rec.Summarize()
+	remotePct := 0.0
+	if summary.Count > 0 {
+		remotePct = 100 * float64(summary.RemoteCount) / float64(summary.Count)
+	}
+	fmt.Printf("  %-22s makespan %7.1f s   metadata ops %6d (%.0f%% remote)   median op %v\n",
+		kind.String(), res.Makespan.Seconds(), res.MetadataOps(), remotePct, summary.Median)
+	return nil
+}

@@ -1,0 +1,96 @@
+// Montage example: execute the astronomy mosaic workflow of the paper
+// (Fig. 9b) across four datacenters and compare the makespan under the
+// centralized baseline and the hybrid (decentralized + locally replicated)
+// strategy — the comparison behind the paper's headline 28 % improvement.
+//
+// Run with:
+//
+//	go run ./examples/montage
+//	go run ./examples/montage -scenario MI -nodes 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"geomds/internal/cloud"
+	"geomds/internal/core"
+	"geomds/internal/latency"
+	"geomds/internal/workflow"
+	"geomds/internal/workloads"
+)
+
+func main() {
+	var (
+		scenarioName = flag.String("scenario", "SS", "Table I scenario: SS, CI or MI")
+		nodes        = flag.Int("nodes", 16, "number of execution nodes spread over the 4 datacenters")
+		scale        = flag.Float64("scale", 0.02, "time-compression factor (0.02 = 50x faster than real time)")
+		width        = flag.Int("width", 12, "tasks per parallel Montage stage (52 reproduces the paper's 160-job run)")
+	)
+	flag.Parse()
+
+	var scenario workloads.Scenario
+	found := false
+	for _, sc := range workloads.Scenarios {
+		if sc.Short() == *scenarioName {
+			scenario, found = sc, true
+		}
+	}
+	if !found {
+		log.Fatalf("unknown scenario %q", *scenarioName)
+	}
+
+	cfg := workloads.DefaultMontageConfig(scenario)
+	cfg.Width = *width
+	wf := workloads.Montage(cfg)
+	stats, err := wf.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Montage (%s): %d jobs, %d files, ~%d metadata operations\n",
+		scenario.Name, stats.Tasks, stats.Files, stats.MetadataOps)
+
+	var baseline time.Duration
+	for _, kind := range []core.StrategyKind{core.Centralized, core.DecentralizedReplicated} {
+		makespan, err := run(wf, kind, *nodes, *scale)
+		if err != nil {
+			log.Fatalf("%s: %v", kind, err)
+		}
+		fmt.Printf("  %-22s makespan %7.1f s", kind.String(), makespan.Seconds())
+		if kind == core.Centralized {
+			baseline = makespan
+			fmt.Println("  (baseline)")
+		} else {
+			gain := 100 * (1 - makespan.Seconds()/baseline.Seconds())
+			fmt.Printf("  (%.0f%% faster than the baseline)\n", gain)
+		}
+	}
+}
+
+func run(wf *workflow.Workflow, kind core.StrategyKind, nodes int, scale float64) (time.Duration, error) {
+	topo := cloud.Azure4DC()
+	lat := latency.New(topo, latency.WithScale(scale), latency.WithSeed(11))
+	fabric := core.NewFabric(topo, lat)
+	svc, err := core.NewService(fabric, kind)
+	if err != nil {
+		return 0, err
+	}
+	defer svc.Close()
+
+	dep := cloud.NewDeployment(topo)
+	dep.SpreadNodes(nodes)
+
+	// The paper distributes the jobs evenly across the nodes.
+	sched, err := (workflow.RoundRobinScheduler{}).Schedule(wf, dep)
+	if err != nil {
+		return 0, err
+	}
+	eng := workflow.NewEngine(dep, svc, lat, workflow.EngineConfig{})
+	res, err := eng.Run(wf, sched)
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}

@@ -1,0 +1,143 @@
+package cloud
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies one execution node (a virtual machine) within a
+// multi-site deployment. IDs are dense and assigned in creation order.
+type NodeID int
+
+// Node is one execution node: a VM provisioned in a particular site.
+// In the paper's implementation nodes are Azure Worker Roles; here they are
+// descriptors the workflow engine and the experiment harness attach clients
+// and goroutines to.
+type Node struct {
+	// ID is the dense index of the node within its deployment.
+	ID NodeID
+	// Site is the datacenter the node runs in.
+	Site SiteID
+	// Name is a human-readable identifier, e.g. "node-07@West Europe".
+	Name string
+}
+
+// Deployment describes a multi-site provisioning of execution nodes: which
+// node runs in which datacenter. The paper's Azure limit of 300 cores per
+// single-site deployment is the practical reason applications end up
+// multi-site; MaxNodesPerSite lets callers model such per-site caps.
+type Deployment struct {
+	topo  *Topology
+	nodes []Node
+	// perSite caches the node IDs hosted by each site.
+	perSite map[SiteID][]NodeID
+}
+
+// NewDeployment returns an empty deployment over the given topology.
+func NewDeployment(topo *Topology) *Deployment {
+	return &Deployment{topo: topo, perSite: make(map[SiteID][]NodeID)}
+}
+
+// Topology returns the cloud topology this deployment is placed on.
+func (d *Deployment) Topology() *Topology { return d.topo }
+
+// AddNode provisions one node in the given site and returns its ID.
+func (d *Deployment) AddNode(site SiteID) NodeID {
+	if !d.topo.Valid(site) {
+		panic(fmt.Sprintf("cloud: AddNode on invalid site %d", site))
+	}
+	id := NodeID(len(d.nodes))
+	n := Node{
+		ID:   id,
+		Site: site,
+		Name: fmt.Sprintf("node-%03d@%s", id, d.topo.Site(site).Name),
+	}
+	d.nodes = append(d.nodes, n)
+	d.perSite[site] = append(d.perSite[site], id)
+	return id
+}
+
+// SpreadNodes provisions n nodes distributed as evenly as possible across all
+// sites of the topology, in round-robin order starting at site 0. This is the
+// node placement used by every experiment in the paper ("evenly distributed
+// in our datacenters").
+func (d *Deployment) SpreadNodes(n int) []NodeID {
+	ids := make([]NodeID, 0, n)
+	sites := d.topo.NumSites()
+	for i := 0; i < n; i++ {
+		ids = append(ids, d.AddNode(SiteID(i%sites)))
+	}
+	return ids
+}
+
+// NumNodes returns the number of provisioned nodes.
+func (d *Deployment) NumNodes() int { return len(d.nodes) }
+
+// Node returns the descriptor of a node. It panics on an unknown ID.
+func (d *Deployment) Node(id NodeID) Node { return d.nodes[id] }
+
+// Nodes returns a copy of all node descriptors in ID order.
+func (d *Deployment) Nodes() []Node {
+	out := make([]Node, len(d.nodes))
+	copy(out, d.nodes)
+	return out
+}
+
+// NodesAt returns the IDs of the nodes provisioned in the given site,
+// in creation order.
+func (d *Deployment) NodesAt(site SiteID) []NodeID {
+	src := d.perSite[site]
+	out := make([]NodeID, len(src))
+	copy(out, src)
+	return out
+}
+
+// SiteOf returns the site hosting the given node.
+func (d *Deployment) SiteOf(id NodeID) SiteID { return d.nodes[id].Site }
+
+// SiteLoad returns, for each site, the number of nodes it hosts.
+func (d *Deployment) SiteLoad() map[SiteID]int {
+	out := make(map[SiteID]int, len(d.perSite))
+	for s, nodes := range d.perSite {
+		out[s] = len(nodes)
+	}
+	return out
+}
+
+// Balance returns the difference between the most and least loaded sites
+// (counting every site of the topology, including empty ones). A perfectly
+// even spread over k sites has balance 0 or 1 depending on divisibility.
+func (d *Deployment) Balance() int {
+	if d.topo.NumSites() == 0 {
+		return 0
+	}
+	counts := make([]int, 0, d.topo.NumSites())
+	for i := 0; i < d.topo.NumSites(); i++ {
+		counts = append(counts, len(d.perSite[SiteID(i)]))
+	}
+	sort.Ints(counts)
+	return counts[len(counts)-1] - counts[0]
+}
+
+// Validate checks that every node sits on a valid site and that per-site
+// indices are consistent with node descriptors.
+func (d *Deployment) Validate() error {
+	for _, n := range d.nodes {
+		if !d.topo.Valid(n.Site) {
+			return fmt.Errorf("cloud: node %d placed on invalid site %d", n.ID, n.Site)
+		}
+	}
+	total := 0
+	for site, ids := range d.perSite {
+		for _, id := range ids {
+			if d.nodes[id].Site != site {
+				return fmt.Errorf("cloud: per-site index lists node %d under site %d but node is at %d", id, site, d.nodes[id].Site)
+			}
+		}
+		total += len(ids)
+	}
+	if total != len(d.nodes) {
+		return fmt.Errorf("cloud: per-site index counts %d nodes, want %d", total, len(d.nodes))
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"geomds/internal/cloud"
+	"geomds/internal/metrics"
+	"geomds/internal/registry"
+)
+
+// CentralizedService is the baseline strategy (paper §IV-A): a single
+// metadata registry instance, arbitrarily placed in one of the datacenters,
+// serving every node of the multi-site application. Nodes outside the
+// registry's datacenter pay a remote round trip for every operation, and the
+// single cache instance becomes the throughput bottleneck under concurrency.
+type CentralizedService struct {
+	fabric *Fabric
+	home   cloud.SiteID
+	inst   registry.API
+	closed atomic.Bool
+}
+
+// NewCentralized builds the centralized baseline with the registry placed in
+// the given datacenter.
+func NewCentralized(fabric *Fabric, home cloud.SiteID) (*CentralizedService, error) {
+	inst, err := fabric.Instance(home)
+	if err != nil {
+		return nil, fmt.Errorf("centralized: %w", err)
+	}
+	return &CentralizedService{fabric: fabric, home: home, inst: inst}, nil
+}
+
+// Kind implements MetadataService.
+func (s *CentralizedService) Kind() StrategyKind { return Centralized }
+
+// Home returns the datacenter hosting the single registry instance.
+func (s *CentralizedService) Home() cloud.SiteID { return s.home }
+
+// Create implements MetadataService. Per the paper's definition, the write is
+// a look-up (to verify the name is free) followed by the actual write; both
+// are served by the central instance.
+func (s *CentralizedService) Create(from cloud.SiteID, e registry.Entry) (registry.Entry, error) {
+	if s.closed.Load() {
+		return registry.Entry{}, ErrClosed
+	}
+	start := time.Now()
+	// One round trip to the central registry; the instance performs the
+	// look-up (existence check) and the write server-side, as the paper's
+	// write = look-up + write composite.
+	remote := s.fabric.call(from, s.home, s.fabric.EntrySize(e), s.fabric.ackBytes)
+	stored, err := s.inst.Create(e)
+	s.fabric.record(metrics.OpWrite, start, remote)
+	return stored, err
+}
+
+// Lookup implements MetadataService.
+func (s *CentralizedService) Lookup(from cloud.SiteID, name string) (registry.Entry, error) {
+	if s.closed.Load() {
+		return registry.Entry{}, ErrClosed
+	}
+	start := time.Now()
+	e, err := s.inst.Get(name)
+	respBytes := s.fabric.ackBytes
+	if err == nil {
+		respBytes = s.fabric.EntrySize(e)
+	}
+	remote := s.fabric.call(from, s.home, s.fabric.queryBytes, respBytes)
+	s.fabric.record(metrics.OpRead, start, remote)
+	return e, err
+}
+
+// AddLocation implements MetadataService.
+func (s *CentralizedService) AddLocation(from cloud.SiteID, name string, loc registry.Location) (registry.Entry, error) {
+	if s.closed.Load() {
+		return registry.Entry{}, ErrClosed
+	}
+	start := time.Now()
+	remote := s.fabric.call(from, s.home, s.fabric.queryBytes, s.fabric.ackBytes)
+	e, err := s.inst.AddLocation(name, loc)
+	s.fabric.record(metrics.OpUpdate, start, remote)
+	return e, err
+}
+
+// Delete implements MetadataService.
+func (s *CentralizedService) Delete(from cloud.SiteID, name string) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	start := time.Now()
+	remote := s.fabric.call(from, s.home, s.fabric.queryBytes, s.fabric.ackBytes)
+	err := s.inst.Delete(name)
+	s.fabric.record(metrics.OpDelete, start, remote)
+	return err
+}
+
+// Flush implements MetadataService; the centralized strategy has no
+// asynchronous machinery, so it is a no-op.
+func (s *CentralizedService) Flush() error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close implements MetadataService.
+func (s *CentralizedService) Close() error {
+	s.closed.Store(true)
+	return nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"geomds/internal/cloud"
+	"geomds/internal/dht"
+	"geomds/internal/metrics"
+	"geomds/internal/registry"
+)
+
+// DecentralizedService implements the decentralized, non-replicated strategy
+// (paper §IV-C): one registry instance per datacenter, with every entry
+// stored only at the site determined by hashing its name. On average only
+// 1/n of the operations are local (n = number of sites), but the registry is
+// partitioned so queries are processed in parallel by independent instances.
+type DecentralizedService struct {
+	fabric *Fabric
+	placer dht.Placer
+	closed atomic.Bool
+
+	localOps  atomic.Int64
+	remoteOps atomic.Int64
+}
+
+// NewDecentralized builds the non-replicated decentralized strategy. If
+// placer is nil a ModuloPlacer over the fabric's sites is used, matching the
+// paper's hash-mod-n placement.
+func NewDecentralized(fabric *Fabric, placer dht.Placer) (*DecentralizedService, error) {
+	if placer == nil {
+		placer = dht.NewModuloPlacer(fabric.Sites())
+	}
+	for _, s := range placer.Sites() {
+		if !fabric.HasSite(s) {
+			return nil, fmt.Errorf("decentralized: placer site %d: %w", s, ErrNoSuchSite)
+		}
+	}
+	return &DecentralizedService{fabric: fabric, placer: placer}, nil
+}
+
+// Kind implements MetadataService.
+func (s *DecentralizedService) Kind() StrategyKind { return Decentralized }
+
+// Home returns the datacenter responsible for the given entry name.
+func (s *DecentralizedService) Home(name string) cloud.SiteID { return s.placer.Home(name) }
+
+// LocalRemoteOps returns how many operations were served locally vs remotely,
+// which lets experiments verify the ~1/n locality property.
+func (s *DecentralizedService) LocalRemoteOps() (local, remote int64) {
+	return s.localOps.Load(), s.remoteOps.Load()
+}
+
+func (s *DecentralizedService) countLocality(remote bool) {
+	if remote {
+		s.remoteOps.Add(1)
+	} else {
+		s.localOps.Add(1)
+	}
+}
+
+// Create implements MetadataService: look-up followed by write, both at the
+// entry's hashed home site.
+func (s *DecentralizedService) Create(from cloud.SiteID, e registry.Entry) (registry.Entry, error) {
+	if s.closed.Load() {
+		return registry.Entry{}, ErrClosed
+	}
+	home := s.placer.Home(e.Name)
+	inst, err := s.fabric.Instance(home)
+	if err != nil {
+		return registry.Entry{}, err
+	}
+	start := time.Now()
+	// One round trip to the entry's home instance; the look-up (existence
+	// check) and the write happen server-side.
+	remote := s.fabric.call(from, home, s.fabric.EntrySize(e), s.fabric.ackBytes)
+	stored, err := inst.Create(e)
+	s.fabric.record(metrics.OpWrite, start, remote)
+	s.countLocality(remote)
+	return stored, err
+}
+
+// Lookup implements MetadataService: the entry is fetched from its hashed
+// home site.
+func (s *DecentralizedService) Lookup(from cloud.SiteID, name string) (registry.Entry, error) {
+	if s.closed.Load() {
+		return registry.Entry{}, ErrClosed
+	}
+	home := s.placer.Home(name)
+	inst, err := s.fabric.Instance(home)
+	if err != nil {
+		return registry.Entry{}, err
+	}
+	start := time.Now()
+	e, err := inst.Get(name)
+	respBytes := s.fabric.ackBytes
+	if err == nil {
+		respBytes = s.fabric.EntrySize(e)
+	}
+	remote := s.fabric.call(from, home, s.fabric.queryBytes, respBytes)
+	s.fabric.record(metrics.OpRead, start, remote)
+	s.countLocality(remote)
+	return e, err
+}
+
+// AddLocation implements MetadataService.
+func (s *DecentralizedService) AddLocation(from cloud.SiteID, name string, loc registry.Location) (registry.Entry, error) {
+	if s.closed.Load() {
+		return registry.Entry{}, ErrClosed
+	}
+	home := s.placer.Home(name)
+	inst, err := s.fabric.Instance(home)
+	if err != nil {
+		return registry.Entry{}, err
+	}
+	start := time.Now()
+	remote := s.fabric.call(from, home, s.fabric.queryBytes, s.fabric.ackBytes)
+	e, err := inst.AddLocation(name, loc)
+	s.fabric.record(metrics.OpUpdate, start, remote)
+	s.countLocality(remote)
+	return e, err
+}
+
+// Delete implements MetadataService.
+func (s *DecentralizedService) Delete(from cloud.SiteID, name string) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	home := s.placer.Home(name)
+	inst, err := s.fabric.Instance(home)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	remote := s.fabric.call(from, home, s.fabric.queryBytes, s.fabric.ackBytes)
+	err = inst.Delete(name)
+	s.fabric.record(metrics.OpDelete, start, remote)
+	s.countLocality(remote)
+	return err
+}
+
+// Flush implements MetadataService; there is no asynchronous machinery.
+func (s *DecentralizedService) Flush() error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close implements MetadataService.
+func (s *DecentralizedService) Close() error {
+	s.closed.Store(true)
+	return nil
+}

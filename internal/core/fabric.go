@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"geomds/internal/cloud"
+	"geomds/internal/latency"
+	"geomds/internal/memcache"
+	"geomds/internal/metrics"
+	"geomds/internal/registry"
+)
+
+// Fabric is the substrate every strategy builds on: one metadata registry
+// instance per participating datacenter (backed by the in-memory cache tier)
+// plus the latency model of the multi-site cloud. The same fabric can back
+// any strategy, which is what lets the ArchitectureController switch between
+// them without redeploying anything.
+type Fabric struct {
+	topo  *cloud.Topology
+	lat   *latency.Model
+	codec registry.Codec
+	rec   *metrics.Recorder
+
+	sites     []cloud.SiteID
+	instances map[cloud.SiteID]registry.API
+
+	// ackBytes is the modelled size of a small acknowledgement message.
+	ackBytes int
+	// queryBytes is the modelled size of a lookup request (key + framing).
+	queryBytes int
+}
+
+// FabricOption configures a Fabric.
+type FabricOption func(*fabricConfig)
+
+type fabricConfig struct {
+	sites        []cloud.SiteID
+	codec        registry.Codec
+	rec          *metrics.Recorder
+	cacheFactory func(cloud.SiteID) registry.Store
+	instances    map[cloud.SiteID]registry.API
+	ha           bool
+	serviceTime  time.Duration
+	concurrency  int
+}
+
+// WithInstances backs specific sites with externally provided registry
+// instances (typically rpc.Client proxies to registry servers running as
+// separate processes). Sites not present in the map fall back to in-process
+// instances built by the cache factory.
+func WithInstances(instances map[cloud.SiteID]registry.API) FabricOption {
+	return func(c *fabricConfig) { c.instances = instances }
+}
+
+// WithSites restricts the fabric to a subset of the topology's sites
+// (default: every site).
+func WithSites(sites ...cloud.SiteID) FabricOption {
+	return func(c *fabricConfig) { c.sites = sites }
+}
+
+// WithFabricCodec selects the entry codec (default gob).
+func WithFabricCodec(codec registry.Codec) FabricOption {
+	return func(c *fabricConfig) { c.codec = codec }
+}
+
+// WithRecorder attaches a metrics recorder; every metadata operation served
+// through the fabric's strategies is recorded on it.
+func WithRecorder(rec *metrics.Recorder) FabricOption {
+	return func(c *fabricConfig) { c.rec = rec }
+}
+
+// WithCacheFactory overrides how the per-site cache instances are built.
+func WithCacheFactory(f func(cloud.SiteID) registry.Store) FabricOption {
+	return func(c *fabricConfig) { c.cacheFactory = f }
+}
+
+// WithHACaches backs every registry instance with a primary/replica pair
+// instead of a single cache, as the paper's managed cache tier does.
+func WithHACaches() FabricOption {
+	return func(c *fabricConfig) { c.ha = true }
+}
+
+// WithCacheCapacity tunes the modelled capacity of each per-site cache
+// instance: the per-operation service time and the number of operations
+// served concurrently. It is ignored when WithCacheFactory is used.
+func WithCacheCapacity(serviceTime time.Duration, concurrency int) FabricOption {
+	return func(c *fabricConfig) {
+		c.serviceTime = serviceTime
+		c.concurrency = concurrency
+	}
+}
+
+// Default capacity of one registry cache instance, calibrated so that a
+// single instance saturates around the throughput the paper reports for the
+// centralized baseline (a few hundred operations per second) while the four
+// instances of the decentralized strategies together scale towards the
+// ~1150 ops/s the paper measures at 128 nodes.
+const (
+	DefaultServiceTime = 3 * time.Millisecond
+	DefaultConcurrency = 2
+)
+
+// NewFabric builds the per-site registry instances for the given topology and
+// latency model.
+func NewFabric(topo *cloud.Topology, lat *latency.Model, opts ...FabricOption) *Fabric {
+	cfg := fabricConfig{
+		codec:       registry.GobCodec{},
+		serviceTime: DefaultServiceTime,
+		concurrency: DefaultConcurrency,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(cfg.sites) == 0 {
+		for _, s := range topo.Sites() {
+			cfg.sites = append(cfg.sites, s.ID)
+		}
+	}
+	if cfg.cacheFactory == nil {
+		newCache := func() *memcache.Cache {
+			return memcache.New(memcache.Config{
+				ServiceTime: cfg.serviceTime,
+				Concurrency: cfg.concurrency,
+				// Route the service-time sleep through the latency model so
+				// the experiment's time-compression factor applies uniformly.
+				Sleep: lat.InjectDuration,
+			})
+		}
+		if cfg.ha {
+			cfg.cacheFactory = func(cloud.SiteID) registry.Store { return memcache.NewHA(newCache) }
+		} else {
+			cfg.cacheFactory = func(cloud.SiteID) registry.Store { return newCache() }
+		}
+	}
+
+	f := &Fabric{
+		topo:       topo,
+		lat:        lat,
+		codec:      cfg.codec,
+		rec:        cfg.rec,
+		sites:      append([]cloud.SiteID(nil), cfg.sites...),
+		instances:  make(map[cloud.SiteID]registry.API, len(cfg.sites)),
+		ackBytes:   64,
+		queryBytes: 128,
+	}
+	for _, s := range cfg.sites {
+		if ext, ok := cfg.instances[s]; ok && ext != nil {
+			f.instances[s] = ext
+			continue
+		}
+		f.instances[s] = registry.NewInstance(s, cfg.cacheFactory(s), registry.WithCodec(cfg.codec))
+	}
+	return f
+}
+
+// Topology returns the cloud topology of the fabric.
+func (f *Fabric) Topology() *cloud.Topology { return f.topo }
+
+// Latency returns the latency model used for wide-area communication.
+func (f *Fabric) Latency() *latency.Model { return f.lat }
+
+// Recorder returns the attached metrics recorder (nil if none).
+func (f *Fabric) Recorder() *metrics.Recorder { return f.rec }
+
+// Sites returns the datacenters participating in the fabric.
+func (f *Fabric) Sites() []cloud.SiteID {
+	out := make([]cloud.SiteID, len(f.sites))
+	copy(out, f.sites)
+	return out
+}
+
+// HasSite reports whether the given site participates in the fabric.
+func (f *Fabric) HasSite(site cloud.SiteID) bool {
+	_, ok := f.instances[site]
+	return ok
+}
+
+// Instance returns the registry instance deployed in the given site.
+func (f *Fabric) Instance(site cloud.SiteID) (registry.API, error) {
+	inst, ok := f.instances[site]
+	if !ok {
+		return nil, fmt.Errorf("%w: site %d", ErrNoSuchSite, site)
+	}
+	return inst, nil
+}
+
+// TotalEntries sums the number of entries stored across every instance
+// (entries replicated on k sites count k times).
+func (f *Fabric) TotalEntries() int {
+	total := 0
+	for _, inst := range f.instances {
+		total += inst.Len()
+	}
+	return total
+}
+
+// EntrySize returns the modelled wire size of an entry.
+func (f *Fabric) EntrySize(e registry.Entry) int {
+	data, err := f.codec.Encode(e)
+	if err != nil {
+		return 256 // conservative fallback; encoding failures surface later
+	}
+	return len(data)
+}
+
+// call models one request/response exchange between the caller's site and the
+// site hosting a registry instance, charging WAN latency when they differ.
+// It returns whether the exchange was remote.
+func (f *Fabric) call(from, to cloud.SiteID, reqBytes, respBytes int) bool {
+	f.lat.InjectRoundTrip(from, to, reqBytes, respBytes)
+	return f.topo.DistanceClass(from, to).Remote()
+}
+
+// record stores an operation sample on the fabric's recorder, if any.
+func (f *Fabric) record(kind metrics.OpKind, start time.Time, remote bool) {
+	if f.rec == nil {
+		return
+	}
+	f.rec.Record(kind, time.Since(start), remote)
+}
+
+// recordAt is like record for callers that already measured the duration.
+func (f *Fabric) recordAt(kind metrics.OpKind, elapsed time.Duration, remote bool) {
+	if f.rec == nil {
+		return
+	}
+	f.rec.Record(kind, elapsed, remote)
+}

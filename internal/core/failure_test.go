@@ -1,0 +1,218 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"geomds/internal/cloud"
+	"geomds/internal/dht"
+	"geomds/internal/latency"
+	"geomds/internal/memcache"
+	"geomds/internal/registry"
+)
+
+// This file exercises the failure and elasticity scenarios the paper calls
+// out: the cache tier's primary/replica failover (§III-B) and metadata
+// servers being added to or removed from the deployment, "a common cloud
+// scenario" (§VII-B, §VIII).
+
+// newHAFabric builds a test fabric whose registry instances sit on
+// primary/replica cache pairs, exposing the HA caches for fault injection.
+func newHAFabric() (*Fabric, map[cloud.SiteID]*memcache.HACache) {
+	topo := cloud.Azure4DC()
+	lat := latency.New(topo, latency.WithSeed(4), latency.WithSleeper(func(time.Duration) {}))
+	pairs := make(map[cloud.SiteID]*memcache.HACache)
+	fabric := NewFabric(topo, lat, WithCacheFactory(func(site cloud.SiteID) registry.Store {
+		ha := memcache.NewHA(func() *memcache.Cache { return memcache.New(memcache.Config{}) })
+		pairs[site] = ha
+		return ha
+	}))
+	return fabric, pairs
+}
+
+func TestCentralizedSurvivesPrimaryCacheFailure(t *testing.T) {
+	fabric, pairs := newHAFabric()
+	svc, err := NewCentralized(fabric, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	for i := 0; i < 50; i++ {
+		if _, err := svc.Create(cloud.SiteID(i%4), testEntry(fmt.Sprintf("pre-%d", i), cloud.SiteID(i%4))); err != nil {
+			t.Fatalf("Create before failover: %v", err)
+		}
+	}
+	// The central site's primary cache dies; the replica takes over.
+	pairs[0].FailPrimary()
+
+	for i := 0; i < 50; i++ {
+		if _, err := svc.Lookup(cloud.SiteID(i%4), fmt.Sprintf("pre-%d", i)); err != nil {
+			t.Errorf("entry pre-%d lost in failover: %v", i, err)
+		}
+	}
+	// The service keeps accepting new entries after the failover.
+	if _, err := svc.Create(1, testEntry("post-failover", 1)); err != nil {
+		t.Errorf("Create after failover: %v", err)
+	}
+}
+
+func TestDecReplicatedFailoverUnderConcurrentLoad(t *testing.T) {
+	fabric, pairs := newHAFabric()
+	svc, err := NewDecReplicated(fabric, WithEagerPropagation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	const perWorker = 40
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8*perWorker)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			site := cloud.SiteID(w % 4)
+			for i := 0; i < perWorker; i++ {
+				name := fmt.Sprintf("ha-load/w%d/f%d", w, i)
+				if _, err := svc.Create(site, testEntry(name, site)); err != nil {
+					errCh <- fmt.Errorf("create %s: %w", name, err)
+					return
+				}
+				if _, err := svc.Lookup(site, name); err != nil {
+					errCh <- fmt.Errorf("lookup %s: %w", name, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Fail two primaries while the load is running.
+	pairs[1].FailPrimary()
+	pairs[3].FailPrimary()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if pairs[1].Failures() != 1 || pairs[3].Failures() != 1 {
+		t.Error("failovers not recorded")
+	}
+}
+
+func TestDecentralizedSiteDepartureWithRingPlacer(t *testing.T) {
+	f := newTestFabric()
+	ring := dht.NewRingPlacer(f.Sites(), 64)
+	svc, err := NewDecentralized(f, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// Publish a namespace, remembering each entry's home.
+	const entries = 200
+	homes := make(map[string]cloud.SiteID, entries)
+	for i := 0; i < entries; i++ {
+		name := fmt.Sprintf("elastic/file-%04d", i)
+		if _, err := svc.Create(cloud.SiteID(i%4), testEntry(name, cloud.SiteID(i%4))); err != nil {
+			t.Fatal(err)
+		}
+		homes[name] = svc.Home(name)
+	}
+
+	// Site 3 is decommissioned: it leaves the placement ring. New operations
+	// must avoid it, and entries homed elsewhere remain readable.
+	ring.Remove(3)
+	reachable, lost := 0, 0
+	for name, home := range homes {
+		if svc.Home(name) == 3 {
+			t.Errorf("%s still placed on the departed site", name)
+		}
+		_, err := svc.Lookup(0, name)
+		switch {
+		case err == nil:
+			reachable++
+		case home == 3 && errors.Is(err, ErrNotFound):
+			// Entries whose only copy lived on the departed site are lost
+			// until re-published — the migration cost §VIII discusses.
+			lost++
+		default:
+			t.Errorf("lookup %s: %v", name, err)
+		}
+	}
+	if reachable == 0 {
+		t.Fatal("no entry survived the departure")
+	}
+	// Consistent hashing keeps the damage proportional to the departed
+	// site's share (~1/4), far below a full reshuffle.
+	if lost > entries/2 {
+		t.Errorf("%d of %d entries lost; consistent hashing should bound the loss near 25%%", lost, entries)
+	}
+	// New entries keep working and never land on the departed site.
+	for i := 0; i < 40; i++ {
+		name := fmt.Sprintf("elastic/new-%04d", i)
+		if _, err := svc.Create(0, testEntry(name, 0)); err != nil {
+			t.Fatalf("create after departure: %v", err)
+		}
+		if svc.Home(name) == 3 {
+			t.Errorf("%s placed on the departed site", name)
+		}
+	}
+}
+
+func TestDecentralizedSiteArrivalMovesFewPlacements(t *testing.T) {
+	// A new datacenter joins a ring-placed deployment: only a bounded share
+	// of names change home (the elasticity argument for consistent hashing).
+	names := make([]string, 2000)
+	for i := range names {
+		names[i] = fmt.Sprintf("arrival/file-%05d", i)
+	}
+	before := dht.NewRingPlacer([]cloud.SiteID{0, 1, 2}, 64)
+	after := dht.NewRingPlacer([]cloud.SiteID{0, 1, 2}, 64)
+	after.Add(3)
+	moved, frac := dht.Moved(before, after, names)
+	if moved == 0 {
+		t.Error("adding a site should move some placements")
+	}
+	if frac > 0.5 {
+		t.Errorf("site arrival moved %.0f%% of placements; want a bounded share", frac*100)
+	}
+}
+
+func TestReplicatedAgentSiteFailureIsIsolated(t *testing.T) {
+	// Stopping the cache behind a non-agent site must not wedge the agent:
+	// sync rounds keep propagating between the surviving sites.
+	topo := cloud.Azure4DC()
+	lat := latency.New(topo, latency.WithSeed(6), latency.WithSleeper(func(time.Duration) {}))
+	caches := make(map[cloud.SiteID]*memcache.Cache)
+	fabric := NewFabric(topo, lat, WithCacheFactory(func(site cloud.SiteID) registry.Store {
+		c := memcache.New(memcache.Config{})
+		caches[site] = c
+		return c
+	}))
+	svc, err := NewReplicated(fabric, 0, WithSyncInterval(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	if _, err := svc.Create(1, testEntry("before-crash", 1)); err != nil {
+		t.Fatal(err)
+	}
+	caches[3].Stop() // site 3's registry dies
+	if err := svc.Flush(); err != nil {
+		t.Fatalf("Flush with a dead site: %v", err)
+	}
+	// The entry still reached the surviving sites.
+	for _, site := range []cloud.SiteID{0, 1, 2} {
+		if _, err := svc.Lookup(site, "before-crash"); err != nil {
+			t.Errorf("entry missing at surviving site %d: %v", site, err)
+		}
+	}
+	// Operations against the dead site fail loudly rather than hanging.
+	if _, err := svc.Create(3, testEntry("at-dead-site", 3)); err == nil {
+		t.Error("creating at a stopped site should fail")
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"geomds/internal/cloud"
+	"geomds/internal/metrics"
+	"geomds/internal/registry"
+)
+
+// Propagator implements the lazy metadata update scheme of the paper
+// (§III-D): instead of eagerly updating remote replicas on every file
+// operation, updates for multiple files are batched and asynchronously
+// propagated to their destination sites. Writers therefore observe only the
+// local write latency, and the system converges to a consistent state
+// eventually.
+type Propagator struct {
+	fabric *Fabric
+	// flushInterval is the maximum simulated time an update may wait in a
+	// batch before being pushed.
+	flushInterval time.Duration
+	// maxBatch flushes a destination's batch once it reaches this many
+	// entries, even before the interval elapses.
+	maxBatch int
+
+	mu      sync.Mutex
+	batches map[destination][]registry.Entry
+	closed  bool
+
+	flushMu sync.Mutex // serializes flush rounds
+
+	stop chan struct{}
+	done chan struct{}
+
+	flushes    int64
+	propagated int64
+}
+
+// destination identifies one pending propagation stream: updates produced at
+// site From that must be applied to the registry instance at site To.
+type destination struct {
+	From cloud.SiteID
+	To   cloud.SiteID
+}
+
+// DefaultFlushInterval is the default lazy-propagation period (simulated).
+const DefaultFlushInterval = 500 * time.Millisecond
+
+// DefaultMaxBatch is the default number of entries that triggers an early
+// flush of one destination's batch.
+const DefaultMaxBatch = 64
+
+// NewPropagator starts a lazy-update propagator over the fabric. It runs
+// until Close.
+func NewPropagator(fabric *Fabric, flushInterval time.Duration, maxBatch int) *Propagator {
+	if flushInterval <= 0 {
+		flushInterval = DefaultFlushInterval
+	}
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	p := &Propagator{
+		fabric:        fabric,
+		flushInterval: flushInterval,
+		maxBatch:      maxBatch,
+		batches:       make(map[destination][]registry.Entry),
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
+	}
+	go p.loop()
+	return p
+}
+
+// Enqueue schedules the entry, produced at site from, for application at site
+// to. The call returns immediately; the transfer happens asynchronously.
+func (p *Propagator) Enqueue(from, to cloud.SiteID, e registry.Entry) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	d := destination{From: from, To: to}
+	p.batches[d] = append(p.batches[d], e)
+	full := len(p.batches[d]) >= p.maxBatch
+	p.mu.Unlock()
+	if full {
+		go p.FlushNow()
+	}
+}
+
+// Pending returns the number of entries waiting to be propagated.
+func (p *Propagator) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, b := range p.batches {
+		n += len(b)
+	}
+	return n
+}
+
+// Flushes returns how many flush rounds have been executed.
+func (p *Propagator) Flushes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushes
+}
+
+// Propagated returns how many entries have been applied to remote instances.
+func (p *Propagator) Propagated() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.propagated
+}
+
+// FlushNow pushes every pending batch to its destination synchronously.
+func (p *Propagator) FlushNow() {
+	p.flushMu.Lock()
+	defer p.flushMu.Unlock()
+
+	p.mu.Lock()
+	batches := p.batches
+	p.batches = make(map[destination][]registry.Entry)
+	p.mu.Unlock()
+
+	var applied int64
+	for d, entries := range batches {
+		if len(entries) == 0 {
+			continue
+		}
+		inst, err := p.fabric.Instance(d.To)
+		if err != nil {
+			continue
+		}
+		start := time.Now()
+		batchBytes := 0
+		for _, e := range entries {
+			batchBytes += p.fabric.EntrySize(e)
+		}
+		p.fabric.call(d.From, d.To, batchBytes, p.fabric.ackBytes)
+		n, _ := inst.Merge(entries)
+		applied += int64(n)
+		p.fabric.record(metrics.OpSync, start, p.fabric.Topology().DistanceClass(d.From, d.To).Remote())
+	}
+
+	p.mu.Lock()
+	p.flushes++
+	p.propagated += applied
+	p.mu.Unlock()
+}
+
+// Close flushes any pending batches and stops the propagator.
+func (p *Propagator) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.stop)
+	<-p.done
+	p.FlushNow()
+}
+
+func (p *Propagator) loop() {
+	defer close(p.done)
+	wallInterval := p.fabric.Latency().ToWall(p.flushInterval)
+	if wallInterval <= 0 {
+		wallInterval = time.Millisecond
+	}
+	timer := time.NewTimer(wallInterval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-timer.C:
+			p.FlushNow()
+			timer.Reset(wallInterval)
+		}
+	}
+}

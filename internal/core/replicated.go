@@ -1,0 +1,362 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"geomds/internal/cloud"
+	"geomds/internal/metrics"
+	"geomds/internal/registry"
+)
+
+// DefaultSyncInterval is the period between synchronization-agent rounds, in
+// simulated time.
+const DefaultSyncInterval = 2 * time.Second
+
+// ReplicatedService implements the "replicated on each site" strategy (paper
+// §IV-B): a local metadata registry instance is placed in every datacenter so
+// that every node performs its metadata operations locally; a single
+// synchronization agent iteratively queries all registry instances for
+// updates and propagates them to the rest of the set.
+//
+// Local operations are fast, but the information only becomes globally
+// visible after the agent's next round, and the single sequential agent is a
+// potential bottleneck for metadata-intensive workloads (the degradation
+// beyond 32 nodes visible in Figs. 7 and 8).
+type ReplicatedService struct {
+	fabric    *Fabric
+	agentSite cloud.SiteID
+	interval  time.Duration
+
+	mu             sync.Mutex
+	pendingCreates map[cloud.SiteID][]string
+	pendingDeletes map[cloud.SiteID][]string
+	closed         bool
+
+	// syncMu serializes synchronization rounds (background loop vs Flush).
+	syncMu sync.Mutex
+
+	stop chan struct{}
+	done chan struct{}
+
+	rounds          int64
+	entriesSynced   int64
+	entriesObserved int64
+}
+
+// ReplicatedOption configures a ReplicatedService.
+type ReplicatedOption func(*ReplicatedService)
+
+// WithSyncInterval sets the period between agent rounds (simulated time).
+func WithSyncInterval(d time.Duration) ReplicatedOption {
+	return func(s *ReplicatedService) {
+		if d > 0 {
+			s.interval = d
+		}
+	}
+}
+
+// NewReplicated builds the replicated strategy with the synchronization agent
+// hosted in the given datacenter. The agent starts immediately and runs until
+// Close.
+func NewReplicated(fabric *Fabric, agentSite cloud.SiteID, opts ...ReplicatedOption) (*ReplicatedService, error) {
+	if !fabric.HasSite(agentSite) {
+		return nil, fmt.Errorf("replicated: agent site: %w", ErrNoSuchSite)
+	}
+	s := &ReplicatedService{
+		fabric:         fabric,
+		agentSite:      agentSite,
+		interval:       DefaultSyncInterval,
+		pendingCreates: make(map[cloud.SiteID][]string),
+		pendingDeletes: make(map[cloud.SiteID][]string),
+		stop:           make(chan struct{}),
+		done:           make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	go s.agentLoop()
+	return s, nil
+}
+
+// Kind implements MetadataService.
+func (s *ReplicatedService) Kind() StrategyKind { return Replicated }
+
+// AgentSite returns the datacenter hosting the synchronization agent.
+func (s *ReplicatedService) AgentSite() cloud.SiteID { return s.agentSite }
+
+// SyncRounds returns how many synchronization rounds the agent has completed.
+func (s *ReplicatedService) SyncRounds() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rounds
+}
+
+// EntriesSynced returns how many entry applications the agent has pushed to
+// remote instances in total.
+func (s *ReplicatedService) EntriesSynced() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.entriesSynced
+}
+
+func (s *ReplicatedService) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *ReplicatedService) localInstance(from cloud.SiteID) (registry.API, error) {
+	return s.fabric.Instance(from)
+}
+
+// Create implements MetadataService: the entry is created in the caller's
+// local registry instance and queued for propagation by the agent.
+func (s *ReplicatedService) Create(from cloud.SiteID, e registry.Entry) (registry.Entry, error) {
+	if s.isClosed() {
+		return registry.Entry{}, ErrClosed
+	}
+	inst, err := s.localInstance(from)
+	if err != nil {
+		return registry.Entry{}, err
+	}
+	start := time.Now()
+	// One intra-datacenter round trip; the registry instance performs the
+	// look-up (existence check) and the write server-side.
+	s.fabric.call(from, from, s.fabric.EntrySize(e), s.fabric.ackBytes)
+	stored, err := inst.Create(e)
+	if err == nil {
+		s.mu.Lock()
+		s.pendingCreates[from] = append(s.pendingCreates[from], e.Name)
+		s.mu.Unlock()
+	}
+	s.fabric.record(metrics.OpWrite, start, false)
+	return stored, err
+}
+
+// Lookup implements MetadataService: only the caller's local instance is
+// consulted. Entries created at other sites become visible after the agent's
+// next round (eventual consistency).
+func (s *ReplicatedService) Lookup(from cloud.SiteID, name string) (registry.Entry, error) {
+	if s.isClosed() {
+		return registry.Entry{}, ErrClosed
+	}
+	inst, err := s.localInstance(from)
+	if err != nil {
+		return registry.Entry{}, err
+	}
+	start := time.Now()
+	e, err := inst.Get(name)
+	respBytes := s.fabric.ackBytes
+	if err == nil {
+		respBytes = s.fabric.EntrySize(e)
+	}
+	s.fabric.call(from, from, s.fabric.queryBytes, respBytes)
+	s.fabric.record(metrics.OpRead, start, false)
+	return e, err
+}
+
+// AddLocation implements MetadataService: the update is applied locally and
+// queued for propagation.
+func (s *ReplicatedService) AddLocation(from cloud.SiteID, name string, loc registry.Location) (registry.Entry, error) {
+	if s.isClosed() {
+		return registry.Entry{}, ErrClosed
+	}
+	inst, err := s.localInstance(from)
+	if err != nil {
+		return registry.Entry{}, err
+	}
+	start := time.Now()
+	s.fabric.call(from, from, s.fabric.queryBytes, s.fabric.ackBytes)
+	e, err := inst.AddLocation(name, loc)
+	if err == nil {
+		s.mu.Lock()
+		s.pendingCreates[from] = append(s.pendingCreates[from], name)
+		s.mu.Unlock()
+	}
+	s.fabric.record(metrics.OpUpdate, start, false)
+	return e, err
+}
+
+// Delete implements MetadataService: the entry is removed locally and the
+// deletion is propagated by the agent.
+func (s *ReplicatedService) Delete(from cloud.SiteID, name string) error {
+	if s.isClosed() {
+		return ErrClosed
+	}
+	inst, err := s.localInstance(from)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	s.fabric.call(from, from, s.fabric.queryBytes, s.fabric.ackBytes)
+	err = inst.Delete(name)
+	if err == nil {
+		s.mu.Lock()
+		s.pendingDeletes[from] = append(s.pendingDeletes[from], name)
+		s.mu.Unlock()
+	}
+	s.fabric.record(metrics.OpDelete, start, false)
+	return err
+}
+
+// Flush runs one synchronization round immediately and returns when every
+// instance has been updated.
+func (s *ReplicatedService) Flush() error {
+	if s.isClosed() {
+		return ErrClosed
+	}
+	s.syncRound()
+	return nil
+}
+
+// Close stops the synchronization agent. Pending updates that have not been
+// propagated yet are dropped; call Flush first to push them.
+func (s *ReplicatedService) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	<-s.done
+	return nil
+}
+
+// agentLoop runs synchronization rounds until the service is closed.
+func (s *ReplicatedService) agentLoop() {
+	defer close(s.done)
+	wallInterval := s.fabric.Latency().ToWall(s.interval)
+	if wallInterval <= 0 {
+		wallInterval = time.Millisecond
+	}
+	timer := time.NewTimer(wallInterval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-timer.C:
+			s.syncRound()
+			timer.Reset(wallInterval)
+		}
+	}
+}
+
+// syncRound implements one iteration of the synchronization agent: it
+// sequentially queries every registry instance for updates, then propagates
+// the merged set of updates to every other instance (paper §IV-B and §V).
+func (s *ReplicatedService) syncRound() {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+
+	// Drain the pending queues.
+	s.mu.Lock()
+	creates := s.pendingCreates
+	deletes := s.pendingDeletes
+	s.pendingCreates = make(map[cloud.SiteID][]string)
+	s.pendingDeletes = make(map[cloud.SiteID][]string)
+	s.mu.Unlock()
+
+	type siteBatch struct {
+		site    cloud.SiteID
+		entries []registry.Entry
+	}
+	var pulled []siteBatch
+	totalEntries := 0
+
+	// Pull phase: the agent queries each instance that reported updates.
+	for _, site := range s.fabric.Sites() {
+		names := dedupe(creates[site])
+		if len(names) == 0 {
+			continue
+		}
+		inst, err := s.fabric.Instance(site)
+		if err != nil {
+			continue
+		}
+		start := time.Now()
+		// Bulk pull: one request returns every updated entry of the site
+		// (entries deleted in the meantime are simply absent).
+		batch, err := inst.GetMany(names)
+		if err != nil {
+			continue
+		}
+		batchBytes := 0
+		for _, e := range batch {
+			batchBytes += s.fabric.EntrySize(e)
+		}
+		s.fabric.call(s.agentSite, site, s.fabric.queryBytes, batchBytes)
+		s.fabric.record(metrics.OpSync, start, s.fabric.Topology().DistanceClass(s.agentSite, site).Remote())
+		if len(batch) > 0 {
+			pulled = append(pulled, siteBatch{site: site, entries: batch})
+			totalEntries += len(batch)
+		}
+	}
+
+	// Merge all pulled batches into one update set.
+	var all []registry.Entry
+	allBytes := 0
+	for _, b := range pulled {
+		all = append(all, b.entries...)
+	}
+	for _, e := range all {
+		allBytes += s.fabric.EntrySize(e)
+	}
+	allDeletes := make([]string, 0)
+	for _, names := range deletes {
+		allDeletes = append(allDeletes, dedupe(names)...)
+	}
+
+	if len(all) == 0 && len(allDeletes) == 0 {
+		s.mu.Lock()
+		s.rounds++
+		s.mu.Unlock()
+		return
+	}
+
+	// Push phase: propagate the merged set to every instance.
+	var synced int64
+	for _, site := range s.fabric.Sites() {
+		inst, err := s.fabric.Instance(site)
+		if err != nil {
+			continue
+		}
+		start := time.Now()
+		s.fabric.call(s.agentSite, site, allBytes+len(allDeletes)*s.fabric.queryBytes, s.fabric.ackBytes)
+		applied, _ := inst.Merge(all)
+		for _, name := range allDeletes {
+			if err := inst.Delete(name); err == nil || !errors.Is(err, registry.ErrNotFound) {
+				applied++
+			}
+		}
+		synced += int64(applied)
+		s.fabric.record(metrics.OpSync, start, s.fabric.Topology().DistanceClass(s.agentSite, site).Remote())
+	}
+
+	s.mu.Lock()
+	s.rounds++
+	s.entriesSynced += synced
+	s.entriesObserved += int64(totalEntries)
+	s.mu.Unlock()
+}
+
+// dedupe returns the unique strings of the input, preserving first-seen order.
+func dedupe(in []string) []string {
+	if len(in) <= 1 {
+		return in
+	}
+	seen := make(map[string]bool, len(in))
+	out := in[:0:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+// Package dht provides the hashing machinery that maps metadata entries to
+// datacenters in the decentralized strategies of the paper.
+//
+// Every time a new entry is written to the metadata registry, a hash function
+// is applied to a distinctive attribute of the entry (the file name) to
+// determine the site where the entry should be stored; the same procedure
+// locates the entry on reads (paper §IV-C). Two placers are provided:
+//
+//   - ModuloPlacer: hash(name) mod nSites — the flat scheme the paper uses;
+//   - RingPlacer: a consistent-hash ring with virtual nodes, which minimizes
+//     entry migration when sites join or leave (the "server volatility"
+//     problem discussed in §VIII).
+//
+// Both satisfy the Placer interface so the strategies can be ablated against
+// either scheme (see BenchmarkAblationHashingChurn).
+package dht
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"geomds/internal/cloud"
+)
+
+// Placer maps metadata keys to the site responsible for storing them.
+type Placer interface {
+	// Home returns the site responsible for the given key.
+	Home(key string) cloud.SiteID
+	// Sites returns the sites currently participating in placement.
+	Sites() []cloud.SiteID
+}
+
+// DynamicPlacer is a Placer whose membership can change at run time
+// (datacenters joining or leaving the deployment).
+type DynamicPlacer interface {
+	Placer
+	// Add registers a site as a placement target.
+	Add(site cloud.SiteID)
+	// Remove withdraws a site from placement.
+	Remove(site cloud.SiteID)
+}
+
+// Hash64 returns the FNV-1a 64-bit hash of the key. All placers derive their
+// decisions from this value so that placements are stable across processes.
+func Hash64(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// ModuloPlacer assigns a key to sites[hash(key) mod len(sites)]. This is the
+// scheme described in the paper: simple, uniform, but every membership change
+// remaps almost all keys.
+type ModuloPlacer struct {
+	mu    sync.RWMutex
+	sites []cloud.SiteID
+}
+
+// NewModuloPlacer returns a placer over the given sites. The site order is
+// normalized (sorted) so that independent processes agree on placements.
+func NewModuloPlacer(sites []cloud.SiteID) *ModuloPlacer {
+	p := &ModuloPlacer{}
+	for _, s := range sites {
+		p.Add(s)
+	}
+	return p
+}
+
+// Home implements Placer.
+func (p *ModuloPlacer) Home(key string) cloud.SiteID {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if len(p.sites) == 0 {
+		return cloud.NoSite
+	}
+	return p.sites[Hash64(key)%uint64(len(p.sites))]
+}
+
+// Sites implements Placer.
+func (p *ModuloPlacer) Sites() []cloud.SiteID {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]cloud.SiteID, len(p.sites))
+	copy(out, p.sites)
+	return out
+}
+
+// Add implements DynamicPlacer. Adding a site twice is a no-op.
+func (p *ModuloPlacer) Add(site cloud.SiteID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.sites {
+		if s == site {
+			return
+		}
+	}
+	p.sites = append(p.sites, site)
+	sort.Slice(p.sites, func(i, j int) bool { return p.sites[i] < p.sites[j] })
+}
+
+// Remove implements DynamicPlacer. Removing an absent site is a no-op.
+func (p *ModuloPlacer) Remove(site cloud.SiteID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, s := range p.sites {
+		if s == site {
+			p.sites = append(p.sites[:i], p.sites[i+1:]...)
+			return
+		}
+	}
+}
+
+// RingPlacer is a consistent-hash ring: each site owns a configurable number
+// of virtual nodes on a 64-bit ring and a key belongs to the first virtual
+// node at or after its hash. Membership changes only remap the keys owned by
+// the affected site.
+type RingPlacer struct {
+	mu       sync.RWMutex
+	replicas int
+	ring     []ringPoint
+	members  map[cloud.SiteID]bool
+}
+
+type ringPoint struct {
+	hash uint64
+	site cloud.SiteID
+}
+
+// DefaultVirtualNodes is the number of virtual nodes per site used when the
+// caller passes a non-positive count.
+const DefaultVirtualNodes = 128
+
+// NewRingPlacer returns a consistent-hash placer over the given sites with
+// virtualNodes points per site (DefaultVirtualNodes when <= 0).
+func NewRingPlacer(sites []cloud.SiteID, virtualNodes int) *RingPlacer {
+	if virtualNodes <= 0 {
+		virtualNodes = DefaultVirtualNodes
+	}
+	p := &RingPlacer{replicas: virtualNodes, members: make(map[cloud.SiteID]bool)}
+	for _, s := range sites {
+		p.Add(s)
+	}
+	return p
+}
+
+// Home implements Placer.
+func (p *RingPlacer) Home(key string) cloud.SiteID {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if len(p.ring) == 0 {
+		return cloud.NoSite
+	}
+	h := Hash64(key)
+	i := sort.Search(len(p.ring), func(i int) bool { return p.ring[i].hash >= h })
+	if i == len(p.ring) {
+		i = 0
+	}
+	return p.ring[i].site
+}
+
+// Sites implements Placer.
+func (p *RingPlacer) Sites() []cloud.SiteID {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]cloud.SiteID, 0, len(p.members))
+	for s := range p.members {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Add implements DynamicPlacer.
+func (p *RingPlacer) Add(site cloud.SiteID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.members[site] {
+		return
+	}
+	p.members[site] = true
+	for v := 0; v < p.replicas; v++ {
+		h := mix64(Hash64(fmt.Sprintf("site-%d#%d", site, v)))
+		p.ring = append(p.ring, ringPoint{hash: h, site: site})
+	}
+	sort.Slice(p.ring, func(i, j int) bool { return p.ring[i].hash < p.ring[j].hash })
+}
+
+// Remove implements DynamicPlacer.
+func (p *RingPlacer) Remove(site cloud.SiteID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.members[site] {
+		return
+	}
+	delete(p.members, site)
+	kept := p.ring[:0]
+	for _, pt := range p.ring {
+		if pt.site != site {
+			kept = append(kept, pt)
+		}
+	}
+	p.ring = kept
+}
+
+// mix64 is a SplitMix64-style finalizer that scatters the virtual-node
+// labels (which are short, similar strings) evenly across the 64-bit ring.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Distribution counts, for a sample of keys, how many each site would own
+// under the given placer. It is used to verify placement uniformity.
+func Distribution(p Placer, keys []string) map[cloud.SiteID]int {
+	out := make(map[cloud.SiteID]int)
+	for _, k := range keys {
+		out[p.Home(k)]++
+	}
+	return out
+}
+
+// Moved counts how many of the sample keys change homes between two placers
+// (e.g. before and after a membership change). The returned fraction is in
+// [0, 1]; 0 means no key moved.
+func Moved(before, after Placer, keys []string) (count int, fraction float64) {
+	if len(keys) == 0 {
+		return 0, 0
+	}
+	for _, k := range keys {
+		if before.Home(k) != after.Home(k) {
+			count++
+		}
+	}
+	return count, float64(count) / float64(len(keys))
+}

@@ -1,0 +1,212 @@
+package dht
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"geomds/internal/cloud"
+)
+
+func sites(n int) []cloud.SiteID {
+	out := make([]cloud.SiteID, n)
+	for i := range out {
+		out[i] = cloud.SiteID(i)
+	}
+	return out
+}
+
+func sampleKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("file-%06d.fits", i)
+	}
+	return keys
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64("montage/p1.fits") != Hash64("montage/p1.fits") {
+		t.Error("Hash64 must be deterministic")
+	}
+	if Hash64("a") == Hash64("b") {
+		t.Error("different keys should (almost surely) hash differently")
+	}
+}
+
+func TestModuloPlacerEmpty(t *testing.T) {
+	p := NewModuloPlacer(nil)
+	if got := p.Home("k"); got != cloud.NoSite {
+		t.Errorf("Home on empty placer = %v, want NoSite", got)
+	}
+	if len(p.Sites()) != 0 {
+		t.Error("Sites should be empty")
+	}
+}
+
+func TestModuloPlacerStability(t *testing.T) {
+	// Two placers constructed with the same membership in different orders
+	// must agree on every placement.
+	a := NewModuloPlacer([]cloud.SiteID{2, 0, 3, 1})
+	b := NewModuloPlacer([]cloud.SiteID{0, 1, 2, 3})
+	for _, k := range sampleKeys(500) {
+		if a.Home(k) != b.Home(k) {
+			t.Fatalf("placers disagree on %q", k)
+		}
+	}
+}
+
+func TestModuloPlacerAddRemove(t *testing.T) {
+	p := NewModuloPlacer(sites(4))
+	p.Add(2) // duplicate add is a no-op
+	if len(p.Sites()) != 4 {
+		t.Fatalf("Sites = %v, want 4 entries", p.Sites())
+	}
+	p.Remove(2)
+	if len(p.Sites()) != 3 {
+		t.Fatalf("Sites after remove = %v", p.Sites())
+	}
+	for _, k := range sampleKeys(200) {
+		if p.Home(k) == 2 {
+			t.Fatalf("key %q still placed on removed site", k)
+		}
+	}
+	p.Remove(99) // absent: no-op
+	if len(p.Sites()) != 3 {
+		t.Error("removing an absent site changed membership")
+	}
+}
+
+func TestModuloPlacerUniformity(t *testing.T) {
+	p := NewModuloPlacer(sites(4))
+	keys := sampleKeys(8000)
+	dist := Distribution(p, keys)
+	for s, n := range dist {
+		if n < 1600 || n > 2400 {
+			t.Errorf("site %d owns %d of 8000 keys; want roughly 2000 (+/-20%%)", s, n)
+		}
+	}
+}
+
+func TestRingPlacerEmpty(t *testing.T) {
+	p := NewRingPlacer(nil, 16)
+	if got := p.Home("k"); got != cloud.NoSite {
+		t.Errorf("Home on empty ring = %v, want NoSite", got)
+	}
+}
+
+func TestRingPlacerMembership(t *testing.T) {
+	p := NewRingPlacer(sites(4), 64)
+	got := p.Sites()
+	if len(got) != 4 {
+		t.Fatalf("Sites = %v", got)
+	}
+	p.Add(1) // duplicate
+	if len(p.Sites()) != 4 {
+		t.Error("duplicate add changed membership")
+	}
+	p.Remove(3)
+	if len(p.Sites()) != 3 {
+		t.Error("remove failed")
+	}
+	for _, k := range sampleKeys(500) {
+		if p.Home(k) == 3 {
+			t.Fatalf("key %q still on removed site", k)
+		}
+	}
+	p.Remove(3) // absent: no-op
+}
+
+func TestRingPlacerDefaultVirtualNodes(t *testing.T) {
+	p := NewRingPlacer(sites(2), 0)
+	if p.replicas != DefaultVirtualNodes {
+		t.Errorf("replicas = %d, want %d", p.replicas, DefaultVirtualNodes)
+	}
+}
+
+func TestRingPlacerUniformity(t *testing.T) {
+	p := NewRingPlacer(sites(4), 256)
+	keys := sampleKeys(8000)
+	dist := Distribution(p, keys)
+	for s, n := range dist {
+		if n < 1200 || n > 2800 {
+			t.Errorf("site %d owns %d of 8000 keys; want roughly 2000 (+/-40%%)", s, n)
+		}
+	}
+}
+
+func TestRingChurnMovesFewKeys(t *testing.T) {
+	keys := sampleKeys(5000)
+	before := NewRingPlacer(sites(4), 128)
+	after := NewRingPlacer(sites(4), 128)
+	after.Add(4) // one site joins
+	_, frac := Moved(before, after, keys)
+	// Consistent hashing should move about 1/5 of the keys; far less than the
+	// near-total remapping of modulo hashing.
+	if frac > 0.35 {
+		t.Errorf("ring churn moved %.0f%% of keys, want <= 35%%", frac*100)
+	}
+
+	modBefore := NewModuloPlacer(sites(4))
+	modAfter := NewModuloPlacer(sites(5))
+	_, modFrac := Moved(modBefore, modAfter, keys)
+	if modFrac <= frac {
+		t.Errorf("modulo churn (%.2f) should exceed ring churn (%.2f)", modFrac, frac)
+	}
+}
+
+func TestMovedEmptyKeys(t *testing.T) {
+	p := NewModuloPlacer(sites(2))
+	n, frac := Moved(p, p, nil)
+	if n != 0 || frac != 0 {
+		t.Error("Moved on empty keys should be zero")
+	}
+}
+
+func TestMovedIdenticalPlacers(t *testing.T) {
+	p := NewRingPlacer(sites(4), 64)
+	q := NewRingPlacer(sites(4), 64)
+	n, frac := Moved(p, q, sampleKeys(1000))
+	if n != 0 || frac != 0 {
+		t.Errorf("identical placers moved %d keys", n)
+	}
+}
+
+// Property: both placers always return a member site for any key when the
+// membership is non-empty, and the same key always maps to the same site.
+func TestPlacerTotalityProperty(t *testing.T) {
+	f := func(key string, nRaw uint8) bool {
+		n := int(nRaw%6) + 1
+		members := make(map[cloud.SiteID]bool)
+		for _, s := range sites(n) {
+			members[s] = true
+		}
+		mod := NewModuloPlacer(sites(n))
+		ring := NewRingPlacer(sites(n), 32)
+		hm1, hm2 := mod.Home(key), mod.Home(key)
+		hr1, hr2 := ring.Home(key), ring.Home(key)
+		return hm1 == hm2 && hr1 == hr2 && members[hm1] && members[hr1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: removing a site never leaves placements pointing at it.
+func TestRemovePlacementProperty(t *testing.T) {
+	f := func(keys []string, removeRaw uint8) bool {
+		remove := cloud.SiteID(removeRaw % 4)
+		mod := NewModuloPlacer(sites(4))
+		ring := NewRingPlacer(sites(4), 32)
+		mod.Remove(remove)
+		ring.Remove(remove)
+		for _, k := range keys {
+			if mod.Home(k) == remove || ring.Home(k) == remove {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

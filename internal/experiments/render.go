@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"geomds/internal/core"
+)
+
+// This file renders experiment results as plain-text tables (for the CLI) and
+// CSV series (for plotting), matching the rows and series of the paper's
+// figures.
+
+func seconds(d time.Duration) string {
+	return fmt.Sprintf("%.1f", d.Seconds())
+}
+
+// Render formats Fig. 1 as a table of seconds per registry placement.
+func (r Figure1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1 — time (s) to post files from West Europe by registry placement\n")
+	fmt.Fprintf(&b, "%10s %14s %14s %14s\n", "files", "local", "same-region", "geo-distant")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%10d %14s %14s %14s\n", row.Files, seconds(row.Local), seconds(row.SameRegion), seconds(row.GeoDistant))
+	}
+	return b.String()
+}
+
+// CSV renders Fig. 1 as comma-separated rows.
+func (r Figure1Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("files,local_s,same_region_s,geo_distant_s\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%d,%.3f,%.3f,%.3f\n", row.Files, row.Local.Seconds(), row.SameRegion.Seconds(), row.GeoDistant.Seconds())
+	}
+	return b.String()
+}
+
+// Render formats Fig. 5 as a strategy x ops-per-node table of mean node
+// execution times.
+func (r Figure5Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5 — average node execution time (s), %d nodes\n", r.Nodes)
+	fmt.Fprintf(&b, "%-22s", "strategy \\ ops/node")
+	for _, ops := range Figure5OpCounts {
+		fmt.Fprintf(&b, "%12d", ops)
+	}
+	b.WriteString("\n")
+	for _, kind := range core.Strategies {
+		fmt.Fprintf(&b, "%-22s", kind.String())
+		for _, ops := range Figure5OpCounts {
+			if cell, ok := r.Cell(kind, ops); ok {
+				fmt.Fprintf(&b, "%12s", seconds(cell.MeanNodeTime))
+			} else {
+				fmt.Fprintf(&b, "%12s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-22s", "aggregate ops (x1000)")
+	for _, ops := range Figure5OpCounts {
+		if cell, ok := r.Cell(core.Centralized, ops); ok {
+			fmt.Fprintf(&b, "%12d", cell.TotalOps/1000)
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// CSV renders Fig. 5 as comma-separated rows.
+func (r Figure5Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("strategy,ops_per_node,mean_node_time_s,makespan_s,total_ops\n")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%s,%d,%.3f,%.3f,%d\n", c.Strategy, c.OpsPerNode, c.MeanNodeTime.Seconds(), c.Makespan.Seconds(), c.TotalOps)
+	}
+	return b.String()
+}
+
+// Render formats Fig. 6 as one progress column per strategy.
+func (r Figure6Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6 — time (s) to reach %% of %d ops/node on %d nodes\n", r.OpsPerNode, r.Nodes)
+	fmt.Fprintf(&b, "%6s", "%done")
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "%22s", s.Strategy.String())
+	}
+	b.WriteString("\n")
+	for i, pct := range Figure6Percentages {
+		fmt.Fprintf(&b, "%6.0f", pct)
+		for _, s := range r.Series {
+			fmt.Fprintf(&b, "%22s", seconds(s.Points[i].At))
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "DR vs DN speedup in the 20-70%% band: %.2fx\n", r.MidBandSpeedup)
+	return b.String()
+}
+
+// CSV renders Fig. 6 as comma-separated rows.
+func (r Figure6Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("strategy,percent,seconds\n")
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%s,%.0f,%.3f\n", s.Strategy, p.Percent, p.At.Seconds())
+		}
+	}
+	return b.String()
+}
+
+// Render formats Fig. 7 as a strategy x node-count table of throughput.
+func (r Figure7Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7 — metadata throughput (ops/s), %d ops/node\n", r.OpsPerNode)
+	fmt.Fprintf(&b, "%-22s", "strategy \\ nodes")
+	for _, n := range ScalingNodeCounts {
+		fmt.Fprintf(&b, "%10d", n)
+	}
+	b.WriteString("\n")
+	for _, kind := range core.Strategies {
+		fmt.Fprintf(&b, "%-22s", kind.String())
+		for _, n := range ScalingNodeCounts {
+			if p, ok := r.Point(kind, n); ok {
+				fmt.Fprintf(&b, "%10.0f", p.Throughput)
+			} else {
+				fmt.Fprintf(&b, "%10s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV renders Fig. 7 as comma-separated rows.
+func (r Figure7Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("strategy,nodes,throughput_ops_per_s\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%s,%d,%.1f\n", p.Strategy, p.Nodes, p.Throughput)
+	}
+	return b.String()
+}
+
+// Render formats Fig. 8 as a strategy x node-count table of completion times.
+func (r Figure8Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8 — completion time (s) of %d total operations\n", r.TotalOps)
+	fmt.Fprintf(&b, "%-22s", "strategy \\ nodes")
+	for _, n := range ScalingNodeCounts {
+		fmt.Fprintf(&b, "%10d", n)
+	}
+	b.WriteString("\n")
+	for _, kind := range core.Strategies {
+		fmt.Fprintf(&b, "%-22s", kind.String())
+		for _, n := range ScalingNodeCounts {
+			if p, ok := r.Point(kind, n); ok {
+				fmt.Fprintf(&b, "%10s", seconds(p.CompletionTime))
+			} else {
+				fmt.Fprintf(&b, "%10s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV renders Fig. 8 as comma-separated rows.
+func (r Figure8Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("strategy,nodes,completion_s\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%s,%d,%.3f\n", p.Strategy, p.Nodes, p.CompletionTime.Seconds())
+	}
+	return b.String()
+}
+
+// Render formats Fig. 9 as a table of DAG summaries.
+func (r Figure9Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 9 — real-life workflow shapes\n")
+	fmt.Fprintf(&b, "%-10s %8s %8s %10s %10s\n", "workflow", "jobs", "levels", "max-width", "files")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %8d %8d %10d %10d\n", row.Workflow, row.Jobs, row.Levels, row.MaxWidth, row.Files)
+	}
+	return b.String()
+}
+
+// Render formats Table I.
+func (r TableIResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Table I — settings for real-life workflow scenarios\n")
+	fmt.Fprintf(&b, "%-24s %12s %16s %16s %18s\n", "scenario", "ops/task", "compute/task", "total BuzzFlow", "total Montage")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-24s %12d %16s %16d %18d\n",
+			row.Scenario.Name, row.Scenario.OpsPerTask, row.Scenario.Compute, row.TotalOpsBuzz, row.TotalOpsMontage)
+	}
+	return b.String()
+}
+
+// Render formats Fig. 10 grouped by workflow and scenario.
+func (r Figure10Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10 — makespan (s) for real-life workflows on %d nodes\n", r.Nodes)
+	fmt.Fprintf(&b, "%-10s %-4s", "workflow", "scen")
+	for _, kind := range core.Strategies {
+		fmt.Fprintf(&b, "%22s", kind.String())
+	}
+	b.WriteString("\n")
+	seen := make(map[string]bool)
+	var groups []string
+	for _, c := range r.Cells {
+		key := c.Workflow + "|" + c.Scenario
+		if !seen[key] {
+			seen[key] = true
+			groups = append(groups, key)
+		}
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		parts := strings.SplitN(g, "|", 2)
+		fmt.Fprintf(&b, "%-10s %-4s", parts[0], parts[1])
+		for _, kind := range core.Strategies {
+			if c, ok := r.Cell(parts[0], parts[1], kind); ok {
+				fmt.Fprintf(&b, "%22s", seconds(c.Makespan))
+			} else {
+				fmt.Fprintf(&b, "%22s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV renders Fig. 10 as comma-separated rows.
+func (r Figure10Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("workflow,scenario,strategy,makespan_s,ops,retries\n")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%s,%s,%s,%.3f,%d,%d\n", c.Workflow, c.Scenario, c.Strategy, c.Makespan.Seconds(), c.Ops, c.Retries)
+	}
+	return b.String()
+}
+
+// Render formats the local-replica ablation.
+func (r AblationLocalReplicaResult) Render() string {
+	return fmt.Sprintf("Ablation: local replica read path\n"+
+		"  decentralized non-replicated mean read: %v\n"+
+		"  decentralized replicated mean read:     %v (local hit rate %.0f%%)\n"+
+		"  read speedup: %.2fx\n",
+		r.NonReplicatedMeanRead, r.ReplicatedMeanRead, r.LocalHitRate*100, r.Speedup)
+}
+
+// Render formats the lazy-vs-eager ablation.
+func (r AblationLazyVsEagerResult) Render() string {
+	return fmt.Sprintf("Ablation: lazy vs eager propagation (hybrid strategy)\n"+
+		"  lazy mean write:  %v\n  eager mean write: %v\n  writer-perceived speedup: %.2fx\n",
+		r.LazyMeanWrite, r.EagerMeanWrite, r.WriteSpeedup)
+}
+
+// Render formats the hashing-churn ablation.
+func (r AblationHashingChurnResult) Render() string {
+	return fmt.Sprintf("Ablation: placement churn when a 5th site joins (%d keys)\n"+
+		"  modulo hashing:     %d moved (%.0f%%)\n"+
+		"  consistent hashing: %d moved (%.0f%%)\n",
+		r.Keys, r.ModuloMoved, r.ModuloFraction*100, r.RingMoved, r.RingFraction*100)
+}
+
+// Render formats the capacity ablation.
+func (r AblationCapacityResult) Render() string {
+	return fmt.Sprintf("Ablation: registry capacity (service time %v)\n"+
+		"  centralized throughput:   %.0f ops/s\n  decentralized throughput: %.0f ops/s\n",
+		r.ServiceTime, r.CentralizedThroughput, r.DecentralizedThroughput)
+}
+
+// Render formats the scheduler ablation.
+func (r AblationSchedulerResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: task scheduling policies under %s\n", r.Strategy)
+	names := make([]string, 0, len(r.Makespan))
+	for name := range r.Makespan {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "  %-12s makespan %s s\n", name, seconds(r.Makespan[name]))
+	}
+	return b.String()
+}

@@ -1,0 +1,184 @@
+package latency
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"geomds/internal/cloud"
+)
+
+// recordingSleeper captures requested sleep durations instead of waiting.
+type recordingSleeper struct {
+	slept []time.Duration
+}
+
+func (r *recordingSleeper) sleep(d time.Duration) { r.slept = append(r.slept, d) }
+
+func newTestModel(opts ...Option) (*Model, *recordingSleeper) {
+	rec := &recordingSleeper{}
+	base := []Option{WithSeed(7), WithSleeper(rec.sleep)}
+	return New(cloud.Azure4DC(), append(base, opts...)...), rec
+}
+
+func TestOneWayHierarchy(t *testing.T) {
+	m, _ := newTestModel()
+	topo := m.Topology()
+	weu, _ := topo.SiteByName(cloud.SiteWestEU)
+	neu, _ := topo.SiteByName(cloud.SiteNorthEU)
+	scus, _ := topo.SiteByName(cloud.SiteSouthCentralUS)
+
+	local := m.OneWay(weu.ID, weu.ID, 0)
+	regional := m.OneWay(weu.ID, neu.ID, 0)
+	wan := m.OneWay(weu.ID, scus.ID, 0)
+	if !(local < regional && regional < wan) {
+		t.Errorf("latency hierarchy violated: local=%v regional=%v wan=%v", local, regional, wan)
+	}
+}
+
+func TestRoundTripAtLeastRTTMinusJitter(t *testing.T) {
+	m, _ := newTestModel()
+	topo := m.Topology()
+	weu, _ := topo.SiteByName(cloud.SiteWestEU)
+	eus, _ := topo.SiteByName(cloud.SiteEastUS)
+	link := topo.Link(weu.ID, eus.ID)
+	for i := 0; i < 100; i++ {
+		rt := m.RoundTrip(weu.ID, eus.ID, 0, 0)
+		if rt < link.RTT-link.Jitter || rt > link.RTT+link.Jitter {
+			t.Fatalf("round trip %v outside [RTT-jitter, RTT+jitter] = [%v, %v]", rt, link.RTT-link.Jitter, link.RTT+link.Jitter)
+		}
+	}
+}
+
+func TestBandwidthTermGrowsWithSize(t *testing.T) {
+	m, _ := newTestModel(WithSeed(3))
+	small := m.OneWay(0, 2, 1<<10)
+	large := m.OneWay(0, 2, 64<<20)
+	if large <= small {
+		t.Errorf("64MB transfer (%v) should take longer than 1KB (%v)", large, small)
+	}
+}
+
+func TestInjectAppliesScale(t *testing.T) {
+	m, rec := newTestModel(WithScale(0.5))
+	d := m.InjectRoundTrip(0, 2, 0, 0)
+	if len(rec.slept) != 1 {
+		t.Fatalf("expected 1 sleep, got %d", len(rec.slept))
+	}
+	want := time.Duration(float64(d) * 0.5)
+	got := rec.slept[0]
+	if got < want-time.Microsecond || got > want+time.Microsecond {
+		t.Errorf("slept %v, want about %v", got, want)
+	}
+}
+
+func TestInjectDuration(t *testing.T) {
+	m, rec := newTestModel(WithScale(0.1))
+	m.InjectDuration(10 * time.Second)
+	if len(rec.slept) != 1 {
+		t.Fatalf("expected 1 sleep, got %d", len(rec.slept))
+	}
+	if rec.slept[0] != time.Second {
+		t.Errorf("slept %v, want 1s", rec.slept[0])
+	}
+	m.InjectDuration(0)
+	m.InjectDuration(-time.Second)
+	if len(rec.slept) != 1 {
+		t.Error("non-positive durations should not sleep")
+	}
+}
+
+func TestToSimulatedRoundTripsToWall(t *testing.T) {
+	m, _ := newTestModel(WithScale(0.02))
+	sim := 500 * time.Second
+	wall := m.ToWall(sim)
+	back := m.ToSimulated(wall)
+	if back < sim-time.Millisecond || back > sim+time.Millisecond {
+		t.Errorf("ToSimulated(ToWall(%v)) = %v", sim, back)
+	}
+}
+
+func TestWithScaleRejectsNonPositive(t *testing.T) {
+	m, _ := newTestModel(WithScale(-3))
+	if m.Scale() != 1.0 {
+		t.Errorf("negative scale should be ignored, got %v", m.Scale())
+	}
+	m2, _ := newTestModel(WithScale(0))
+	if m2.Scale() != 1.0 {
+		t.Errorf("zero scale should be ignored, got %v", m2.Scale())
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	m, _ := newTestModel()
+	topo := m.Topology()
+	weu, _ := topo.SiteByName(cloud.SiteWestEU)
+	neu, _ := topo.SiteByName(cloud.SiteNorthEU)
+	scus, _ := topo.SiteByName(cloud.SiteSouthCentralUS)
+
+	m.InjectRoundTrip(weu.ID, weu.ID, 0, 0)
+	m.InjectRoundTrip(weu.ID, neu.ID, 0, 0)
+	m.InjectRoundTrip(weu.ID, neu.ID, 0, 0)
+	m.InjectOneWay(weu.ID, scus.ID, 0)
+
+	stats := m.Stats()
+	if stats[cloud.Local].Messages != 1 {
+		t.Errorf("local messages = %d, want 1", stats[cloud.Local].Messages)
+	}
+	if stats[cloud.SameRegion].Messages != 2 {
+		t.Errorf("same-region messages = %d, want 2", stats[cloud.SameRegion].Messages)
+	}
+	if stats[cloud.GeoDistant].Messages != 1 {
+		t.Errorf("geo-distant messages = %d, want 1", stats[cloud.GeoDistant].Messages)
+	}
+	if stats[cloud.GeoDistant].Injected <= stats[cloud.Local].Injected {
+		t.Error("geo-distant injected time should exceed local injected time")
+	}
+}
+
+func TestDeterministicWithSameSeed(t *testing.T) {
+	a, _ := newTestModel(WithSeed(42))
+	b, _ := newTestModel(WithSeed(42))
+	for i := 0; i < 50; i++ {
+		da := a.RoundTrip(0, 3, 128, 128)
+		db := b.RoundTrip(0, 3, 128, 128)
+		if da != db {
+			t.Fatalf("iteration %d: %v != %v with same seed", i, da, db)
+		}
+	}
+}
+
+// Property: one-way delays are never negative and grow monotonically with the
+// message size for any pair of sites.
+func TestOneWayProperties(t *testing.T) {
+	m, _ := newTestModel(WithSeed(11))
+	n := m.Topology().NumSites()
+	f := func(aRaw, bRaw uint8, size uint16) bool {
+		a := cloud.SiteID(int(aRaw) % n)
+		b := cloud.SiteID(int(bRaw) % n)
+		small := m.OneWay(a, b, int(size))
+		big := m.OneWay(a, b, int(size)+1<<20)
+		return small >= 0 && big >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: round-trip modelled delay is always at least as large as the
+// deterministic part of the one-way delay (RTT/2 - jitter).
+func TestRoundTripLowerBoundProperty(t *testing.T) {
+	m, _ := newTestModel(WithSeed(13))
+	topo := m.Topology()
+	n := topo.NumSites()
+	f := func(aRaw, bRaw uint8) bool {
+		a := cloud.SiteID(int(aRaw) % n)
+		b := cloud.SiteID(int(bRaw) % n)
+		link := topo.Link(a, b)
+		rt := m.RoundTrip(a, b, 0, 0)
+		return rt >= link.RTT-link.Jitter
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

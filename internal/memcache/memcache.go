@@ -1,0 +1,389 @@
+// Package memcache implements the per-site in-memory cache service that the
+// metadata registry is built on.
+//
+// The paper deploys one instance of Azure Managed Cache per datacenter and
+// stores every registry entry in it, relying on three of its properties:
+//
+//   - all data is kept in memory (no disk I/O on the metadata path),
+//   - optimistic concurrency: writers do not lock entries, they publish a new
+//     version and conflicting writers retry (workflow data is written once, so
+//     conflicts are rare),
+//   - high availability via a primary cache and a replica that is promoted
+//     when the primary fails.
+//
+// This package reproduces those properties with a sharded, versioned,
+// in-memory key-value store. It also models the *capacity* of a managed cache
+// instance — a bounded number of concurrent server-side operations, each with
+// a small service time — because that bound is what makes a single
+// centralized registry saturate under concurrency and produces the scaling
+// behaviour of Figs. 5, 7 and 8.
+package memcache
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Common errors returned by cache operations.
+var (
+	// ErrNotFound is returned by Get/CAS/Delete when the key does not exist.
+	ErrNotFound = errors.New("memcache: key not found")
+	// ErrVersionConflict is returned by CAS when the stored version differs
+	// from the expected one (optimistic-concurrency failure).
+	ErrVersionConflict = errors.New("memcache: version conflict")
+	// ErrStopped is returned once the cache has been stopped.
+	ErrStopped = errors.New("memcache: cache stopped")
+	// ErrCapacity is returned when the item would exceed the configured
+	// maximum number of entries.
+	ErrCapacity = errors.New("memcache: capacity exceeded")
+)
+
+// Item is one versioned value stored in the cache.
+type Item struct {
+	// Key is the unique identifier of the item.
+	Key string
+	// Value is the opaque payload (typically a gob-encoded registry entry).
+	Value []byte
+	// Version is a monotonically increasing per-key version number starting
+	// at 1 for the first Put; CAS uses it for optimistic concurrency.
+	Version uint64
+	// Expires is the absolute expiration time; the zero time means no TTL.
+	Expires time.Time
+}
+
+// Expired reports whether the item has passed its TTL at time now.
+func (it Item) Expired(now time.Time) bool {
+	return !it.Expires.IsZero() && now.After(it.Expires)
+}
+
+// Config parameterizes a cache instance.
+type Config struct {
+	// Shards is the number of lock shards; 0 selects a sensible default.
+	Shards int
+	// MaxItems bounds the number of live entries across all shards;
+	// 0 means unlimited.
+	MaxItems int
+	// ServiceTime is the simulated per-operation server-side processing time
+	// (Azure Managed Cache Basic instances serve a few thousand ops/s).
+	// 0 disables service-time modelling.
+	ServiceTime time.Duration
+	// Concurrency bounds the number of operations the instance serves at the
+	// same time (the worker pool of the managed service). 0 means unbounded.
+	Concurrency int
+	// DefaultTTL is applied to items stored without an explicit TTL;
+	// 0 means entries never expire.
+	DefaultTTL time.Duration
+	// BatchFactor is the amortization factor of bulk operations: a batch of n
+	// items costs one slot acquisition plus ServiceTime * (1 + n/BatchFactor)
+	// of processing, modelling the server-side efficiency of bulk get/put
+	// (0 selects the default of 16).
+	BatchFactor int
+	// Sleep is the function used to model the service time; tests replace it.
+	// nil means time.Sleep.
+	Sleep func(time.Duration)
+	// Now is the clock used for TTL handling; nil means time.Now.
+	Now func() time.Time
+}
+
+const defaultShards = 16
+
+// defaultBatchFactor is the bulk-operation amortization used when
+// Config.BatchFactor is zero.
+const defaultBatchFactor = 16
+
+// Stats aggregates operation counters of one cache instance.
+type Stats struct {
+	Gets, Hits, Misses   uint64
+	Puts, CASes, Deletes uint64
+	Conflicts            uint64
+	Evictions            uint64
+	Items                int
+	Bytes                int64
+}
+
+// Cache is a sharded in-memory key-value store with versioned items and a
+// bounded service capacity. It is safe for concurrent use.
+type Cache struct {
+	cfg    Config
+	shards []*shard
+	// slots implements the bounded server-side concurrency.
+	slots chan struct{}
+
+	stopped atomic.Bool
+
+	gets, hits, misses   atomic.Uint64
+	puts, cases, deletes atomic.Uint64
+	conflicts, evictions atomic.Uint64
+	bytes                atomic.Int64
+	items                atomic.Int64
+}
+
+type shard struct {
+	mu    sync.RWMutex
+	items map[string]Item
+}
+
+// New returns an empty cache with the given configuration.
+func New(cfg Config) *Cache {
+	if cfg.Shards <= 0 {
+		cfg.Shards = defaultShards
+	}
+	if cfg.BatchFactor <= 0 {
+		cfg.BatchFactor = defaultBatchFactor
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	c := &Cache{cfg: cfg}
+	c.shards = make([]*shard, cfg.Shards)
+	for i := range c.shards {
+		c.shards[i] = &shard{items: make(map[string]Item)}
+	}
+	if cfg.Concurrency > 0 {
+		c.slots = make(chan struct{}, cfg.Concurrency)
+	}
+	return c
+}
+
+// NewBasic returns a cache modelled after the "Basic 512 MB" Azure Managed
+// Cache instance used in the paper's evaluation: a modest worker pool and a
+// sub-millisecond per-operation service time.
+func NewBasic() *Cache {
+	return New(Config{
+		Shards:      defaultShards,
+		ServiceTime: 700 * time.Microsecond,
+		Concurrency: 4,
+	})
+}
+
+// Stop marks the cache as stopped; subsequent operations fail with
+// ErrStopped. Stopping an already stopped cache is a no-op.
+func (c *Cache) Stop() { c.stopped.Store(true) }
+
+// Stopped reports whether Stop has been called.
+func (c *Cache) Stopped() bool { return c.stopped.Load() }
+
+// enter models the service capacity: it acquires a worker slot (possibly
+// waiting behind other requests) and charges the per-operation service time.
+func (c *Cache) enter() error {
+	if c.stopped.Load() {
+		return ErrStopped
+	}
+	if c.slots != nil {
+		c.slots <- struct{}{}
+	}
+	return nil
+}
+
+func (c *Cache) leave() {
+	if c.cfg.ServiceTime > 0 {
+		c.cfg.Sleep(c.cfg.ServiceTime)
+	}
+	if c.slots != nil {
+		<-c.slots
+	}
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[int(h.Sum32())%len(c.shards)]
+}
+
+// Get returns the item stored under key. It returns ErrNotFound when the key
+// is absent or its TTL has expired.
+func (c *Cache) Get(key string) (Item, error) {
+	if err := c.enter(); err != nil {
+		return Item{}, err
+	}
+	defer c.leave()
+	c.gets.Add(1)
+
+	sh := c.shardFor(key)
+	sh.mu.RLock()
+	it, ok := sh.items[key]
+	sh.mu.RUnlock()
+	if !ok || it.Expired(c.cfg.Now()) {
+		if ok {
+			c.removeExpired(key, it.Version)
+		}
+		c.misses.Add(1)
+		return Item{}, fmt.Errorf("get %q: %w", key, ErrNotFound)
+	}
+	c.hits.Add(1)
+	return it, nil
+}
+
+// Contains reports whether key is present (and unexpired) without counting as
+// a Get in the statistics.
+func (c *Cache) Contains(key string) bool {
+	sh := c.shardFor(key)
+	sh.mu.RLock()
+	it, ok := sh.items[key]
+	sh.mu.RUnlock()
+	return ok && !it.Expired(c.cfg.Now())
+}
+
+// Put stores value under key unconditionally, assigning the next version
+// number. It returns the stored item.
+func (c *Cache) Put(key string, value []byte, ttl time.Duration) (Item, error) {
+	if err := c.enter(); err != nil {
+		return Item{}, err
+	}
+	defer c.leave()
+	c.puts.Add(1)
+	return c.store(key, value, ttl, nil)
+}
+
+// CAS stores value under key only if the currently stored version equals
+// expectedVersion. Use expectedVersion == 0 to require that the key does not
+// exist yet ("add" semantics). On mismatch it returns ErrVersionConflict and
+// the conflicting stored item.
+func (c *Cache) CAS(key string, value []byte, ttl time.Duration, expectedVersion uint64) (Item, error) {
+	if err := c.enter(); err != nil {
+		return Item{}, err
+	}
+	defer c.leave()
+	c.cases.Add(1)
+	return c.store(key, value, ttl, &expectedVersion)
+}
+
+func (c *Cache) store(key string, value []byte, ttl time.Duration, expected *uint64) (Item, error) {
+	if ttl == 0 {
+		ttl = c.cfg.DefaultTTL
+	}
+	now := c.cfg.Now()
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	cur, exists := sh.items[key]
+	if exists && cur.Expired(now) {
+		delete(sh.items, key)
+		c.items.Add(-1)
+		c.bytes.Add(-int64(len(cur.Value)))
+		c.evictions.Add(1)
+		exists = false
+		cur = Item{}
+	}
+	if expected != nil {
+		var curVersion uint64
+		if exists {
+			curVersion = cur.Version
+		}
+		if curVersion != *expected {
+			c.conflicts.Add(1)
+			return cur, fmt.Errorf("cas %q: have version %d, want %d: %w", key, curVersion, *expected, ErrVersionConflict)
+		}
+	}
+	if !exists && c.cfg.MaxItems > 0 && int(c.items.Load()) >= c.cfg.MaxItems {
+		return Item{}, fmt.Errorf("put %q: %w", key, ErrCapacity)
+	}
+
+	it := Item{Key: key, Value: append([]byte(nil), value...), Version: cur.Version + 1}
+	if ttl > 0 {
+		it.Expires = now.Add(ttl)
+	}
+	sh.items[key] = it
+	if exists {
+		c.bytes.Add(int64(len(value)) - int64(len(cur.Value)))
+	} else {
+		c.items.Add(1)
+		c.bytes.Add(int64(len(value)))
+	}
+	return it, nil
+}
+
+// Delete removes key from the cache. It returns ErrNotFound when absent.
+func (c *Cache) Delete(key string) error {
+	if err := c.enter(); err != nil {
+		return err
+	}
+	defer c.leave()
+	c.deletes.Add(1)
+
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	it, ok := sh.items[key]
+	if !ok {
+		return fmt.Errorf("delete %q: %w", key, ErrNotFound)
+	}
+	delete(sh.items, key)
+	c.items.Add(-1)
+	c.bytes.Add(-int64(len(it.Value)))
+	return nil
+}
+
+// removeExpired removes key if it is still at the given version; used by Get
+// to lazily evict expired items.
+func (c *Cache) removeExpired(key string, version uint64) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if it, ok := sh.items[key]; ok && it.Version == version {
+		delete(sh.items, key)
+		c.items.Add(-1)
+		c.bytes.Add(-int64(len(it.Value)))
+		c.evictions.Add(1)
+	}
+}
+
+// Keys returns all live (unexpired) keys in unspecified order.
+func (c *Cache) Keys() []string {
+	now := c.cfg.Now()
+	var keys []string
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		for k, it := range sh.items {
+			if !it.Expired(now) {
+				keys = append(keys, k)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return keys
+}
+
+// Snapshot returns a copy of every live item; the synchronization agent uses
+// it to pull the full content of a registry instance.
+func (c *Cache) Snapshot() []Item {
+	now := c.cfg.Now()
+	var items []Item
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		for _, it := range sh.items {
+			if !it.Expired(now) {
+				items = append(items, it)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return items
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int { return int(c.items.Load()) }
+
+// Stats returns a snapshot of the operation counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Gets:      c.gets.Load(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Puts:      c.puts.Load(),
+		CASes:     c.cases.Load(),
+		Deletes:   c.deletes.Load(),
+		Conflicts: c.conflicts.Load(),
+		Evictions: c.evictions.Load(),
+		Items:     int(c.items.Load()),
+		Bytes:     c.bytes.Load(),
+	}
+}

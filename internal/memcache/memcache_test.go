@@ -1,0 +1,411 @@
+package memcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newTestCache() *Cache {
+	return New(Config{Shards: 4})
+}
+
+func TestPutGet(t *testing.T) {
+	c := newTestCache()
+	it, err := c.Put("file1", []byte("loc:siteA"), 0)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if it.Version != 1 {
+		t.Errorf("first Put version = %d, want 1", it.Version)
+	}
+	got, err := c.Get("file1")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(got.Value) != "loc:siteA" {
+		t.Errorf("value = %q", got.Value)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	c := newTestCache()
+	_, err := c.Get("absent")
+	if !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get missing = %v, want ErrNotFound", err)
+	}
+}
+
+func TestPutOverwritesAndBumpsVersion(t *testing.T) {
+	c := newTestCache()
+	c.Put("k", []byte("v1"), 0)
+	it, _ := c.Put("k", []byte("v2"), 0)
+	if it.Version != 2 {
+		t.Errorf("version = %d, want 2", it.Version)
+	}
+	got, _ := c.Get("k")
+	if string(got.Value) != "v2" {
+		t.Errorf("value = %q, want v2", got.Value)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCASAddSemantics(t *testing.T) {
+	c := newTestCache()
+	// expectedVersion 0 == "key must not exist".
+	if _, err := c.CAS("k", []byte("v1"), 0, 0); err != nil {
+		t.Fatalf("CAS add: %v", err)
+	}
+	_, err := c.CAS("k", []byte("v2"), 0, 0)
+	if !errors.Is(err, ErrVersionConflict) {
+		t.Errorf("CAS add on existing = %v, want ErrVersionConflict", err)
+	}
+}
+
+func TestCASVersionedUpdate(t *testing.T) {
+	c := newTestCache()
+	it, _ := c.Put("k", []byte("v1"), 0)
+	if _, err := c.CAS("k", []byte("v2"), 0, it.Version); err != nil {
+		t.Fatalf("CAS with matching version: %v", err)
+	}
+	_, err := c.CAS("k", []byte("v3"), 0, it.Version)
+	if !errors.Is(err, ErrVersionConflict) {
+		t.Errorf("CAS with stale version = %v, want ErrVersionConflict", err)
+	}
+	if c.Stats().Conflicts != 1 {
+		t.Errorf("Conflicts = %d, want 1", c.Stats().Conflicts)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := newTestCache()
+	c.Put("k", []byte("v"), 0)
+	if err := c.Delete("k"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if c.Contains("k") {
+		t.Error("key still present after delete")
+	}
+	if err := c.Delete("k"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("second delete = %v, want ErrNotFound", err)
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := New(Config{Now: func() time.Time { return now }})
+	c.Put("k", []byte("v"), time.Minute)
+	if !c.Contains("k") {
+		t.Fatal("key should be present before expiry")
+	}
+	now = now.Add(2 * time.Minute)
+	if c.Contains("k") {
+		t.Error("key should have expired")
+	}
+	if _, err := c.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get expired = %v, want ErrNotFound", err)
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len after lazy eviction = %d, want 0", c.Len())
+	}
+	if c.Stats().Evictions == 0 {
+		t.Error("expected an eviction to be counted")
+	}
+}
+
+func TestDefaultTTL(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := New(Config{DefaultTTL: time.Minute, Now: func() time.Time { return now }})
+	it, _ := c.Put("k", []byte("v"), 0)
+	if it.Expires.IsZero() {
+		t.Error("default TTL should have set an expiry")
+	}
+}
+
+func TestMaxItems(t *testing.T) {
+	c := New(Config{MaxItems: 2})
+	c.Put("a", []byte("1"), 0)
+	c.Put("b", []byte("2"), 0)
+	_, err := c.Put("c", []byte("3"), 0)
+	if !errors.Is(err, ErrCapacity) {
+		t.Errorf("Put over capacity = %v, want ErrCapacity", err)
+	}
+	// Overwriting an existing key is always allowed.
+	if _, err := c.Put("a", []byte("1b"), 0); err != nil {
+		t.Errorf("overwrite at capacity: %v", err)
+	}
+}
+
+func TestStop(t *testing.T) {
+	c := newTestCache()
+	c.Put("k", []byte("v"), 0)
+	c.Stop()
+	if !c.Stopped() {
+		t.Error("Stopped() should be true")
+	}
+	if _, err := c.Get("k"); !errors.Is(err, ErrStopped) {
+		t.Errorf("Get after stop = %v, want ErrStopped", err)
+	}
+	if _, err := c.Put("k", nil, 0); !errors.Is(err, ErrStopped) {
+		t.Errorf("Put after stop = %v, want ErrStopped", err)
+	}
+	if err := c.Delete("k"); !errors.Is(err, ErrStopped) {
+		t.Errorf("Delete after stop = %v, want ErrStopped", err)
+	}
+}
+
+func TestKeysAndSnapshot(t *testing.T) {
+	c := newTestCache()
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)}, 0)
+	}
+	keys := c.Keys()
+	if len(keys) != 10 {
+		t.Errorf("Keys len = %d, want 10", len(keys))
+	}
+	snap := c.Snapshot()
+	if len(snap) != 10 {
+		t.Errorf("Snapshot len = %d, want 10", len(snap))
+	}
+	seen := make(map[string]bool)
+	for _, it := range snap {
+		seen[it.Key] = true
+	}
+	for i := 0; i < 10; i++ {
+		if !seen[fmt.Sprintf("k%d", i)] {
+			t.Errorf("snapshot missing k%d", i)
+		}
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	c := newTestCache()
+	c.Put("a", []byte("12345"), 0)
+	c.Get("a")
+	c.Get("missing")
+	c.CAS("b", []byte("x"), 0, 0)
+	c.Delete("a")
+	s := c.Stats()
+	if s.Puts != 1 || s.Gets != 2 || s.Hits != 1 || s.Misses != 1 || s.CASes != 1 || s.Deletes != 1 {
+		t.Errorf("unexpected stats: %+v", s)
+	}
+	if s.Items != 1 {
+		t.Errorf("Items = %d, want 1", s.Items)
+	}
+	if s.Bytes != 1 {
+		t.Errorf("Bytes = %d, want 1", s.Bytes)
+	}
+}
+
+func TestValueIsCopied(t *testing.T) {
+	c := newTestCache()
+	buf := []byte("original")
+	c.Put("k", buf, 0)
+	buf[0] = 'X'
+	got, _ := c.Get("k")
+	if string(got.Value) != "original" {
+		t.Errorf("stored value aliased the caller's buffer: %q", got.Value)
+	}
+}
+
+func TestServiceTimeAndConcurrency(t *testing.T) {
+	var mu sync.Mutex
+	var slept []time.Duration
+	c := New(Config{
+		ServiceTime: 5 * time.Millisecond,
+		Concurrency: 2,
+		Sleep: func(d time.Duration) {
+			mu.Lock()
+			slept = append(slept, d)
+			mu.Unlock()
+		},
+	})
+	c.Put("a", nil, 0)
+	c.Get("a")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(slept) != 2 {
+		t.Fatalf("expected 2 service-time sleeps, got %d", len(slept))
+	}
+	for _, d := range slept {
+		if d != 5*time.Millisecond {
+			t.Errorf("service time %v, want 5ms", d)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(Config{Shards: 8, Concurrency: 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i)
+				if _, err := c.Put(key, []byte(key), 0); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if _, err := c.Get(key); err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() != 8*200 {
+		t.Errorf("Len = %d, want %d", c.Len(), 8*200)
+	}
+}
+
+func TestConcurrentCASOnlyOneWins(t *testing.T) {
+	c := newTestCache()
+	const writers = 16
+	var mu sync.Mutex
+	winners := 0
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.CAS("contended", []byte{byte(i)}, 0, 0); err == nil {
+				mu.Lock()
+				winners++
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if winners != 1 {
+		t.Errorf("winners = %d, want exactly 1", winners)
+	}
+}
+
+func TestHACacheBasics(t *testing.T) {
+	h := NewHA(func() *Cache { return New(Config{}) })
+	h.Put("k", []byte("v"), 0)
+	got, err := h.Get("k")
+	if err != nil || string(got.Value) != "v" {
+		t.Fatalf("Get = %q, %v", got.Value, err)
+	}
+	if h.Len() != 1 || len(h.Keys()) != 1 || len(h.Snapshot()) != 1 {
+		t.Error("accessors disagree about content")
+	}
+	if !h.Contains("k") {
+		t.Error("Contains should be true")
+	}
+	if h.Stats().Puts == 0 {
+		t.Error("stats should record the put")
+	}
+	if err := h.Delete("k"); err != nil {
+		t.Errorf("Delete: %v", err)
+	}
+}
+
+func TestHACacheCAS(t *testing.T) {
+	h := NewHA(func() *Cache { return New(Config{}) })
+	if _, err := h.CAS("k", []byte("v1"), 0, 0); err != nil {
+		t.Fatalf("CAS add: %v", err)
+	}
+	if _, err := h.CAS("k", []byte("v2"), 0, 0); !errors.Is(err, ErrVersionConflict) {
+		t.Errorf("CAS conflict = %v", err)
+	}
+}
+
+func TestHACacheFailover(t *testing.T) {
+	h := NewHA(func() *Cache { return New(Config{}) })
+	for i := 0; i < 20; i++ {
+		h.Put(fmt.Sprintf("k%d", i), []byte("v"), 0)
+	}
+	old := h.Primary()
+	h.FailPrimary()
+	if h.Failures() != 1 {
+		t.Errorf("Failures = %d, want 1", h.Failures())
+	}
+	if h.Primary() == old {
+		t.Error("primary should have changed after failover")
+	}
+	if !old.Stopped() {
+		t.Error("failed primary should be stopped")
+	}
+	// All acknowledged writes survive the failover.
+	for i := 0; i < 20; i++ {
+		if _, err := h.Get(fmt.Sprintf("k%d", i)); err != nil {
+			t.Errorf("Get k%d after failover: %v", i, err)
+		}
+	}
+	// And the service keeps accepting writes.
+	if _, err := h.Put("after", []byte("v"), 0); err != nil {
+		t.Errorf("Put after failover: %v", err)
+	}
+	// A second failover still preserves data (fresh replica was repopulated).
+	h.FailPrimary()
+	if _, err := h.Get("after"); err != nil {
+		t.Errorf("Get after second failover: %v", err)
+	}
+}
+
+// Property: after any sequence of Put operations on distinct keys, Len equals
+// the number of distinct keys and every key is retrievable.
+func TestPutGetProperty(t *testing.T) {
+	f := func(keys []string) bool {
+		c := newTestCache()
+		distinct := make(map[string]bool)
+		for _, k := range keys {
+			if k == "" {
+				continue
+			}
+			distinct[k] = true
+			if _, err := c.Put(k, []byte(k), 0); err != nil {
+				return false
+			}
+		}
+		if c.Len() != len(distinct) {
+			return false
+		}
+		for k := range distinct {
+			it, err := c.Get(k)
+			if err != nil || string(it.Value) != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: versions grow strictly monotonically under repeated Put on the
+// same key.
+func TestVersionMonotonicityProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		c := newTestCache()
+		var last uint64
+		for i := 0; i < n; i++ {
+			it, err := c.Put("k", []byte{byte(i)}, 0)
+			if err != nil || it.Version != last+1 {
+				return false
+			}
+			last = it.Version
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,221 @@
+package provision
+
+import (
+	"testing"
+	"time"
+
+	"geomds/internal/cloud"
+	"geomds/internal/core"
+	"geomds/internal/latency"
+	"geomds/internal/workflow"
+)
+
+// crossSiteFixture builds a two-task pipeline whose producer and consumer are
+// pinned to different datacenters, guaranteeing one planned transfer.
+func crossSiteFixture(t *testing.T) (*workflow.Workflow, workflow.Schedule, *cloud.Deployment) {
+	t.Helper()
+	topo := cloud.Azure4DC()
+	dep := cloud.NewDeployment(topo)
+	weuNode := dep.AddNode(1)  // West Europe
+	scusNode := dep.AddNode(2) // South Central US
+
+	w := workflow.New("cross-site")
+	w.AddExternalInput("raw.dat", 8<<20)
+	w.MustAddTask(workflow.Task{
+		ID: "produce", Inputs: []string{"raw.dat"},
+		Outputs: []workflow.FileSpec{{Name: "intermediate.dat", Size: 64 << 20}},
+		Compute: 10 * time.Second,
+	})
+	w.MustAddTask(workflow.Task{
+		ID: "consume", Inputs: []string{"intermediate.dat"},
+		Outputs: []workflow.FileSpec{{Name: "final.dat", Size: 1 << 20}},
+		Compute: 5 * time.Second,
+	})
+	sched := workflow.Schedule{"produce": weuNode, "consume": scusNode}
+	return w, sched, dep
+}
+
+func TestBuildCrossSitePlan(t *testing.T) {
+	w, sched, dep := crossSiteFixture(t)
+	plan, err := Build(w, sched, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Workflow != "cross-site" {
+		t.Errorf("workflow name = %q", plan.Workflow)
+	}
+	// Two transfers: the external input staged elsewhere than its consumer's
+	// site may or may not need a move depending on stage-in placement, but
+	// the intermediate file definitely does.
+	var inter *Transfer
+	for i := range plan.Transfers {
+		if plan.Transfers[i].File == "intermediate.dat" {
+			inter = &plan.Transfers[i]
+		}
+	}
+	if inter == nil {
+		t.Fatalf("no transfer planned for intermediate.dat: %+v", plan.Transfers)
+	}
+	if inter.From != 1 || inter.To != 2 {
+		t.Errorf("transfer endpoints = %d -> %d, want 1 -> 2", inter.From, inter.To)
+	}
+	if inter.Producer != "produce" || len(inter.Consumers) != 1 || inter.Consumers[0] != "consume" {
+		t.Errorf("transfer provenance wrong: %+v", inter)
+	}
+	if inter.EarliestStart != 10*time.Second {
+		t.Errorf("EarliestStart = %v, want the producer's finish time (10s)", inter.EarliestStart)
+	}
+	if inter.NeededBy != 10*time.Second {
+		t.Errorf("NeededBy = %v, want the consumer's optimistic start (10s)", inter.NeededBy)
+	}
+	if plan.TotalBytes() < 64<<20 {
+		t.Errorf("TotalBytes = %d", plan.TotalBytes())
+	}
+}
+
+func TestBuildLocalScheduleNeedsNoTransfers(t *testing.T) {
+	topo := cloud.Azure4DC()
+	dep := cloud.NewDeployment(topo)
+	n0 := dep.AddNode(0)
+	n1 := dep.AddNode(0) // same site
+
+	w := workflow.New("local")
+	w.MustAddTask(workflow.Task{ID: "a", Outputs: []workflow.FileSpec{{Name: "x", Size: 1024}}})
+	w.MustAddTask(workflow.Task{ID: "b", Inputs: []string{"x"}})
+	plan, err := Build(w, workflow.Schedule{"a": n0, "b": n1}, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Transfers) != 0 {
+		t.Errorf("expected no transfers for a single-site schedule, got %d", len(plan.Transfers))
+	}
+	est := Evaluate(plan, topo)
+	if est.OnDemandIdle != 0 || est.IdleReduction() != 0 {
+		t.Errorf("empty plan estimate should be zero: %+v", est)
+	}
+}
+
+func TestBuildRejectsInvalidInput(t *testing.T) {
+	w, sched, dep := crossSiteFixture(t)
+	if _, err := Build(w, workflow.Schedule{"produce": sched["produce"]}, dep); err == nil {
+		t.Error("incomplete schedule should fail")
+	}
+	bad := workflow.New("bad")
+	bad.MustAddTask(workflow.Task{ID: "t", Inputs: []string{"ghost"}})
+	if _, err := Build(bad, workflow.Schedule{"t": 0}, dep); err == nil {
+		t.Error("invalid workflow should fail")
+	}
+}
+
+func TestTransferDurationAndSlack(t *testing.T) {
+	topo := cloud.Azure4DC()
+	tr := Transfer{File: "f", Size: 80 << 20, From: 1, To: 2, EarliestStart: 10 * time.Second, NeededBy: 25 * time.Second}
+	d := tr.Duration(topo)
+	if d <= topo.Link(1, 2).RTT {
+		t.Errorf("duration %v should include the bandwidth term", d)
+	}
+	if tr.Slack() != 15*time.Second {
+		t.Errorf("Slack = %v", tr.Slack())
+	}
+}
+
+func TestEvaluateHidesTransfersWithSlack(t *testing.T) {
+	topo := cloud.Azure4DC()
+	plan := Plan{Transfers: []Transfer{
+		// Plenty of slack: fully hidden.
+		{File: "a", Size: 1 << 20, From: 0, To: 3, EarliestStart: 0, NeededBy: time.Hour},
+		// No slack at all: nothing hidden.
+		{File: "b", Size: 1 << 20, From: 0, To: 3, EarliestStart: time.Minute, NeededBy: time.Minute},
+	}}
+	est := Evaluate(plan, topo)
+	if est.Transfers != 2 || est.FullyHidden != 1 {
+		t.Errorf("estimate = %+v", est)
+	}
+	if est.ResidualIdle >= est.OnDemandIdle {
+		t.Errorf("provisioning should reduce idle time: %+v", est)
+	}
+	if r := est.IdleReduction(); r <= 0 || r > 1 {
+		t.Errorf("IdleReduction = %v", r)
+	}
+}
+
+func TestApplyRegistersCopies(t *testing.T) {
+	w, sched, dep := crossSiteFixture(t)
+	plan, err := Build(w, sched, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	topo := dep.Topology()
+	lat := latency.New(topo, latency.WithSeed(2), latency.WithSleeper(func(time.Duration) {}))
+	fabric := core.NewFabric(topo, lat, core.WithCacheCapacity(0, 0))
+	svc, err := core.NewDecReplicated(fabric, core.WithEagerPropagation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// Nothing published yet: every transfer is pending.
+	applied, pending, err := Apply(plan, svc, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 0 || len(pending) != len(plan.Transfers) {
+		t.Errorf("before publication: applied=%d pending=%d", applied, len(pending))
+	}
+
+	// Publish the files the plan wants to move, then apply again.
+	producer := core.NewClient(svc, dep.Node(sched["produce"]))
+	for _, tr := range plan.Transfers {
+		if _, err := producer.PublishFile(tr.File, tr.Size, tr.Producer); err != nil {
+			t.Fatal(err)
+		}
+	}
+	applied, pending, err = Apply(plan, svc, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != len(plan.Transfers) || len(pending) != 0 {
+		t.Errorf("after publication: applied=%d pending=%d", applied, len(pending))
+	}
+	// The consumer's site now resolves the file to a local copy.
+	for _, tr := range plan.Transfers {
+		e, err := svc.Lookup(tr.To, tr.File)
+		if err != nil {
+			t.Fatalf("lookup %q: %v", tr.File, err)
+		}
+		found := false
+		for _, loc := range e.Locations {
+			if loc.Site == tr.To {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no local copy registered for %q at site %d", tr.File, tr.To)
+		}
+	}
+}
+
+func TestBuildWithGeneratedWorkflowAndSchedulers(t *testing.T) {
+	topo := cloud.Azure4DC()
+	dep := cloud.NewDeployment(topo)
+	dep.SpreadNodes(16)
+	w := workflow.Scatter(workflow.PatternConfig{Prefix: "pv-", FileSize: 4 << 20, Compute: time.Second}, 12)
+
+	rr, _ := (workflow.RoundRobinScheduler{}).Schedule(w, dep)
+	loc, _ := (workflow.LocalityScheduler{}).Schedule(w, dep)
+
+	planRR, err := Build(w, rr, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planLoc, err := Build(w, loc, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A locality-aware schedule needs no more data movement than round-robin.
+	if len(planLoc.Transfers) > len(planRR.Transfers) {
+		t.Errorf("locality schedule plans %d transfers, round-robin %d",
+			len(planLoc.Transfers), len(planRR.Transfers))
+	}
+}

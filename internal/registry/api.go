@@ -1,0 +1,41 @@
+package registry
+
+import "geomds/internal/cloud"
+
+// API is the operation set the multi-site metadata strategies require from a
+// registry instance. It is satisfied both by the in-process *Instance (the
+// instance co-located with the strategy logic, used by simulations and
+// benchmarks) and by the rpc.Client remote proxy (a registry instance running
+// as a separate process, reached over TCP), so the same strategy code drives
+// either deployment.
+type API interface {
+	// Site returns the datacenter this instance serves.
+	Site() cloud.SiteID
+	// Create publishes a new entry, failing with ErrExists if the name is taken.
+	Create(e Entry) (Entry, error)
+	// Put stores the entry unconditionally (upsert).
+	Put(e Entry) (Entry, error)
+	// Get returns the entry stored under name, or ErrNotFound.
+	Get(name string) (Entry, error)
+	// Contains reports whether an entry with the given name exists.
+	Contains(name string) bool
+	// AddLocation records an additional copy of the named file.
+	AddLocation(name string, loc Location) (Entry, error)
+	// Delete removes the entry stored under name.
+	Delete(name string) error
+	// Names lists the names of all stored entries.
+	Names() []string
+	// Entries returns every stored entry.
+	Entries() ([]Entry, error)
+	// GetMany returns the entries stored under the given names, skipping
+	// absent ones; it is the bulk pull used by the synchronization agent.
+	GetMany(names []string) ([]Entry, error)
+	// Merge upserts a batch of entries, unioning locations, and returns how
+	// many entries were applied.
+	Merge(entries []Entry) (int, error)
+	// Len returns the number of stored entries.
+	Len() int
+}
+
+// Instance implements API.
+var _ API = (*Instance)(nil)

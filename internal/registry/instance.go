@@ -1,0 +1,310 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"geomds/internal/cloud"
+	"geomds/internal/memcache"
+)
+
+// Store is the subset of the cache-tier API the registry relies on. Both
+// *memcache.Cache and *memcache.HACache satisfy it, so an instance can run on
+// a plain cache or on the highly-available primary/replica pair.
+type Store interface {
+	Get(key string) (memcache.Item, error)
+	Put(key string, value []byte, ttl time.Duration) (memcache.Item, error)
+	CAS(key string, value []byte, ttl time.Duration, expectedVersion uint64) (memcache.Item, error)
+	Delete(key string) error
+	Contains(key string) bool
+	Keys() []string
+	Snapshot() []memcache.Item
+	Len() int
+	Stats() memcache.Stats
+	// GetBatch and PutBatch are the bulk paths used by the synchronization
+	// agent and lazy propagation; they are far cheaper per item than the
+	// individual operations.
+	GetBatch(keys []string) (found []memcache.Item, missing []string, err error)
+	PutBatch(kvs []memcache.KV) ([]memcache.Item, error)
+}
+
+// Statically assert that both cache flavours implement Store.
+var (
+	_ Store = (*memcache.Cache)(nil)
+	_ Store = (*memcache.HACache)(nil)
+)
+
+// Instance is one Metadata Registry instance: the registry deployed in a
+// single datacenter. The multi-site strategies (internal/core) compose one or
+// more instances; the Cache Manager role of the paper — translating registry
+// operations into cache operations — lives here.
+//
+// An Instance is safe for concurrent use.
+type Instance struct {
+	site  cloud.SiteID
+	store Store
+	codec Codec
+	// maxCASRetries bounds optimistic-concurrency retries on updates.
+	maxCASRetries int
+}
+
+// InstanceOption configures an Instance.
+type InstanceOption func(*Instance)
+
+// WithCodec selects the serialization codec (default GobCodec).
+func WithCodec(c Codec) InstanceOption {
+	return func(i *Instance) { i.codec = c }
+}
+
+// WithCASRetries sets the maximum number of optimistic-concurrency retries
+// performed by Update (default 8).
+func WithCASRetries(n int) InstanceOption {
+	return func(i *Instance) {
+		if n > 0 {
+			i.maxCASRetries = n
+		}
+	}
+}
+
+// NewInstance returns a registry instance for the given site backed by the
+// given store.
+func NewInstance(site cloud.SiteID, store Store, opts ...InstanceOption) *Instance {
+	inst := &Instance{site: site, store: store, codec: GobCodec{}, maxCASRetries: 8}
+	for _, o := range opts {
+		o(inst)
+	}
+	return inst
+}
+
+// Site returns the datacenter this instance serves.
+func (i *Instance) Site() cloud.SiteID { return i.site }
+
+// Store exposes the underlying cache store (used by the synchronization
+// agent and by tests).
+func (i *Instance) Store() Store { return i.store }
+
+// Len returns the number of entries held by this instance.
+func (i *Instance) Len() int { return i.store.Len() }
+
+// Create publishes a new entry. The paper defines a write as a look-up (to
+// verify the entry does not already exist) followed by the actual write; the
+// cache tier's optimistic concurrency lets the instance collapse both into a
+// single conditional store — a CAS with "must not exist" semantics — so a
+// create costs one cache operation and fails with ErrExists if the name is
+// taken.
+func (i *Instance) Create(e Entry) (Entry, error) {
+	if err := e.Validate(); err != nil {
+		return Entry{}, err
+	}
+	data, err := i.codec.Encode(e)
+	if err != nil {
+		return Entry{}, err
+	}
+	it, err := i.store.CAS(e.Name, data, 0, 0)
+	if err != nil {
+		if errors.Is(err, memcache.ErrVersionConflict) {
+			return Entry{}, fmt.Errorf("create %q: %w", e.Name, ErrExists)
+		}
+		return Entry{}, fmt.Errorf("create %q: %w", e.Name, err)
+	}
+	e.Version = it.Version
+	return e, nil
+}
+
+// Put stores the entry unconditionally (upsert). The synchronization agent
+// and the lazy-propagation path use it to apply remote updates.
+func (i *Instance) Put(e Entry) (Entry, error) {
+	if err := e.Validate(); err != nil {
+		return Entry{}, err
+	}
+	data, err := i.codec.Encode(e)
+	if err != nil {
+		return Entry{}, err
+	}
+	it, err := i.store.Put(e.Name, data, 0)
+	if err != nil {
+		return Entry{}, fmt.Errorf("put %q: %w", e.Name, err)
+	}
+	e.Version = it.Version
+	return e, nil
+}
+
+// Get returns the entry stored under name.
+func (i *Instance) Get(name string) (Entry, error) {
+	it, err := i.store.Get(name)
+	if err != nil {
+		if errors.Is(err, memcache.ErrNotFound) {
+			return Entry{}, fmt.Errorf("get %q: %w", name, ErrNotFound)
+		}
+		return Entry{}, fmt.Errorf("get %q: %w", name, err)
+	}
+	e, err := i.codec.Decode(it.Value)
+	if err != nil {
+		return Entry{}, err
+	}
+	e.Version = it.Version
+	return e, nil
+}
+
+// Contains reports whether an entry with the given name exists.
+func (i *Instance) Contains(name string) bool { return i.store.Contains(name) }
+
+// Update applies mutate to the current value of the entry and stores the
+// result using optimistic concurrency, retrying on conflicts up to the
+// configured limit. The entry must exist.
+func (i *Instance) Update(name string, mutate func(Entry) Entry) (Entry, error) {
+	for attempt := 0; attempt < i.maxCASRetries; attempt++ {
+		it, err := i.store.Get(name)
+		if err != nil {
+			if errors.Is(err, memcache.ErrNotFound) {
+				return Entry{}, fmt.Errorf("update %q: %w", name, ErrNotFound)
+			}
+			return Entry{}, fmt.Errorf("update %q: %w", name, err)
+		}
+		cur, err := i.codec.Decode(it.Value)
+		if err != nil {
+			return Entry{}, err
+		}
+		cur.Version = it.Version
+		next := mutate(cur)
+		next.Name = name // the key is immutable
+		if err := next.Validate(); err != nil {
+			return Entry{}, err
+		}
+		data, err := i.codec.Encode(next)
+		if err != nil {
+			return Entry{}, err
+		}
+		stored, err := i.store.CAS(name, data, 0, it.Version)
+		if err == nil {
+			next.Version = stored.Version
+			return next, nil
+		}
+		if !errors.Is(err, memcache.ErrVersionConflict) {
+			return Entry{}, fmt.Errorf("update %q: %w", name, err)
+		}
+		// Lost the race: reload and retry.
+	}
+	return Entry{}, fmt.Errorf("update %q: too many retries: %w", name, ErrConflict)
+}
+
+// AddLocation records an additional copy of the file named name.
+func (i *Instance) AddLocation(name string, loc Location) (Entry, error) {
+	return i.Update(name, func(e Entry) Entry { return e.AddLocation(loc) })
+}
+
+// Delete removes the entry stored under name.
+func (i *Instance) Delete(name string) error {
+	if err := i.store.Delete(name); err != nil {
+		if errors.Is(err, memcache.ErrNotFound) {
+			return fmt.Errorf("delete %q: %w", name, ErrNotFound)
+		}
+		return fmt.Errorf("delete %q: %w", name, err)
+	}
+	return nil
+}
+
+// Names returns the names of all entries held by this instance.
+func (i *Instance) Names() []string { return i.store.Keys() }
+
+// Entries decodes and returns every entry held by this instance. The
+// synchronization agent uses it to pull an instance's content.
+func (i *Instance) Entries() ([]Entry, error) {
+	items := i.store.Snapshot()
+	out := make([]Entry, 0, len(items))
+	for _, it := range items {
+		e, err := i.codec.Decode(it.Value)
+		if err != nil {
+			return nil, fmt.Errorf("entries: decoding %q: %w", it.Key, err)
+		}
+		e.Version = it.Version
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// GetMany returns the entries stored under the given names, silently
+// skipping absent ones. It uses the store's bulk path, so it is the
+// preferred way for the synchronization agent to pull a round's updates.
+func (i *Instance) GetMany(names []string) ([]Entry, error) {
+	items, _, err := i.store.GetBatch(names)
+	if err != nil {
+		return nil, fmt.Errorf("get-many: %w", err)
+	}
+	out := make([]Entry, 0, len(items))
+	for _, it := range items {
+		e, err := i.codec.Decode(it.Value)
+		if err != nil {
+			return nil, fmt.Errorf("get-many: decoding %q: %w", it.Key, err)
+		}
+		e.Version = it.Version
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Merge upserts every entry of the batch whose content differs from what the
+// instance already holds, returning the number of entries applied. It is the
+// apply side of the synchronization agent and of lazy propagation: last
+// writer wins, location lists are unioned. Merge uses the store's bulk path
+// (one read batch, one write batch).
+func (i *Instance) Merge(entries []Entry) (applied int, err error) {
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if err := e.Validate(); err != nil {
+			return 0, err
+		}
+		names = append(names, e.Name)
+	}
+	items, _, err := i.store.GetBatch(names)
+	if err != nil {
+		return 0, fmt.Errorf("merge: %w", err)
+	}
+	current := make(map[string]Entry, len(items))
+	for _, it := range items {
+		cur, err := i.codec.Decode(it.Value)
+		if err != nil {
+			return 0, fmt.Errorf("merge: decoding %q: %w", it.Key, err)
+		}
+		current[it.Key] = cur
+	}
+
+	var batch []memcache.KV
+	for _, e := range entries {
+		cur, exists := current[e.Name]
+		var next Entry
+		switch {
+		case !exists:
+			next = e
+		default:
+			next = cur
+			for _, loc := range e.Locations {
+				next = next.AddLocation(loc)
+			}
+			if next.Size != e.Size && e.Size > 0 {
+				next.Size = e.Size
+			}
+			if next.Equal(cur) {
+				continue // nothing new
+			}
+		}
+		data, err := i.codec.Encode(next)
+		if err != nil {
+			return applied, err
+		}
+		batch = append(batch, memcache.KV{Key: e.Name, Value: data})
+		current[e.Name] = next // later duplicates in the batch merge onto this
+		applied++
+	}
+	if len(batch) == 0 {
+		return 0, nil
+	}
+	if _, err := i.store.PutBatch(batch); err != nil {
+		return 0, fmt.Errorf("merge: %w", err)
+	}
+	return applied, nil
+}

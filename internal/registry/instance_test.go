@@ -1,0 +1,263 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"geomds/internal/cloud"
+	"geomds/internal/memcache"
+)
+
+func newTestInstance(opts ...InstanceOption) *Instance {
+	return NewInstance(0, memcache.New(memcache.Config{}), opts...)
+}
+
+func TestInstanceCreateGet(t *testing.T) {
+	inst := newTestInstance()
+	e := sampleEntry()
+	stored, err := inst.Create(e)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if stored.Version == 0 {
+		t.Error("Create should assign a version")
+	}
+	got, err := inst.Get(e.Name)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !got.Equal(e) {
+		t.Errorf("Get = %+v, want %+v", got, e)
+	}
+	if !inst.Contains(e.Name) || inst.Len() != 1 {
+		t.Error("Contains/Len inconsistent after Create")
+	}
+	if inst.Site() != 0 {
+		t.Errorf("Site = %d, want 0", inst.Site())
+	}
+}
+
+func TestInstanceCreateDuplicate(t *testing.T) {
+	inst := newTestInstance()
+	e := sampleEntry()
+	if _, err := inst.Create(e); err != nil {
+		t.Fatalf("first Create: %v", err)
+	}
+	if _, err := inst.Create(e); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate Create = %v, want ErrExists", err)
+	}
+}
+
+func TestInstanceCreateInvalid(t *testing.T) {
+	inst := newTestInstance()
+	if _, err := inst.Create(Entry{}); !errors.Is(err, ErrInvalidEntry) {
+		t.Errorf("Create invalid = %v, want ErrInvalidEntry", err)
+	}
+}
+
+func TestInstanceGetMissing(t *testing.T) {
+	inst := newTestInstance()
+	if _, err := inst.Get("absent"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get missing = %v, want ErrNotFound", err)
+	}
+}
+
+func TestInstancePutUpsert(t *testing.T) {
+	inst := newTestInstance()
+	e := sampleEntry()
+	if _, err := inst.Put(e); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	e.Size = 42
+	updated, err := inst.Put(e)
+	if err != nil {
+		t.Fatalf("Put upsert: %v", err)
+	}
+	if updated.Version != 2 {
+		t.Errorf("upsert version = %d, want 2", updated.Version)
+	}
+	got, _ := inst.Get(e.Name)
+	if got.Size != 42 {
+		t.Errorf("Size = %d, want 42", got.Size)
+	}
+	if _, err := inst.Put(Entry{}); !errors.Is(err, ErrInvalidEntry) {
+		t.Errorf("Put invalid = %v, want ErrInvalidEntry", err)
+	}
+}
+
+func TestInstanceUpdateAddLocation(t *testing.T) {
+	inst := newTestInstance()
+	e := sampleEntry()
+	inst.Create(e)
+	loc := Location{Site: 2, Node: 11}
+	updated, err := inst.AddLocation(e.Name, loc)
+	if err != nil {
+		t.Fatalf("AddLocation: %v", err)
+	}
+	if !updated.HasLocation(loc) {
+		t.Error("location not added")
+	}
+	got, _ := inst.Get(e.Name)
+	if !got.HasLocation(loc) {
+		t.Error("location not persisted")
+	}
+}
+
+func TestInstanceUpdateMissing(t *testing.T) {
+	inst := newTestInstance()
+	_, err := inst.Update("absent", func(e Entry) Entry { return e })
+	if !errors.Is(err, ErrNotFound) {
+		t.Errorf("Update missing = %v, want ErrNotFound", err)
+	}
+}
+
+func TestInstanceUpdatePreservesName(t *testing.T) {
+	inst := newTestInstance()
+	e := sampleEntry()
+	inst.Create(e)
+	updated, err := inst.Update(e.Name, func(cur Entry) Entry {
+		cur.Name = "attempted-rename"
+		return cur
+	})
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if updated.Name != e.Name {
+		t.Errorf("Update allowed a rename to %q", updated.Name)
+	}
+}
+
+func TestInstanceUpdateConcurrent(t *testing.T) {
+	inst := NewInstance(0, memcache.New(memcache.Config{}), WithCASRetries(64))
+	e := sampleEntry()
+	inst.Create(e)
+	const writers = 12
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			loc := Location{Site: cloud.SiteID(i % 4), Node: cloud.NodeID(100 + i)}
+			if _, err := inst.AddLocation(e.Name, loc); err != nil {
+				t.Errorf("AddLocation %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	got, _ := inst.Get(e.Name)
+	// initial location + one per writer
+	if len(got.Locations) != writers+1 {
+		t.Errorf("Locations = %d, want %d", len(got.Locations), writers+1)
+	}
+}
+
+func TestInstanceDelete(t *testing.T) {
+	inst := newTestInstance()
+	e := sampleEntry()
+	inst.Create(e)
+	if err := inst.Delete(e.Name); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := inst.Delete(e.Name); !errors.Is(err, ErrNotFound) {
+		t.Errorf("second Delete = %v, want ErrNotFound", err)
+	}
+	if inst.Len() != 0 {
+		t.Error("instance should be empty after delete")
+	}
+}
+
+func TestInstanceEntriesAndNames(t *testing.T) {
+	inst := newTestInstance()
+	for i := 0; i < 5; i++ {
+		e := NewEntry(fmt.Sprintf("file-%d", i), int64(i), "t", Location{Site: 0, Node: cloud.NodeID(i)})
+		if _, err := inst.Create(e); err != nil {
+			t.Fatalf("Create %d: %v", i, err)
+		}
+	}
+	if len(inst.Names()) != 5 {
+		t.Errorf("Names = %d, want 5", len(inst.Names()))
+	}
+	entries, err := inst.Entries()
+	if err != nil {
+		t.Fatalf("Entries: %v", err)
+	}
+	if len(entries) != 5 {
+		t.Errorf("Entries = %d, want 5", len(entries))
+	}
+	for _, e := range entries {
+		if e.Version == 0 {
+			t.Error("Entries should carry stored versions")
+		}
+	}
+}
+
+func TestInstanceMerge(t *testing.T) {
+	src := newTestInstance()
+	dst := newTestInstance()
+	for i := 0; i < 3; i++ {
+		e := NewEntry(fmt.Sprintf("f%d", i), 10, "t", Location{Site: 0, Node: cloud.NodeID(i)})
+		src.Create(e)
+	}
+	// dst already has f0 with a different location: locations must be unioned.
+	dst.Create(NewEntry("f0", 10, "t", Location{Site: 1, Node: 99}))
+
+	entries, _ := src.Entries()
+	applied, err := dst.Merge(entries)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if applied != 3 {
+		t.Errorf("applied = %d, want 3", applied)
+	}
+	if dst.Len() != 3 {
+		t.Errorf("dst has %d entries, want 3", dst.Len())
+	}
+	f0, _ := dst.Get("f0")
+	if len(f0.Locations) != 2 {
+		t.Errorf("f0 locations = %d, want union of 2", len(f0.Locations))
+	}
+
+	// Merging the same batch again changes nothing.
+	applied, err = dst.Merge(entries)
+	if err != nil {
+		t.Fatalf("second Merge: %v", err)
+	}
+	if applied != 0 {
+		t.Errorf("idempotent merge applied %d, want 0", applied)
+	}
+}
+
+func TestInstanceMergeInvalid(t *testing.T) {
+	dst := newTestInstance()
+	if _, err := dst.Merge([]Entry{{}}); !errors.Is(err, ErrInvalidEntry) {
+		t.Errorf("Merge invalid = %v, want ErrInvalidEntry", err)
+	}
+}
+
+func TestInstanceWithJSONCodec(t *testing.T) {
+	inst := NewInstance(1, memcache.New(memcache.Config{}), WithCodec(JSONCodec{}))
+	e := sampleEntry()
+	if _, err := inst.Create(e); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	got, err := inst.Get(e.Name)
+	if err != nil || !got.Equal(e) {
+		t.Errorf("JSON-backed instance round trip failed: %v", err)
+	}
+}
+
+func TestInstanceOnHACache(t *testing.T) {
+	ha := memcache.NewHA(func() *memcache.Cache { return memcache.New(memcache.Config{}) })
+	inst := NewInstance(2, ha)
+	e := sampleEntry()
+	if _, err := inst.Create(e); err != nil {
+		t.Fatalf("Create on HA store: %v", err)
+	}
+	ha.FailPrimary()
+	got, err := inst.Get(e.Name)
+	if err != nil || !got.Equal(e) {
+		t.Errorf("entry lost across failover: %v", err)
+	}
+}

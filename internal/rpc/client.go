@@ -1,0 +1,244 @@
+package rpc
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"geomds/internal/cloud"
+	"geomds/internal/registry"
+)
+
+// Client is a registry.API proxy for a registry server reached over TCP.
+// It is safe for concurrent use: requests are serialized over a single
+// connection (the protocol is strictly request/response) and the connection
+// is re-established transparently after transport errors.
+type Client struct {
+	addr    string
+	site    cloud.SiteID
+	timeout time.Duration
+
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
+}
+
+// Client implements the registry API.
+var _ registry.API = (*Client)(nil)
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithTimeout bounds each remote call (connect + request + response).
+// The default is 10 seconds.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.timeout = d
+		}
+	}
+}
+
+// Dial connects to a registry server and verifies it is reachable. The
+// returned client reports the site ID advertised by the server.
+func Dial(addr string, opts ...ClientOption) (*Client, error) {
+	c := &Client{addr: addr, timeout: 10 * time.Second}
+	for _, o := range opts {
+		o(c)
+	}
+	resp, err := c.call(Request{Op: OpSite})
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	c.site = siteFromN(resp.N)
+	return c, nil
+}
+
+// Addr returns the server address this client talks to.
+func (c *Client) Addr() string { return c.addr }
+
+// Site implements registry.API with the site ID advertised by the server.
+func (c *Client) Site() cloud.SiteID { return c.site }
+
+// Ping verifies the server is reachable.
+func (c *Client) Ping() error {
+	_, err := c.call(Request{Op: OpPing})
+	return err
+}
+
+// Close releases the connection. Subsequent calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// Create implements registry.API.
+func (c *Client) Create(e registry.Entry) (registry.Entry, error) {
+	return c.entryCall(Request{Op: OpCreate, Entry: e})
+}
+
+// Put implements registry.API.
+func (c *Client) Put(e registry.Entry) (registry.Entry, error) {
+	return c.entryCall(Request{Op: OpPut, Entry: e})
+}
+
+// Get implements registry.API.
+func (c *Client) Get(name string) (registry.Entry, error) {
+	return c.entryCall(Request{Op: OpGet, Name: name})
+}
+
+// Contains implements registry.API. Transport errors are reported as
+// "does not contain", matching the best-effort semantics of the in-process
+// Contains.
+func (c *Client) Contains(name string) bool {
+	resp, err := c.call(Request{Op: OpContains, Name: name})
+	if err != nil {
+		return false
+	}
+	return resp.Bool
+}
+
+// AddLocation implements registry.API.
+func (c *Client) AddLocation(name string, loc registry.Location) (registry.Entry, error) {
+	return c.entryCall(Request{Op: OpAddLoc, Name: name, Location: loc})
+}
+
+// Delete implements registry.API.
+func (c *Client) Delete(name string) error {
+	resp, err := c.call(Request{Op: OpDelete, Name: name})
+	if err != nil {
+		return err
+	}
+	return decodeErr(resp.Err, resp.Detail)
+}
+
+// Names implements registry.API. Transport errors yield an empty list.
+func (c *Client) Names() []string {
+	resp, err := c.call(Request{Op: OpNames})
+	if err != nil {
+		return nil
+	}
+	return resp.Names
+}
+
+// Entries implements registry.API.
+func (c *Client) Entries() ([]registry.Entry, error) {
+	resp, err := c.call(Request{Op: OpEntries})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, decodeErr(resp.Err, resp.Detail)
+	}
+	return resp.Entries, nil
+}
+
+// GetMany implements registry.API.
+func (c *Client) GetMany(names []string) ([]registry.Entry, error) {
+	resp, err := c.call(Request{Op: OpGetMany, Names: names})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, decodeErr(resp.Err, resp.Detail)
+	}
+	return resp.Entries, nil
+}
+
+// Merge implements registry.API.
+func (c *Client) Merge(entries []registry.Entry) (int, error) {
+	resp, err := c.call(Request{Op: OpMerge, Entries: entries})
+	if err != nil {
+		return 0, err
+	}
+	if !resp.OK {
+		return 0, decodeErr(resp.Err, resp.Detail)
+	}
+	return resp.N, nil
+}
+
+// Len implements registry.API. Transport errors yield zero.
+func (c *Client) Len() int {
+	resp, err := c.call(Request{Op: OpLen})
+	if err != nil {
+		return 0
+	}
+	return resp.N
+}
+
+func (c *Client) entryCall(req Request) (registry.Entry, error) {
+	resp, err := c.call(req)
+	if err != nil {
+		return registry.Entry{}, err
+	}
+	if !resp.OK {
+		return registry.Entry{}, decodeErr(resp.Err, resp.Detail)
+	}
+	return resp.Entry, nil
+}
+
+// call performs one request/response exchange, reconnecting once if the
+// cached connection has gone stale.
+func (c *Client) call(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return Response{}, fmt.Errorf("rpc: client for %s is closed", c.addr)
+	}
+	resp, err := c.exchangeLocked(req)
+	if err == nil {
+		return resp, nil
+	}
+	// One transparent retry on a fresh connection (the server may have
+	// dropped an idle connection between calls).
+	c.dropConnLocked()
+	return c.exchangeLocked(req)
+}
+
+func (c *Client) exchangeLocked(req Request) (Response, error) {
+	if err := c.ensureConnLocked(); err != nil {
+		return Response{}, err
+	}
+	deadline := time.Now().Add(c.timeout)
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		c.dropConnLocked()
+		return Response{}, fmt.Errorf("rpc: set deadline: %w", err)
+	}
+	if err := writeFrame(c.conn, req); err != nil {
+		c.dropConnLocked()
+		return Response{}, err
+	}
+	var resp Response
+	if err := readFrame(c.conn, &resp); err != nil {
+		c.dropConnLocked()
+		return Response{}, fmt.Errorf("rpc: read response: %w", err)
+	}
+	return resp, nil
+}
+
+func (c *Client) ensureConnLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return fmt.Errorf("rpc: connect %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	return nil
+}
+
+func (c *Client) dropConnLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}

@@ -1,0 +1,181 @@
+// Package rpc lets a metadata registry instance run as a stand-alone server
+// process and be driven remotely over TCP.
+//
+// The paper's prototype deploys one managed-cache-backed registry instance
+// per datacenter; the strategy logic lives in a client-side middleware that
+// knows every instance's endpoint and decides, per operation, which instance
+// to contact. This package reproduces that split: cmd/metaserver wraps a
+// registry.Instance behind a TCP endpoint, and Client is a registry.API proxy
+// that the core strategies can use, via core.WithInstances, exactly as if the
+// instance were in-process.
+//
+// The wire protocol is deliberately simple: each message is a 4-byte
+// big-endian length followed by a gob-encoded Request or Response. Requests
+// on one connection are processed in order.
+package rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"geomds/internal/cloud"
+	"geomds/internal/registry"
+)
+
+// Op identifies the requested registry operation.
+type Op string
+
+// Supported operations. They mirror registry.API one-to-one.
+const (
+	OpPing     Op = "ping"
+	OpSite     Op = "site"
+	OpCreate   Op = "create"
+	OpPut      Op = "put"
+	OpGet      Op = "get"
+	OpContains Op = "contains"
+	OpAddLoc   Op = "addloc"
+	OpDelete   Op = "delete"
+	OpNames    Op = "names"
+	OpEntries  Op = "entries"
+	OpGetMany  Op = "getmany"
+	OpMerge    Op = "merge"
+	OpLen      Op = "len"
+)
+
+// Request is one client-to-server message.
+type Request struct {
+	// Op selects the operation.
+	Op Op
+	// Name is the entry name for Get/Contains/AddLoc/Delete.
+	Name string
+	// Names carries the name list for GetMany.
+	Names []string
+	// Entry carries the payload for Create/Put.
+	Entry registry.Entry
+	// Entries carries the payload for Merge.
+	Entries []registry.Entry
+	// Location carries the payload for AddLoc.
+	Location registry.Location
+}
+
+// Response is one server-to-client message.
+type Response struct {
+	// OK reports whether the operation succeeded.
+	OK bool
+	// Err is the error classification when OK is false.
+	Err ErrCode
+	// Detail is the error message when OK is false.
+	Detail string
+	// Entry is the result of Create/Put/Get/AddLoc.
+	Entry registry.Entry
+	// Entries is the result of Entries.
+	Entries []registry.Entry
+	// Names is the result of Names.
+	Names []string
+	// Bool is the result of Contains.
+	Bool bool
+	// N is the result of Len/Merge, and carries the SiteID for OpSite.
+	N int
+}
+
+// ErrCode classifies errors across the wire so clients can map them back to
+// the registry sentinel errors.
+type ErrCode string
+
+// Error classifications.
+const (
+	ErrNone     ErrCode = ""
+	ErrNotFound ErrCode = "not-found"
+	ErrExists   ErrCode = "exists"
+	ErrConflict ErrCode = "conflict"
+	ErrInvalid  ErrCode = "invalid"
+	ErrInternal ErrCode = "internal"
+	ErrBadOp    ErrCode = "bad-op"
+)
+
+// MaxMessageSize bounds a single framed message (16 MiB), protecting both
+// ends from corrupt length prefixes.
+const MaxMessageSize = 16 << 20
+
+// encodeErr converts a server-side error into a wire classification.
+func encodeErr(err error) (ErrCode, string) {
+	switch {
+	case err == nil:
+		return ErrNone, ""
+	case errors.Is(err, registry.ErrNotFound):
+		return ErrNotFound, err.Error()
+	case errors.Is(err, registry.ErrExists):
+		return ErrExists, err.Error()
+	case errors.Is(err, registry.ErrConflict):
+		return ErrConflict, err.Error()
+	case errors.Is(err, registry.ErrInvalidEntry):
+		return ErrInvalid, err.Error()
+	default:
+		return ErrInternal, err.Error()
+	}
+}
+
+// decodeErr converts a wire classification back into a registry error.
+func decodeErr(code ErrCode, detail string) error {
+	switch code {
+	case ErrNone:
+		return nil
+	case ErrNotFound:
+		return fmt.Errorf("%s: %w", detail, registry.ErrNotFound)
+	case ErrExists:
+		return fmt.Errorf("%s: %w", detail, registry.ErrExists)
+	case ErrConflict:
+		return fmt.Errorf("%s: %w", detail, registry.ErrConflict)
+	case ErrInvalid:
+		return fmt.Errorf("%s: %w", detail, registry.ErrInvalidEntry)
+	default:
+		return fmt.Errorf("rpc: remote error: %s", detail)
+	}
+}
+
+// writeFrame writes one length-prefixed gob message to w.
+func writeFrame(w io.Writer, v any) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return fmt.Errorf("rpc: encode: %w", err)
+	}
+	if payload.Len() > MaxMessageSize {
+		return fmt.Errorf("rpc: message of %d bytes exceeds limit", payload.Len())
+	}
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], uint32(payload.Len()))
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("rpc: write header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("rpc: write payload: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads one length-prefixed gob message from r into v.
+func readFrame(r io.Reader, v any) error {
+	var header [4]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return err // io.EOF is meaningful to callers; do not wrap
+	}
+	n := binary.BigEndian.Uint32(header[:])
+	if n > MaxMessageSize {
+		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("rpc: read payload: %w", err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("rpc: decode: %w", err)
+	}
+	return nil
+}
+
+// siteFromN converts the N field of an OpSite response into a SiteID.
+func siteFromN(n int) cloud.SiteID { return cloud.SiteID(n) }

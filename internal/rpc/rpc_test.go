@@ -1,0 +1,288 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"geomds/internal/cloud"
+	"geomds/internal/memcache"
+	"geomds/internal/registry"
+)
+
+// startTestServer brings up a server on a random localhost port and returns a
+// connected client. Both are torn down when the test finishes.
+func startTestServer(t *testing.T, site cloud.SiteID) (*Server, *Client) {
+	t.Helper()
+	inst := registry.NewInstance(site, memcache.New(memcache.Config{}))
+	srv := NewServer(inst, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("start server: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	client, err := Dial(addr, WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return srv, client
+}
+
+func wireEntry(name string) registry.Entry {
+	return registry.NewEntry(name, 2048, "task-w", registry.Location{Site: 1, Node: 4})
+}
+
+func TestClientSiteAndPing(t *testing.T) {
+	_, client := startTestServer(t, 3)
+	if client.Site() != 3 {
+		t.Errorf("Site = %d, want 3", client.Site())
+	}
+	if err := client.Ping(); err != nil {
+		t.Errorf("Ping: %v", err)
+	}
+	if client.Addr() == "" {
+		t.Error("Addr should not be empty")
+	}
+}
+
+func TestCreateGetOverWire(t *testing.T) {
+	_, client := startTestServer(t, 0)
+	e := wireEntry("wire-1")
+	stored, err := client.Create(e)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if stored.Version == 0 {
+		t.Error("Create should return the stored version")
+	}
+	got, err := client.Get("wire-1")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !got.Equal(e) {
+		t.Errorf("Get = %+v, want %+v", got, e)
+	}
+	if !client.Contains("wire-1") || client.Contains("nope") {
+		t.Error("Contains misbehaves")
+	}
+	if client.Len() != 1 {
+		t.Errorf("Len = %d, want 1", client.Len())
+	}
+}
+
+func TestErrorsCrossTheWire(t *testing.T) {
+	_, client := startTestServer(t, 0)
+	e := wireEntry("dup")
+	if _, err := client.Create(e); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Create(e); !errors.Is(err, registry.ErrExists) {
+		t.Errorf("duplicate Create = %v, want ErrExists", err)
+	}
+	if _, err := client.Get("missing"); !errors.Is(err, registry.ErrNotFound) {
+		t.Errorf("Get missing = %v, want ErrNotFound", err)
+	}
+	if err := client.Delete("missing"); !errors.Is(err, registry.ErrNotFound) {
+		t.Errorf("Delete missing = %v, want ErrNotFound", err)
+	}
+	if _, err := client.Create(registry.Entry{}); !errors.Is(err, registry.ErrInvalidEntry) {
+		t.Errorf("Create invalid = %v, want ErrInvalidEntry", err)
+	}
+	if _, err := client.AddLocation("missing", registry.Location{}); !errors.Is(err, registry.ErrNotFound) {
+		t.Errorf("AddLocation missing = %v, want ErrNotFound", err)
+	}
+}
+
+func TestUpdateDeleteOverWire(t *testing.T) {
+	_, client := startTestServer(t, 0)
+	e := wireEntry("upd")
+	client.Create(e)
+	loc := registry.Location{Site: 2, Node: 9}
+	updated, err := client.AddLocation("upd", loc)
+	if err != nil {
+		t.Fatalf("AddLocation: %v", err)
+	}
+	if !updated.HasLocation(loc) {
+		t.Error("location not added")
+	}
+	if err := client.Delete("upd"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if client.Contains("upd") {
+		t.Error("entry still present after delete")
+	}
+}
+
+func TestPutNamesEntriesMergeOverWire(t *testing.T) {
+	_, client := startTestServer(t, 0)
+	var batch []registry.Entry
+	for i := 0; i < 5; i++ {
+		batch = append(batch, wireEntry(fmt.Sprintf("m%d", i)))
+	}
+	n, err := client.Merge(batch)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if n != 5 {
+		t.Errorf("Merge applied %d, want 5", n)
+	}
+	if _, err := client.Put(wireEntry("m0")); err != nil {
+		t.Errorf("Put: %v", err)
+	}
+	names := client.Names()
+	if len(names) != 5 {
+		t.Errorf("Names = %d, want 5", len(names))
+	}
+	entries, err := client.Entries()
+	if err != nil || len(entries) != 5 {
+		t.Errorf("Entries = %d, %v; want 5", len(entries), err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, first := startTestServer(t, 0)
+	addr := first.Addr()
+	const clients = 6
+	const perClient = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perClient)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < perClient; i++ {
+				name := fmt.Sprintf("c%d-f%d", ci, i)
+				if _, err := c.Create(wireEntry(name)); err != nil {
+					errs <- fmt.Errorf("create %s: %w", name, err)
+					return
+				}
+				if _, err := c.Get(name); err != nil {
+					errs <- fmt.Errorf("get %s: %w", name, err)
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if first.Len() != clients*perClient {
+		t.Errorf("server holds %d entries, want %d", first.Len(), clients*perClient)
+	}
+	if srv.Requests() == 0 {
+		t.Error("server request counter did not advance")
+	}
+}
+
+func TestClientReconnects(t *testing.T) {
+	_, client := startTestServer(t, 0)
+	if _, err := client.Create(wireEntry("before")); err != nil {
+		t.Fatal(err)
+	}
+	// Force the cached connection to go stale; the next call must recover.
+	client.mu.Lock()
+	client.conn.Close()
+	client.mu.Unlock()
+	if _, err := client.Get("before"); err != nil {
+		t.Errorf("Get after dropped connection: %v", err)
+	}
+}
+
+func TestClientClosed(t *testing.T) {
+	_, client := startTestServer(t, 0)
+	client.Close()
+	if _, err := client.Get("x"); err == nil {
+		t.Error("calls on a closed client should fail")
+	}
+	if err := client.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}
+
+func TestDialUnreachable(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", WithTimeout(200*time.Millisecond)); err == nil {
+		t.Error("Dial to a closed port should fail")
+	}
+}
+
+func TestServerClose(t *testing.T) {
+	inst := registry.NewInstance(0, memcache.New(memcache.Config{}))
+	srv := NewServer(inst, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	// The client should fail (possibly after its one retry) once the server
+	// is gone.
+	if err := client.Ping(); err == nil {
+		t.Error("Ping should fail after server shutdown")
+	}
+	client.Close()
+	if srv.Addr() == "" {
+		t.Error("Addr should remain known after close")
+	}
+}
+
+func TestBadOpRejected(t *testing.T) {
+	_, client := startTestServer(t, 0)
+	resp, err := client.call(Request{Op: Op("bogus")})
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if resp.OK || resp.Err != ErrBadOp {
+		t.Errorf("bogus op response = %+v", resp)
+	}
+}
+
+func TestCoreFabricOverRPC(t *testing.T) {
+	// End-to-end: four registry servers (one per site) driven through the
+	// strategies via rpc clients plugged into the fabric. Exercised more
+	// fully in examples/multisite; here we check the wiring compiles and a
+	// round trip works through registry.API.
+	sites := []cloud.SiteID{0, 1, 2, 3}
+	proxies := make(map[cloud.SiteID]registry.API, len(sites))
+	for _, s := range sites {
+		inst := registry.NewInstance(s, memcache.New(memcache.Config{}))
+		srv := NewServer(inst, nil)
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		client, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { client.Close() })
+		proxies[s] = client
+	}
+	e := wireEntry("fabric-over-rpc")
+	if _, err := proxies[2].Create(e); err != nil {
+		t.Fatalf("Create via proxy: %v", err)
+	}
+	got, err := proxies[2].Get("fabric-over-rpc")
+	if err != nil || !got.Equal(e) {
+		t.Errorf("Get via proxy: %v", err)
+	}
+}

@@ -1,0 +1,230 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"geomds/internal/registry"
+)
+
+// Server exposes one registry instance over TCP. One server corresponds to
+// the metadata registry deployment of a single datacenter.
+type Server struct {
+	reg      registry.API
+	listener net.Listener
+	logger   *log.Logger
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	requests atomic.Int64
+}
+
+// NewServer wraps the given registry behind a server. Call Serve (or
+// ListenAndServe) to start accepting connections.
+func NewServer(reg registry.API, logger *log.Logger) *Server {
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &Server{reg: reg, logger: logger, conns: make(map[net.Conn]struct{})}
+}
+
+// ListenAndServe listens on addr (e.g. "127.0.0.1:7070" or ":0") and serves
+// until Close. It returns the error that stopped the accept loop, or nil
+// after an orderly Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("rpc: listen %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections from ln until Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("rpc: server already closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			return fmt.Errorf("rpc: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Start is a convenience wrapper that listens on addr and serves in a
+// background goroutine, returning the bound address (useful with ":0").
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("rpc: listen %s: %w", addr, err)
+	}
+	go func() {
+		if err := s.Serve(ln); err != nil {
+			s.logger.Printf("rpc server stopped: %v", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the listener address, or "" before Serve.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Requests returns the number of requests served.
+func (s *Server) Requests() int64 { return s.requests.Load() }
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close stops accepting connections, closes active ones and waits for
+// handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		var req Request
+		if err := readFrame(conn, &req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !s.isClosed() {
+				s.logger.Printf("rpc: read from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		s.requests.Add(1)
+		resp := s.dispatch(req)
+		if err := writeFrame(conn, resp); err != nil {
+			if !s.isClosed() {
+				s.logger.Printf("rpc: write to %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req Request) Response {
+	switch req.Op {
+	case OpPing:
+		return Response{OK: true}
+	case OpSite:
+		return Response{OK: true, N: int(s.reg.Site())}
+	case OpCreate:
+		e, err := s.reg.Create(req.Entry)
+		return result(e, err)
+	case OpPut:
+		e, err := s.reg.Put(req.Entry)
+		return result(e, err)
+	case OpGet:
+		e, err := s.reg.Get(req.Name)
+		return result(e, err)
+	case OpContains:
+		return Response{OK: true, Bool: s.reg.Contains(req.Name)}
+	case OpAddLoc:
+		e, err := s.reg.AddLocation(req.Name, req.Location)
+		return result(e, err)
+	case OpDelete:
+		if err := s.reg.Delete(req.Name); err != nil {
+			return failure(err)
+		}
+		return Response{OK: true}
+	case OpNames:
+		return Response{OK: true, Names: s.reg.Names()}
+	case OpEntries:
+		entries, err := s.reg.Entries()
+		if err != nil {
+			return failure(err)
+		}
+		return Response{OK: true, Entries: entries}
+	case OpGetMany:
+		entries, err := s.reg.GetMany(req.Names)
+		if err != nil {
+			return failure(err)
+		}
+		return Response{OK: true, Entries: entries}
+	case OpMerge:
+		n, err := s.reg.Merge(req.Entries)
+		if err != nil {
+			return failure(err)
+		}
+		return Response{OK: true, N: n}
+	case OpLen:
+		return Response{OK: true, N: s.reg.Len()}
+	default:
+		return Response{OK: false, Err: ErrBadOp, Detail: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func result(e registry.Entry, err error) Response {
+	if err != nil {
+		return failure(err)
+	}
+	return Response{OK: true, Entry: e}
+}
+
+func failure(err error) Response {
+	code, detail := encodeErr(err)
+	return Response{OK: false, Err: code, Detail: detail}
+}

@@ -1,0 +1,186 @@
+package workflow
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"geomds/internal/cloud"
+)
+
+// Schedule maps every task of a workflow to the execution node that will run
+// it.
+type Schedule map[string]cloud.NodeID
+
+// Scheduler assigns workflow tasks to the nodes of a deployment.
+type Scheduler interface {
+	// Schedule returns a complete task→node assignment for the workflow.
+	Schedule(w *Workflow, dep *cloud.Deployment) (Schedule, error)
+	// Name identifies the scheduling policy.
+	Name() string
+}
+
+// Validate checks that the schedule covers every task of the workflow and
+// only references nodes of the deployment.
+func (s Schedule) Validate(w *Workflow, dep *cloud.Deployment) error {
+	for _, t := range w.Tasks() {
+		node, ok := s[t.ID]
+		if !ok {
+			return fmt.Errorf("workflow: schedule misses task %q", t.ID)
+		}
+		if int(node) < 0 || int(node) >= dep.NumNodes() {
+			return fmt.Errorf("workflow: schedule assigns task %q to unknown node %d", t.ID, node)
+		}
+	}
+	return nil
+}
+
+// SiteLoad returns how many tasks the schedule places on each site.
+func (s Schedule) SiteLoad(dep *cloud.Deployment) map[cloud.SiteID]int {
+	out := make(map[cloud.SiteID]int)
+	for _, node := range s {
+		out[dep.SiteOf(node)]++
+	}
+	return out
+}
+
+// RoundRobinScheduler spreads tasks over nodes in topological order, which
+// also spreads them evenly over sites when the deployment itself is spread.
+// This is the paper's baseline placement ("the workflow jobs were evenly
+// distributed across 32 nodes").
+type RoundRobinScheduler struct{}
+
+// Name implements Scheduler.
+func (RoundRobinScheduler) Name() string { return "round-robin" }
+
+// Schedule implements Scheduler.
+func (RoundRobinScheduler) Schedule(w *Workflow, dep *cloud.Deployment) (Schedule, error) {
+	if dep.NumNodes() == 0 {
+		return nil, fmt.Errorf("workflow: deployment has no nodes")
+	}
+	order, err := w.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	s := make(Schedule, len(order))
+	for i, id := range order {
+		s[id] = cloud.NodeID(i % dep.NumNodes())
+	}
+	return s, nil
+}
+
+// RandomScheduler assigns every task to a uniformly random node. It serves as
+// the pessimistic baseline in the scheduler ablation.
+type RandomScheduler struct {
+	// Seed makes assignments reproducible.
+	Seed int64
+}
+
+// Name implements Scheduler.
+func (RandomScheduler) Name() string { return "random" }
+
+// Schedule implements Scheduler.
+func (r RandomScheduler) Schedule(w *Workflow, dep *cloud.Deployment) (Schedule, error) {
+	if dep.NumNodes() == 0 {
+		return nil, fmt.Errorf("workflow: deployment has no nodes")
+	}
+	order, err := w.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	s := make(Schedule, len(order))
+	for _, id := range order {
+		s[id] = cloud.NodeID(rng.Intn(dep.NumNodes()))
+	}
+	return s, nil
+}
+
+// LocalityScheduler implements the locality policy the paper attributes to
+// workflow execution engines: sequential jobs with tight data dependencies
+// are scheduled in the same site as their predecessors, to prevent
+// unnecessary data movements (§VII-A). A task is placed on the least-loaded
+// node of the site that produces most of its inputs; tasks without
+// workflow-internal inputs are spread round-robin across sites.
+type LocalityScheduler struct{}
+
+// Name implements Scheduler.
+func (LocalityScheduler) Name() string { return "locality" }
+
+// Schedule implements Scheduler.
+func (LocalityScheduler) Schedule(w *Workflow, dep *cloud.Deployment) (Schedule, error) {
+	if dep.NumNodes() == 0 {
+		return nil, fmt.Errorf("workflow: deployment has no nodes")
+	}
+	order, err := w.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	topo := dep.Topology()
+	s := make(Schedule, len(order))
+	// load counts tasks assigned per node, to break ties evenly.
+	load := make(map[cloud.NodeID]int, dep.NumNodes())
+	nextSite := 0
+
+	pickNodeAt := func(site cloud.SiteID) cloud.NodeID {
+		candidates := dep.NodesAt(site)
+		if len(candidates) == 0 {
+			// Site hosts no nodes: fall back to the globally least loaded node.
+			best := cloud.NodeID(0)
+			for id := cloud.NodeID(0); int(id) < dep.NumNodes(); id++ {
+				if load[id] < load[best] {
+					best = id
+				}
+			}
+			return best
+		}
+		best := candidates[0]
+		for _, c := range candidates[1:] {
+			if load[c] < load[best] {
+				best = c
+			}
+		}
+		return best
+	}
+
+	for _, id := range order {
+		task, _ := w.Task(id)
+		votes := make(map[cloud.SiteID]int)
+		for _, in := range task.Inputs {
+			if p := w.Producer(in); p != nil {
+				if node, ok := s[p.ID]; ok {
+					votes[dep.SiteOf(node)]++
+				}
+			}
+		}
+		var site cloud.SiteID
+		if len(votes) == 0 {
+			// Root task: spread across sites round-robin.
+			site = cloud.SiteID(nextSite % topo.NumSites())
+			nextSite++
+		} else {
+			site = bestSite(votes)
+		}
+		node := pickNodeAt(site)
+		s[id] = node
+		load[node]++
+	}
+	return s, nil
+}
+
+// bestSite returns the site with the most votes, breaking ties by lowest ID
+// for determinism.
+func bestSite(votes map[cloud.SiteID]int) cloud.SiteID {
+	sites := make([]cloud.SiteID, 0, len(votes))
+	for s := range votes {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	best := sites[0]
+	for _, s := range sites[1:] {
+		if votes[s] > votes[best] {
+			best = s
+		}
+	}
+	return best
+}

@@ -1,0 +1,145 @@
+package workflow
+
+import (
+	"testing"
+	"time"
+
+	"geomds/internal/cloud"
+)
+
+func testDeployment(nodes int) *cloud.Deployment {
+	dep := cloud.NewDeployment(cloud.Azure4DC())
+	dep.SpreadNodes(nodes)
+	return dep
+}
+
+func TestRoundRobinScheduler(t *testing.T) {
+	w := diamond()
+	dep := testDeployment(8)
+	sched, err := (RoundRobinScheduler{}).Schedule(w, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(w, dep); err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 4 {
+		t.Errorf("schedule covers %d tasks, want 4", len(sched))
+	}
+	load := sched.SiteLoad(dep)
+	total := 0
+	for _, n := range load {
+		total += n
+	}
+	if total != 4 {
+		t.Errorf("SiteLoad totals %d, want 4", total)
+	}
+}
+
+func TestRoundRobinEmptyDeployment(t *testing.T) {
+	dep := cloud.NewDeployment(cloud.Azure4DC())
+	if _, err := (RoundRobinScheduler{}).Schedule(diamond(), dep); err == nil {
+		t.Error("expected error for empty deployment")
+	}
+	if _, err := (RandomScheduler{}).Schedule(diamond(), dep); err == nil {
+		t.Error("expected error for empty deployment")
+	}
+	if _, err := (LocalityScheduler{}).Schedule(diamond(), dep); err == nil {
+		t.Error("expected error for empty deployment")
+	}
+}
+
+func TestRandomSchedulerDeterministicWithSeed(t *testing.T) {
+	w := Scatter(PatternConfig{Prefix: "r-"}, 12)
+	dep := testDeployment(16)
+	a, err := (RandomScheduler{Seed: 7}).Schedule(w, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := (RandomScheduler{Seed: 7}).Schedule(w, dep)
+	for id := range a {
+		if a[id] != b[id] {
+			t.Fatalf("same seed produced different schedules for %q", id)
+		}
+	}
+	if err := a.Validate(w, dep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalitySchedulerKeepsPipelinesTogether(t *testing.T) {
+	// A pure pipeline should stay within a single site under the locality
+	// policy: each task follows its only input's producer.
+	w := Pipeline(PatternConfig{Prefix: "lp-", Compute: time.Second}, 10)
+	dep := testDeployment(16)
+	sched, err := (LocalityScheduler{}).Schedule(w, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(w, dep); err != nil {
+		t.Fatal(err)
+	}
+	sites := make(map[cloud.SiteID]bool)
+	for _, node := range sched {
+		sites[dep.SiteOf(node)] = true
+	}
+	if len(sites) != 1 {
+		t.Errorf("pipeline scheduled across %d sites, want 1", len(sites))
+	}
+}
+
+func TestLocalitySchedulerSpreadsRoots(t *testing.T) {
+	// Independent producers (gather pattern roots) should spread across sites.
+	w := Gather(PatternConfig{Prefix: "lg-"}, 8)
+	dep := testDeployment(16)
+	sched, err := (LocalityScheduler{}).Schedule(w, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := sched.SiteLoad(dep)
+	if len(load) < 2 {
+		t.Errorf("gather roots all landed on %d site(s), want spread", len(load))
+	}
+}
+
+func TestLocalitySchedulerSingleSiteDeployment(t *testing.T) {
+	// All nodes in one datacenter: every task must still get a node.
+	dep := cloud.NewDeployment(cloud.Azure4DC())
+	for i := 0; i < 4; i++ {
+		dep.AddNode(1)
+	}
+	w := Scatter(PatternConfig{Prefix: "ss-"}, 6)
+	sched, err := (LocalityScheduler{}).Schedule(w, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(w, dep); err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range sched {
+		if dep.SiteOf(node) != 1 {
+			t.Errorf("task scheduled outside the only populated site")
+		}
+	}
+}
+
+func TestScheduleValidateErrors(t *testing.T) {
+	w := diamond()
+	dep := testDeployment(4)
+	sched := Schedule{"a": 0, "b": 1, "c": 2} // misses d
+	if err := sched.Validate(w, dep); err == nil {
+		t.Error("missing task should fail validation")
+	}
+	sched = Schedule{"a": 0, "b": 1, "c": 2, "d": 99}
+	if err := sched.Validate(w, dep); err == nil {
+		t.Error("unknown node should fail validation")
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	if (RoundRobinScheduler{}).Name() != "round-robin" ||
+		(RandomScheduler{}).Name() != "random" ||
+		(LocalityScheduler{}).Name() != "locality" {
+		t.Error("scheduler names changed")
+	}
+}

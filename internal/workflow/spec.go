@@ -1,0 +1,146 @@
+package workflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// This file provides a JSON interchange format for workflows, so that DAGs
+// produced by external workflow engines (or written by hand) can be executed
+// by cmd/wfrun and the engine without recompiling. The format mirrors the
+// declarative task descriptions used by engines such as Pegasus or Swift:
+// tasks, their input/output files and an estimated run time.
+
+// Spec is the serializable form of a workflow.
+type Spec struct {
+	// Name identifies the workflow.
+	Name string `json:"name"`
+	// ExternalInputs lists files that exist before the workflow starts.
+	ExternalInputs []FileSpecJSON `json:"external_inputs,omitempty"`
+	// Tasks lists every task of the DAG.
+	Tasks []TaskSpec `json:"tasks"`
+}
+
+// FileSpecJSON is the serializable form of a produced or staged-in file.
+type FileSpecJSON struct {
+	Name string `json:"name"`
+	Size int64  `json:"size,omitempty"`
+}
+
+// TaskSpec is the serializable form of one task.
+type TaskSpec struct {
+	ID string `json:"id"`
+	// Stage is an optional phase label.
+	Stage string `json:"stage,omitempty"`
+	// Inputs are the names of the files the task reads.
+	Inputs []string `json:"inputs,omitempty"`
+	// Outputs are the files the task produces.
+	Outputs []FileSpecJSON `json:"outputs,omitempty"`
+	// Compute is the task's estimated run time, in Go duration syntax
+	// (e.g. "1s", "750ms"). Empty means zero.
+	Compute string `json:"compute,omitempty"`
+}
+
+// ToSpec converts a workflow into its serializable form.
+func (w *Workflow) ToSpec() Spec {
+	spec := Spec{Name: w.Name}
+	for _, f := range w.ExternalInputs {
+		spec.ExternalInputs = append(spec.ExternalInputs, FileSpecJSON{Name: f.Name, Size: f.Size})
+	}
+	for _, t := range w.Tasks() {
+		ts := TaskSpec{ID: t.ID, Stage: t.Stage, Inputs: append([]string(nil), t.Inputs...)}
+		for _, o := range t.Outputs {
+			ts.Outputs = append(ts.Outputs, FileSpecJSON{Name: o.Name, Size: o.Size})
+		}
+		if t.Compute > 0 {
+			ts.Compute = t.Compute.String()
+		}
+		spec.Tasks = append(spec.Tasks, ts)
+	}
+	return spec
+}
+
+// FromSpec builds a workflow from its serializable form and validates it.
+func FromSpec(spec Spec) (*Workflow, error) {
+	w := New(spec.Name)
+	for _, f := range spec.ExternalInputs {
+		w.AddExternalInput(f.Name, f.Size)
+	}
+	for _, ts := range spec.Tasks {
+		var compute time.Duration
+		if ts.Compute != "" {
+			var err error
+			compute, err = time.ParseDuration(ts.Compute)
+			if err != nil {
+				return nil, fmt.Errorf("workflow: task %q: invalid compute %q: %w", ts.ID, ts.Compute, err)
+			}
+		}
+		task := Task{ID: ts.ID, Stage: ts.Stage, Inputs: append([]string(nil), ts.Inputs...), Compute: compute}
+		for _, o := range ts.Outputs {
+			task.Outputs = append(task.Outputs, FileSpec{Name: o.Name, Size: o.Size})
+		}
+		if err := w.AddTask(task); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// MarshalJSON encodes the workflow as its Spec.
+func (w *Workflow) MarshalJSON() ([]byte, error) {
+	return json.MarshalIndent(w.ToSpec(), "", "  ")
+}
+
+// WriteSpec writes the workflow as JSON to the writer.
+func (w *Workflow) WriteSpec(out io.Writer) error {
+	data, err := w.MarshalJSON()
+	if err != nil {
+		return fmt.Errorf("workflow: encoding spec: %w", err)
+	}
+	if _, err := out.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("workflow: writing spec: %w", err)
+	}
+	return nil
+}
+
+// SaveSpec writes the workflow as JSON to the given file.
+func (w *Workflow) SaveSpec(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("workflow: creating %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := w.WriteSpec(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadSpec parses a workflow from JSON.
+func ReadSpec(in io.Reader) (*Workflow, error) {
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return nil, fmt.Errorf("workflow: reading spec: %w", err)
+	}
+	var spec Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, fmt.Errorf("workflow: parsing spec: %w", err)
+	}
+	return FromSpec(spec)
+}
+
+// LoadSpec parses a workflow from a JSON file.
+func LoadSpec(path string) (*Workflow, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workflow: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadSpec(f)
+}

@@ -1,0 +1,118 @@
+package workflow
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	w := diamond()
+	spec := w.ToSpec()
+	if spec.Name != "diamond" || len(spec.Tasks) != 4 || len(spec.ExternalInputs) != 1 {
+		t.Fatalf("spec shape wrong: %+v", spec)
+	}
+	back, err := FromSpec(spec)
+	if err != nil {
+		t.Fatalf("FromSpec: %v", err)
+	}
+	if back.NumTasks() != w.NumTasks() {
+		t.Errorf("tasks = %d, want %d", back.NumTasks(), w.NumTasks())
+	}
+	origStats, _ := w.Stats()
+	backStats, _ := back.Stats()
+	if origStats != backStats {
+		t.Errorf("stats changed across round trip:\n  orig %+v\n  back %+v", origStats, backStats)
+	}
+	tb, _ := back.Task("b")
+	if tb.Compute != 2*time.Second {
+		t.Errorf("compute lost: %v", tb.Compute)
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	w := Scatter(PatternConfig{Prefix: "sp-", FileSize: 4096, Compute: 1500 * time.Millisecond}, 5)
+	var buf bytes.Buffer
+	if err := w.WriteSpec(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"tasks\"") {
+		t.Error("JSON spec missing tasks field")
+	}
+	back, err := ReadSpec(&buf)
+	if err != nil {
+		t.Fatalf("ReadSpec: %v", err)
+	}
+	if back.NumTasks() != w.NumTasks() {
+		t.Errorf("tasks = %d, want %d", back.NumTasks(), w.NumTasks())
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("round-tripped workflow invalid: %v", err)
+	}
+}
+
+func TestSpecFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wf.json")
+	w := Pipeline(PatternConfig{Prefix: "fp-", Compute: time.Second}, 4)
+	if err := w.SaveSpec(path); err != nil {
+		t.Fatalf("SaveSpec: %v", err)
+	}
+	back, err := LoadSpec(path)
+	if err != nil {
+		t.Fatalf("LoadSpec: %v", err)
+	}
+	if back.Name != w.Name || back.NumTasks() != 4 {
+		t.Errorf("loaded workflow differs: %s, %d tasks", back.Name, back.NumTasks())
+	}
+}
+
+func TestFromSpecErrors(t *testing.T) {
+	// Bad compute duration.
+	_, err := FromSpec(Spec{Name: "bad", Tasks: []TaskSpec{{ID: "t", Compute: "three seconds"}}})
+	if err == nil {
+		t.Error("invalid compute should fail")
+	}
+	// Duplicate task IDs.
+	_, err = FromSpec(Spec{Name: "dup", Tasks: []TaskSpec{{ID: "t"}, {ID: "t"}}})
+	if err == nil {
+		t.Error("duplicate IDs should fail")
+	}
+	// Missing input (validation failure).
+	_, err = FromSpec(Spec{Name: "missing", Tasks: []TaskSpec{{ID: "t", Inputs: []string{"ghost"}}}})
+	if err == nil {
+		t.Error("missing input should fail validation")
+	}
+}
+
+func TestReadSpecGarbage(t *testing.T) {
+	if _, err := ReadSpec(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage JSON should fail")
+	}
+}
+
+func TestLoadSpecMissingFile(t *testing.T) {
+	if _, err := LoadSpec("/nonexistent/path/wf.json"); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestSpecOfGeneratedWorkflowsExecutable(t *testing.T) {
+	// A generated workflow survives the JSON round trip and still runs
+	// through the engine.
+	w := Gather(PatternConfig{Prefix: "ge-", FileSize: 512}, 4)
+	var buf bytes.Buffer
+	if err := w.WriteSpec(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSpec(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := back.TopoSort()
+	if err != nil || len(order) != back.NumTasks() {
+		t.Fatalf("TopoSort after round trip: %v", err)
+	}
+}

@@ -1,0 +1,118 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLogNormalSizesProperties(t *testing.T) {
+	d := NewLogNormalSizes(190<<10, 0.8, 4<<20, 1)
+	if d.Name() != "lognormal" {
+		t.Error("name changed")
+	}
+	for i := 0; i < 5000; i++ {
+		s := d.Sample()
+		if s < 1 {
+			t.Fatalf("sample %d below 1 byte", s)
+		}
+		if s > 4<<20 {
+			t.Fatalf("sample %d exceeds the cap", s)
+		}
+	}
+}
+
+func TestSkySurveyAndGenomePopulations(t *testing.T) {
+	sky := SummarizeSizes(SkySurveySizes(7), 20000)
+	genome := SummarizeSizes(GenomeTraceSizes(7), 20000)
+
+	// The paper's motivation: average sizes under a megabyte for SDSS and a
+	// few hundred KB for genome traces, with virtually every file "small".
+	if sky.Mean > 2<<20 || sky.Mean < 200<<10 {
+		t.Errorf("sky survey mean = %d bytes, want sub-2MB", sky.Mean)
+	}
+	if genome.Mean > 1<<20 || genome.Mean < 50<<10 {
+		t.Errorf("genome mean = %d bytes, want a few hundred KB", genome.Mean)
+	}
+	if sky.SmallFileFraction < 0.999 || genome.SmallFileFraction < 0.999 {
+		t.Errorf("small-file fractions = %.3f / %.3f, want ~1.0", sky.SmallFileFraction, genome.SmallFileFraction)
+	}
+	if !strings.Contains(sky.String(), "small files") {
+		t.Error("summary rendering looks wrong")
+	}
+}
+
+func TestFixedSizes(t *testing.T) {
+	d := FixedSizes{Bytes: 42}
+	if d.Name() != "fixed" || d.Sample() != 42 {
+		t.Error("fixed distribution misbehaves")
+	}
+	empty := SummarizeSizes(FixedSizes{Bytes: 0}, 10)
+	if empty.Mean != 0 || empty.SmallFileFraction != 1.0 {
+		t.Errorf("empty-file summary = %+v", empty)
+	}
+}
+
+func TestSummarizeSizesEmpty(t *testing.T) {
+	if s := SummarizeSizes(FixedSizes{Bytes: 1}, 0); s.Count != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestWorkflowConfigWithFileSizes(t *testing.T) {
+	cfg := DefaultMontageConfig(SmallScale).WithFileSizes(GenomeTraceSizes(3))
+	cfg.Width = 4
+	w := Montage(cfg)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Generated outputs now vary in size and stay within the distribution cap.
+	varied := false
+	var first int64 = -1
+	for _, task := range w.Tasks() {
+		for _, out := range task.Outputs {
+			if out.Size <= 0 || out.Size > 4<<20 {
+				t.Fatalf("output size %d outside the distribution's range", out.Size)
+			}
+			if first == -1 {
+				first = out.Size
+			} else if out.Size != first {
+				varied = true
+			}
+		}
+	}
+	if !varied {
+		t.Error("expected varied file sizes from the distribution")
+	}
+}
+
+func TestMetadataPressure(t *testing.T) {
+	// 1000 ops per task, 1s of compute, 52 parallel tasks: 52k ops/s offered.
+	if p := MetadataPressure(1000, time.Second, 52); p != 52000 {
+		t.Errorf("MetadataPressure = %v", p)
+	}
+	if p := MetadataPressure(100, 0, 10); p != 1000 {
+		t.Errorf("MetadataPressure with zero compute = %v", p)
+	}
+}
+
+// Property: log-normal samples respect the cap and positivity for any
+// parameters.
+func TestLogNormalBoundsProperty(t *testing.T) {
+	f := func(medianKB uint16, sigmaTenths uint8, seed int64) bool {
+		median := float64(medianKB%2048+1) * 1024
+		sigma := float64(sigmaTenths%30) / 10
+		d := NewLogNormalSizes(median, sigma, 64<<20, seed)
+		for i := 0; i < 50; i++ {
+			s := d.Sample()
+			if s < 1 || s > 64<<20 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+package workloads
+
+import "time"
+
+// Scenario reproduces one column of Table I: the per-job metadata pressure
+// and compute time of the real-life workflow experiments.
+type Scenario struct {
+	// Name is the scenario label (SS, CI, MI).
+	Name string
+	// OpsPerTask is the number of metadata operations each workflow job
+	// performs ("Operations / node" in Table I).
+	OpsPerTask int
+	// Compute is each job's simulated computation time
+	// ("Computation time / node" in Table I).
+	Compute time.Duration
+}
+
+// The three scenarios of Table I.
+var (
+	// SmallScale: 100 operations and 1 s of compute per job.
+	SmallScale = Scenario{Name: "Small Scale", OpsPerTask: 100, Compute: time.Second}
+	// ComputationIntensive: 200 operations and 5 s of compute per job.
+	ComputationIntensive = Scenario{Name: "Computation Intensive", OpsPerTask: 200, Compute: 5 * time.Second}
+	// MetadataIntensive: 1000 operations and 1 s of compute per job.
+	MetadataIntensive = Scenario{Name: "Metadata Intensive", OpsPerTask: 1000, Compute: time.Second}
+)
+
+// Scenarios lists the Table I scenarios in presentation order.
+var Scenarios = []Scenario{SmallScale, ComputationIntensive, MetadataIntensive}
+
+// Short returns the abbreviation used on the Fig. 10 axis.
+func (s Scenario) Short() string {
+	switch s.Name {
+	case SmallScale.Name:
+		return "SS"
+	case ComputationIntensive.Name:
+		return "CI"
+	case MetadataIntensive.Name:
+		return "MI"
+	default:
+		return s.Name
+	}
+}
+
+// TableIRow is one row of the reproduced Table I, with the total operation
+// counts computed from the actual DAG generators.
+type TableIRow struct {
+	Scenario        Scenario
+	TotalOpsBuzz    int
+	TotalOpsMontage int
+}
+
+// TableI recomputes Table I from the workflow generators: for each scenario,
+// the settings plus the total metadata operations of BuzzFlow and Montage.
+func TableI() []TableIRow {
+	rows := make([]TableIRow, 0, len(Scenarios))
+	for _, sc := range Scenarios {
+		buzz, _ := BuzzFlow(DefaultBuzzFlowConfig(sc)).Stats()
+		mon, _ := Montage(DefaultMontageConfig(sc)).Stats()
+		rows = append(rows, TableIRow{
+			Scenario:        sc,
+			TotalOpsBuzz:    buzz.MetadataOps,
+			TotalOpsMontage: mon.MetadataOps,
+		})
+	}
+	return rows
+}
