@@ -6,7 +6,7 @@
 //
 //	metactl -addr 127.0.0.1:7070 put  <name> <size> <site> [node]
 //	metactl -addr 127.0.0.1:7070 get  <name>
-//	metactl -addr 127.0.0.1:7070 del  <name>
+//	metactl -addr 127.0.0.1:7070 del  <name> [name...]
 //	metactl -addr 127.0.0.1:7070 ls
 //	metactl -addr 127.0.0.1:7070 stat
 package main
@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"geomds/internal/cloud"
 	"geomds/internal/registry"
@@ -24,6 +25,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "registry server address")
+	pool := flag.Int("pool", rpc.DefaultPoolSize, "connection-pool size towards the server")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-call timeout")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -31,7 +34,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	client, err := rpc.Dial(*addr)
+	client, err := rpc.Dial(*addr, rpc.WithPoolSize(*pool), rpc.WithTimeout(*timeout))
 	if err != nil {
 		fatal(err)
 	}
@@ -85,10 +88,19 @@ func main() {
 			usage()
 			os.Exit(2)
 		}
-		if err := client.Delete(args[1]); err != nil {
-			fatal(err)
+		if names := args[1:]; len(names) > 1 {
+			// Many names travel as one DeleteMany frame.
+			n, err := client.DeleteMany(names)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("deleted %d of %d entries\n", n, len(names))
+		} else {
+			if err := client.Delete(names[0]); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("deleted %q\n", names[0])
 		}
-		fmt.Printf("deleted %q\n", args[1])
 
 	case "ls":
 		for _, name := range client.Names() {
@@ -105,12 +117,12 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: metactl [-addr host:port] <command>
+	fmt.Fprintln(os.Stderr, `usage: metactl [-addr host:port] [-pool n] [-timeout d] <command>
 
 commands:
   put <name> <size> <site> [node]   publish a metadata entry
   get <name>                        print an entry as JSON
-  del <name>                        delete an entry
+  del <name> [name...]              delete entries (many names go as one batch)
   ls                                list entry names
   stat                              print server statistics`)
 }

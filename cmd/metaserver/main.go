@@ -33,6 +33,7 @@ func main() {
 		serviceTime = flag.Duration("service-time", 0, "simulated per-operation service time of the cache instance")
 		concurrency = flag.Int("concurrency", 0, "bound on concurrently served cache operations (0 = unbounded)")
 		ha          = flag.Bool("ha", false, "back the registry with a primary/replica cache pair")
+		inflight    = flag.Int("inflight", rpc.DefaultMaxInflight, "max pipelined requests one connection may execute concurrently")
 	)
 	flag.Parse()
 
@@ -51,7 +52,7 @@ func main() {
 		store = newCache()
 	}
 	inst := registry.NewInstance(cloud.SiteID(*site), store)
-	srv := rpc.NewServer(inst, logger)
+	srv := rpc.NewServer(inst, logger, rpc.WithMaxInflight(*inflight))
 
 	bound, err := srv.Start(*addr)
 	if err != nil {

@@ -7,7 +7,9 @@
 // after a managed cloud cache (memcache), a metadata registry built on it
 // (registry, dht), the paper's four metadata management strategies and their
 // supporting machinery (core), a TCP transport to run registry instances as
-// separate processes (rpc), a workflow DAG model and execution engine
+// separate processes — with connection pooling, request pipelining and batch
+// frames that carry many registry operations per round trip (rpc) — a
+// workflow DAG model and execution engine
 // (workflow), the paper's synthetic and real-life workloads (workloads), and
 // one harness per table and figure of the evaluation (experiments).
 //

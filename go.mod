@@ -1,0 +1,3 @@
+module geomds
+
+go 1.24

@@ -259,7 +259,12 @@ func (s *DecReplicatedService) AddLocation(from cloud.SiteID, name string, loc r
 }
 
 // Delete implements MetadataService: the entry is removed from the local
-// replica and from its home site.
+// replica and from its home site. In lazy mode a locally confirmed delete
+// only enqueues the home-site removal — it rides the propagator's next batch
+// as part of a DeleteMany frame and the caller perceives just the local
+// latency, mirroring how lazy creates and updates behave. When there is no
+// local copy to confirm against, the home is deleted eagerly so the caller
+// gets an authoritative answer.
 func (s *DecReplicatedService) Delete(from cloud.SiteID, name string) error {
 	if s.closed.Load() {
 		return ErrClosed
@@ -277,6 +282,13 @@ func (s *DecReplicatedService) Delete(from cloud.SiteID, name string) error {
 	if home == from {
 		s.fabric.record(metrics.OpDelete, start, false)
 		return localErr
+	}
+	if s.lazy && localErr == nil {
+		// The local delete succeeded; the home copy is removed in a later
+		// batch.
+		s.propagator.EnqueueDelete(from, home, name)
+		s.fabric.record(metrics.OpDelete, start, false)
+		return nil
 	}
 	homeInst, err := s.fabric.Instance(home)
 	if err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"geomds/internal/cloud"
@@ -11,10 +12,14 @@ import (
 
 // Propagator implements the lazy metadata update scheme of the paper
 // (§III-D): instead of eagerly updating remote replicas on every file
-// operation, updates for multiple files are batched and asynchronously
-// propagated to their destination sites. Writers therefore observe only the
-// local write latency, and the system converges to a consistent state
-// eventually.
+// operation, updates — and deletions — for multiple files are batched and
+// asynchronously propagated to their destination sites. Writers therefore
+// observe only the local write latency, and the system converges to a
+// consistent state eventually.
+//
+// A flush fans out across the destination sites concurrently, and each
+// destination receives its whole batch as bulk operations: one Merge for
+// the upserts and one DeleteMany for the deletions, never per-entry calls.
 type Propagator struct {
 	fabric *Fabric
 	// flushInterval is the maximum simulated time an update may wait in a
@@ -26,6 +31,7 @@ type Propagator struct {
 
 	mu      sync.Mutex
 	batches map[destination][]registry.Entry
+	deletes map[destination][]string
 	closed  bool
 
 	flushMu sync.Mutex // serializes flush rounds
@@ -65,6 +71,7 @@ func NewPropagator(fabric *Fabric, flushInterval time.Duration, maxBatch int) *P
 		flushInterval: flushInterval,
 		maxBatch:      maxBatch,
 		batches:       make(map[destination][]registry.Entry),
+		deletes:       make(map[destination][]string),
 		stop:          make(chan struct{}),
 		done:          make(chan struct{}),
 	}
@@ -74,6 +81,9 @@ func NewPropagator(fabric *Fabric, flushInterval time.Duration, maxBatch int) *P
 
 // Enqueue schedules the entry, produced at site from, for application at site
 // to. The call returns immediately; the transfer happens asynchronously.
+// An update supersedes a pending deletion of the same name, so within one
+// flush window each name ends up on only one side of the batch and the
+// destination converges on the last local operation.
 func (p *Propagator) Enqueue(from, to cloud.SiteID, e registry.Entry) {
 	p.mu.Lock()
 	if p.closed {
@@ -81,21 +91,62 @@ func (p *Propagator) Enqueue(from, to cloud.SiteID, e registry.Entry) {
 		return
 	}
 	d := destination{From: from, To: to}
+	if dels := p.deletes[d]; len(dels) > 0 {
+		kept := dels[:0]
+		for _, name := range dels {
+			if name != e.Name {
+				kept = append(kept, name)
+			}
+		}
+		p.deletes[d] = kept
+	}
 	p.batches[d] = append(p.batches[d], e)
-	full := len(p.batches[d]) >= p.maxBatch
+	full := len(p.batches[d])+len(p.deletes[d]) >= p.maxBatch
 	p.mu.Unlock()
 	if full {
 		go p.FlushNow()
 	}
 }
 
-// Pending returns the number of entries waiting to be propagated.
+// EnqueueDelete schedules the deletion of name, performed at site from, for
+// application at site to. Deletions ride the same flush rounds as updates
+// and reach the destination as one DeleteMany batch. A deletion supersedes
+// pending updates of the same name (see Enqueue).
+func (p *Propagator) EnqueueDelete(from, to cloud.SiteID, name string) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	d := destination{From: from, To: to}
+	if batch := p.batches[d]; len(batch) > 0 {
+		kept := batch[:0]
+		for _, e := range batch {
+			if e.Name != name {
+				kept = append(kept, e)
+			}
+		}
+		p.batches[d] = kept
+	}
+	p.deletes[d] = append(p.deletes[d], name)
+	full := len(p.batches[d])+len(p.deletes[d]) >= p.maxBatch
+	p.mu.Unlock()
+	if full {
+		go p.FlushNow()
+	}
+}
+
+// Pending returns the number of updates and deletions waiting to be
+// propagated.
 func (p *Propagator) Pending() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	n := 0
 	for _, b := range p.batches {
 		n += len(b)
+	}
+	for _, d := range p.deletes {
+		n += len(d)
 	}
 	return n
 }
@@ -107,46 +158,72 @@ func (p *Propagator) Flushes() int64 {
 	return p.flushes
 }
 
-// Propagated returns how many entries have been applied to remote instances.
+// Propagated returns how many entries (updates and deletions) have been
+// applied to remote instances.
 func (p *Propagator) Propagated() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.propagated
 }
 
-// FlushNow pushes every pending batch to its destination synchronously.
+// FlushNow pushes every pending batch to its destination and returns when
+// all of them have been applied. Destinations are flushed concurrently.
 func (p *Propagator) FlushNow() {
 	p.flushMu.Lock()
 	defer p.flushMu.Unlock()
 
 	p.mu.Lock()
 	batches := p.batches
+	deletes := p.deletes
 	p.batches = make(map[destination][]registry.Entry)
+	p.deletes = make(map[destination][]string)
 	p.mu.Unlock()
 
-	var applied int64
-	for d, entries := range batches {
-		if len(entries) == 0 {
+	dests := make(map[destination]struct{}, len(batches)+len(deletes))
+	for d := range batches {
+		dests[d] = struct{}{}
+	}
+	for d := range deletes {
+		dests[d] = struct{}{}
+	}
+
+	var (
+		applied atomic.Int64
+		wg      sync.WaitGroup
+	)
+	for d := range dests {
+		entries := batches[d]
+		dels := dedupe(deletes[d])
+		if len(entries) == 0 && len(dels) == 0 {
 			continue
 		}
 		inst, err := p.fabric.Instance(d.To)
 		if err != nil {
 			continue
 		}
-		start := time.Now()
-		batchBytes := 0
-		for _, e := range entries {
-			batchBytes += p.fabric.EntrySize(e)
-		}
-		p.fabric.call(d.From, d.To, batchBytes, p.fabric.ackBytes)
-		n, _ := inst.Merge(entries)
-		applied += int64(n)
-		p.fabric.record(metrics.OpSync, start, p.fabric.Topology().DistanceClass(d.From, d.To).Remote())
+		wg.Add(1)
+		go func(d destination, inst registry.API, entries []registry.Entry, dels []string) {
+			defer wg.Done()
+			start := time.Now()
+			batchBytes := len(dels) * p.fabric.queryBytes
+			for _, e := range entries {
+				batchBytes += p.fabric.EntrySize(e)
+			}
+			p.fabric.call(d.From, d.To, batchBytes, p.fabric.ackBytes)
+			n, _ := inst.Merge(entries)
+			if len(dels) > 0 {
+				m, _ := inst.DeleteMany(dels)
+				n += m
+			}
+			applied.Add(int64(n))
+			p.fabric.record(metrics.OpSync, start, p.fabric.Topology().DistanceClass(d.From, d.To).Remote())
+		}(d, inst, entries, dels)
 	}
+	wg.Wait()
 
 	p.mu.Lock()
 	p.flushes++
-	p.propagated += applied
+	p.propagated += applied.Load()
 	p.mu.Unlock()
 }
 

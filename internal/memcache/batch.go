@@ -65,6 +65,33 @@ func (c *Cache) PutBatch(kvs []KV) ([]Item, error) {
 	return out, nil
 }
 
+// DeleteBatch removes many keys in one server-side operation, returning how
+// many of them were present. Absent keys are skipped rather than reported as
+// errors: a bulk delete is the propagation of deletions that already
+// succeeded somewhere else, so "already gone" is success.
+func (c *Cache) DeleteBatch(keys []string) (int, error) {
+	if err := c.enter(); err != nil {
+		return 0, err
+	}
+	defer c.leaveBatch(len(keys))
+
+	deleted := 0
+	for _, key := range keys {
+		c.deletes.Add(1)
+		sh := c.shardFor(key)
+		sh.mu.Lock()
+		it, ok := sh.items[key]
+		if ok {
+			delete(sh.items, key)
+			c.items.Add(-1)
+			c.bytes.Add(-int64(len(it.Value)))
+			deleted++
+		}
+		sh.mu.Unlock()
+	}
+	return deleted, nil
+}
+
 // leaveBatch releases the worker slot after charging the amortized service
 // time of an n-item batch.
 func (c *Cache) leaveBatch(n int) {
@@ -95,4 +122,18 @@ func (h *HACache) PutBatch(kvs []KV) ([]Item, error) {
 	}
 	_, _ = replica.PutBatch(kvs)
 	return items, nil
+}
+
+// DeleteBatch implements the bulk delete on the highly-available pair,
+// mirroring the removals to the replica.
+func (h *HACache) DeleteBatch(keys []string) (int, error) {
+	h.mu.RLock()
+	primary, replica := h.primary, h.replica
+	h.mu.RUnlock()
+	n, err := primary.DeleteBatch(keys)
+	if err != nil {
+		return n, err
+	}
+	_, _ = replica.DeleteBatch(keys)
+	return n, nil
 }

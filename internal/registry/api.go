@@ -30,6 +30,14 @@ type API interface {
 	// GetMany returns the entries stored under the given names, skipping
 	// absent ones; it is the bulk pull used by the synchronization agent.
 	GetMany(names []string) ([]Entry, error)
+	// PutMany upserts the whole batch in one bulk operation, returning the
+	// stored entries in input order; it is the bulk push used by the
+	// synchronization agent.
+	PutMany(entries []Entry) ([]Entry, error)
+	// DeleteMany removes the named entries in one bulk operation, skipping
+	// absent ones, and returns how many were present; it is how deletions
+	// are propagated between sites.
+	DeleteMany(names []string) (int, error)
 	// Merge upserts a batch of entries, unioning locations, and returns how
 	// many entries were applied.
 	Merge(entries []Entry) (int, error)

@@ -22,11 +22,12 @@ type Store interface {
 	Snapshot() []memcache.Item
 	Len() int
 	Stats() memcache.Stats
-	// GetBatch and PutBatch are the bulk paths used by the synchronization
-	// agent and lazy propagation; they are far cheaper per item than the
-	// individual operations.
+	// GetBatch, PutBatch and DeleteBatch are the bulk paths used by the
+	// synchronization agent and lazy propagation; they are far cheaper per
+	// item than the individual operations.
 	GetBatch(keys []string) (found []memcache.Item, missing []string, err error)
 	PutBatch(kvs []memcache.KV) ([]memcache.Item, error)
+	DeleteBatch(keys []string) (int, error)
 }
 
 // Statically assert that both cache flavours implement Store.
@@ -242,6 +243,53 @@ func (i *Instance) GetMany(names []string) ([]Entry, error) {
 		out = append(out, e)
 	}
 	return out, nil
+}
+
+// PutMany upserts the whole batch through the store's bulk path (one write
+// batch), returning the stored entries with their new versions in input
+// order. It is the write half of the batch API the synchronization agents
+// and the RPC transport forward as single frames.
+func (i *Instance) PutMany(entries []Entry) ([]Entry, error) {
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	kvs := make([]memcache.KV, 0, len(entries))
+	for _, e := range entries {
+		if err := e.Validate(); err != nil {
+			return nil, err
+		}
+		data, err := i.codec.Encode(e)
+		if err != nil {
+			return nil, err
+		}
+		kvs = append(kvs, memcache.KV{Key: e.Name, Value: data})
+	}
+	items, err := i.store.PutBatch(kvs)
+	if err != nil {
+		return nil, fmt.Errorf("put-many: %w", err)
+	}
+	out := append([]Entry(nil), entries...)
+	for idx := range out {
+		if idx < len(items) {
+			out[idx].Version = items[idx].Version
+		}
+	}
+	return out, nil
+}
+
+// DeleteMany removes the named entries through the store's bulk path,
+// returning how many of them were present. Names that are absent are
+// silently skipped: bulk deletes propagate deletions that already succeeded
+// at their origin site, so "already gone" is success.
+func (i *Instance) DeleteMany(names []string) (int, error) {
+	if len(names) == 0 {
+		return 0, nil
+	}
+	n, err := i.store.DeleteBatch(names)
+	if err != nil {
+		return 0, fmt.Errorf("delete-many: %w", err)
+	}
+	return n, nil
 }
 
 // Merge upserts every entry of the batch whose content differs from what the

@@ -4,23 +4,36 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"geomds/internal/cloud"
 	"geomds/internal/registry"
 )
 
+// DefaultPoolSize is the number of TCP connections a Client opens (lazily)
+// towards its server unless WithPoolSize says otherwise.
+const DefaultPoolSize = 4
+
 // Client is a registry.API proxy for a registry server reached over TCP.
-// It is safe for concurrent use: requests are serialized over a single
-// connection (the protocol is strictly request/response) and the connection
-// is re-established transparently after transport errors.
+//
+// It is safe and efficient under heavy concurrent use: calls are spread
+// round-robin over a pool of connections, and on each connection many
+// requests can be in flight at once — every request carries a unique ID and
+// a per-connection demultiplexer routes responses, which may arrive out of
+// order, back to their callers (pipelining). Connections are established
+// lazily and re-established transparently after transport errors.
 type Client struct {
 	addr    string
 	site    cloud.SiteID
 	timeout time.Duration
+	pool    int
+
+	nextConn atomic.Uint64 // round-robin cursor over the pool
+	nextID   atomic.Uint64 // request ID source, unique per client
 
 	mu     sync.Mutex
-	conn   net.Conn
+	conns  []*poolConn
 	closed bool
 }
 
@@ -40,13 +53,26 @@ func WithTimeout(d time.Duration) ClientOption {
 	}
 }
 
+// WithPoolSize sets how many connections the client spreads its calls over
+// (default DefaultPoolSize). One connection already supports pipelining;
+// more connections add parallelism on the server side and amortize
+// head-of-line blocking on large frames.
+func WithPoolSize(n int) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.pool = n
+		}
+	}
+}
+
 // Dial connects to a registry server and verifies it is reachable. The
 // returned client reports the site ID advertised by the server.
 func Dial(addr string, opts ...ClientOption) (*Client, error) {
-	c := &Client{addr: addr, timeout: 10 * time.Second}
+	c := &Client{addr: addr, timeout: 10 * time.Second, pool: DefaultPoolSize}
 	for _, o := range opts {
 		o(c)
 	}
+	c.conns = make([]*poolConn, c.pool)
 	resp, err := c.call(Request{Op: OpSite})
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
@@ -58,6 +84,9 @@ func Dial(addr string, opts ...ClientOption) (*Client, error) {
 // Addr returns the server address this client talks to.
 func (c *Client) Addr() string { return c.addr }
 
+// PoolSize returns the configured connection-pool size.
+func (c *Client) PoolSize() int { return c.pool }
+
 // Site implements registry.API with the site ID advertised by the server.
 func (c *Client) Site() cloud.SiteID { return c.site }
 
@@ -67,15 +96,17 @@ func (c *Client) Ping() error {
 	return err
 }
 
-// Close releases the connection. Subsequent calls fail.
+// Close releases every pooled connection. Subsequent calls fail.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
-	if c.conn != nil {
-		err := c.conn.Close()
-		c.conn = nil
-		return err
+	conns := c.conns
+	c.conns = nil
+	c.mu.Unlock()
+	for _, pc := range conns {
+		if pc != nil {
+			pc.fail(fmt.Errorf("rpc: client for %s is closed", c.addr))
+		}
 	}
 	return nil
 }
@@ -141,7 +172,7 @@ func (c *Client) Entries() ([]registry.Entry, error) {
 	return resp.Entries, nil
 }
 
-// GetMany implements registry.API.
+// GetMany implements registry.API. The whole name list travels in one frame.
 func (c *Client) GetMany(names []string) ([]registry.Entry, error) {
 	resp, err := c.call(Request{Op: OpGetMany, Names: names})
 	if err != nil {
@@ -151,6 +182,37 @@ func (c *Client) GetMany(names []string) ([]registry.Entry, error) {
 		return nil, decodeErr(resp.Err, resp.Detail)
 	}
 	return resp.Entries, nil
+}
+
+// PutMany implements registry.API. The whole batch travels in one frame.
+func (c *Client) PutMany(entries []registry.Entry) ([]registry.Entry, error) {
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	resp, err := c.call(Request{Op: OpPutMany, Entries: entries})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, decodeErr(resp.Err, resp.Detail)
+	}
+	return resp.Entries, nil
+}
+
+// DeleteMany implements registry.API. The whole name list travels in one
+// frame; it returns how many of the named entries were present and removed.
+func (c *Client) DeleteMany(names []string) (int, error) {
+	if len(names) == 0 {
+		return 0, nil
+	}
+	resp, err := c.call(Request{Op: OpDeleteMany, Names: names})
+	if err != nil {
+		return 0, err
+	}
+	if !resp.OK {
+		return 0, decodeErr(resp.Err, resp.Detail)
+	}
+	return resp.N, nil
 }
 
 // Merge implements registry.API.
@@ -174,6 +236,29 @@ func (c *Client) Len() int {
 	return resp.N
 }
 
+// Batch sends many registry operations to the server in a single frame and
+// round trip, returning one Response per operation in order. The server
+// executes the operations sequentially, so a batch is equivalent to issuing
+// them back-to-back on a dedicated connection — at a fraction of the framing
+// and round-trip cost. Per-operation failures are reported in the individual
+// Responses; the returned error covers transport problems only.
+func (c *Client) Batch(ops []Request) ([]Response, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	rf, err := c.roundTrip(RequestFrame{
+		Header: Header{Version: ProtocolVersion, Kind: FrameBatch},
+		Batch:  BatchRequest{Ops: ops},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(rf.Batch.Ops) != len(ops) {
+		return nil, fmt.Errorf("rpc: batch answered %d of %d ops", len(rf.Batch.Ops), len(ops))
+	}
+	return rf.Batch.Ops, nil
+}
+
 func (c *Client) entryCall(req Request) (registry.Entry, error) {
 	resp, err := c.call(req)
 	if err != nil {
@@ -185,60 +270,182 @@ func (c *Client) entryCall(req Request) (registry.Entry, error) {
 	return resp.Entry, nil
 }
 
-// call performs one request/response exchange, reconnecting once if the
-// cached connection has gone stale.
+// call performs one request/response exchange.
 func (c *Client) call(req Request) (Response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return Response{}, fmt.Errorf("rpc: client for %s is closed", c.addr)
+	rf, err := c.roundTrip(RequestFrame{
+		Header: Header{Version: ProtocolVersion, Kind: FrameSingle},
+		Req:    req,
+	})
+	if err != nil {
+		return Response{}, err
 	}
-	resp, err := c.exchangeLocked(req)
+	return rf.Resp, nil
+}
+
+// roundTrip tags the frame with a fresh ID, sends it over a pooled
+// connection and waits for the matching response. A transport error is
+// retried once on a fresh connection (the server may have dropped an idle
+// connection between calls).
+func (c *Client) roundTrip(f RequestFrame) (ResponseFrame, error) {
+	f.Header.ID = c.nextID.Add(1)
+	pc, err := c.grabConn()
+	if err != nil {
+		return ResponseFrame{}, err
+	}
+	resp, err := pc.do(f, c.timeout)
 	if err == nil {
 		return resp, nil
 	}
-	// One transparent retry on a fresh connection (the server may have
-	// dropped an idle connection between calls).
-	c.dropConnLocked()
-	return c.exchangeLocked(req)
+	pc, err2 := c.grabConn()
+	if err2 != nil {
+		return ResponseFrame{}, err2
+	}
+	return pc.do(f, c.timeout)
 }
 
-func (c *Client) exchangeLocked(req Request) (Response, error) {
-	if err := c.ensureConnLocked(); err != nil {
-		return Response{}, err
+// grabConn returns the next pooled connection in round-robin order, dialing
+// a replacement if that slot is empty or its connection has died. The dial
+// happens outside the client lock so a slow or failing connect never stalls
+// calls headed for the other, healthy pool slots.
+func (c *Client) grabConn() (*poolConn, error) {
+	idx := int(c.nextConn.Add(1)-1) % c.pool
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("rpc: client for %s is closed", c.addr)
 	}
-	deadline := time.Now().Add(c.timeout)
-	if err := c.conn.SetDeadline(deadline); err != nil {
-		c.dropConnLocked()
-		return Response{}, fmt.Errorf("rpc: set deadline: %w", err)
+	if pc := c.conns[idx]; pc != nil && !pc.dead() {
+		c.mu.Unlock()
+		return pc, nil
 	}
-	if err := writeFrame(c.conn, req); err != nil {
-		c.dropConnLocked()
-		return Response{}, err
-	}
-	var resp Response
-	if err := readFrame(c.conn, &resp); err != nil {
-		c.dropConnLocked()
-		return Response{}, fmt.Errorf("rpc: read response: %w", err)
-	}
-	return resp, nil
-}
+	c.mu.Unlock()
 
-func (c *Client) ensureConnLocked() error {
-	if c.conn != nil {
-		return nil
-	}
 	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
 	if err != nil {
-		return fmt.Errorf("rpc: connect %s: %w", c.addr, err)
+		return nil, fmt.Errorf("rpc: connect %s: %w", c.addr, err)
 	}
-	c.conn = conn
-	return nil
+	pc := newPoolConn(conn)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		pc.fail(fmt.Errorf("rpc: client for %s is closed", c.addr))
+		return nil, fmt.Errorf("rpc: client for %s is closed", c.addr)
+	}
+	if cur := c.conns[idx]; cur != nil && !cur.dead() {
+		// A concurrent caller repaired the slot first; use theirs.
+		c.mu.Unlock()
+		pc.fail(fmt.Errorf("rpc: superseded connection"))
+		return cur, nil
+	}
+	c.conns[idx] = pc
+	c.mu.Unlock()
+	return pc, nil
 }
 
-func (c *Client) dropConnLocked() {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
+// poolConn is one pooled connection: a frame writer serialized by wmu and a
+// background demultiplexer that routes response frames to the in-flight
+// calls registered in pending.
+type poolConn struct {
+	conn net.Conn
+	wmu  sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]chan ResponseFrame
+	err     error // sticky; set once the connection is unusable
+}
+
+func newPoolConn(conn net.Conn) *poolConn {
+	pc := &poolConn{conn: conn, pending: make(map[uint64]chan ResponseFrame)}
+	go pc.readLoop()
+	return pc
+}
+
+func (pc *poolConn) dead() bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.err != nil
+}
+
+// do registers the frame's ID, writes the frame, and waits for the demuxed
+// response or the timeout. A timed-out connection is torn down: its
+// demultiplexer could otherwise deliver a response for a retired ID.
+func (pc *poolConn) do(f RequestFrame, timeout time.Duration) (ResponseFrame, error) {
+	ch := make(chan ResponseFrame, 1)
+	pc.mu.Lock()
+	if pc.err != nil {
+		err := pc.err
+		pc.mu.Unlock()
+		return ResponseFrame{}, err
+	}
+	pc.pending[f.Header.ID] = ch
+	pc.mu.Unlock()
+
+	frame, err := encodeFrame(f)
+	if err != nil {
+		pc.mu.Lock()
+		delete(pc.pending, f.Header.ID)
+		pc.mu.Unlock()
+		return ResponseFrame{}, err
+	}
+	pc.wmu.Lock()
+	pc.conn.SetWriteDeadline(time.Now().Add(timeout))
+	_, err = pc.conn.Write(frame)
+	pc.wmu.Unlock()
+	if err != nil {
+		pc.fail(fmt.Errorf("rpc: write frame: %w", err))
+		return ResponseFrame{}, err
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			pc.mu.Lock()
+			err := pc.err
+			pc.mu.Unlock()
+			return ResponseFrame{}, fmt.Errorf("rpc: read response: %w", err)
+		}
+		return resp, nil
+	case <-timer.C:
+		err := fmt.Errorf("rpc: no response within %v", timeout)
+		pc.fail(err)
+		return ResponseFrame{}, err
+	}
+}
+
+// readLoop demultiplexes response frames by header ID until the connection
+// dies.
+func (pc *poolConn) readLoop() {
+	for {
+		var rf ResponseFrame
+		if err := readFrame(pc.conn, &rf); err != nil {
+			pc.fail(err)
+			return
+		}
+		pc.mu.Lock()
+		ch := pc.pending[rf.Header.ID]
+		delete(pc.pending, rf.Header.ID)
+		pc.mu.Unlock()
+		if ch != nil {
+			ch <- rf
+		}
+	}
+}
+
+// fail marks the connection dead, closes it, and wakes every in-flight call
+// with the failure.
+func (pc *poolConn) fail(err error) {
+	pc.mu.Lock()
+	if pc.err == nil {
+		pc.err = err
+	}
+	pending := pc.pending
+	pc.pending = make(map[uint64]chan ResponseFrame)
+	pc.mu.Unlock()
+	pc.conn.Close()
+	for _, ch := range pending {
+		close(ch)
 	}
 }

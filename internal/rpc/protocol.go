@@ -9,9 +9,35 @@
 // that the core strategies can use, via core.WithInstances, exactly as if the
 // instance were in-process.
 //
-// The wire protocol is deliberately simple: each message is a 4-byte
-// big-endian length followed by a gob-encoded Request or Response. Requests
-// on one connection are processed in order.
+// # Wire format
+//
+// Every message is a 4-byte big-endian length followed by a gob-encoded
+// frame. Since protocol version 2 a frame is an envelope — RequestFrame on
+// the client-to-server direction, ResponseFrame on the way back — carrying a
+// versioned Header plus either one Request/Response (FrameSingle) or a
+// BatchRequest/BatchResponse holding many registry operations (FrameBatch).
+//
+// The Header tags each request with a client-assigned ID that the server
+// echoes in the matching response. Because responses are correlated by ID
+// rather than by arrival order, a client may keep many requests in flight on
+// one connection (pipelining) and the server may answer them out of order;
+// Client additionally spreads calls over a configurable connection pool.
+// A batch frame carries many independent registry operations in a single
+// round trip; the server executes them in order and returns one Response per
+// operation, so a batch is semantically equivalent to issuing the operations
+// back-to-back on a dedicated connection.
+//
+// # Compatibility with the version-1 un-tagged protocol
+//
+// Version 1 framed a bare gob-encoded Request/Response with no header;
+// requests on one connection were processed strictly in order. The server
+// remains compatible: gob refuses to decode a version-1 Request into a
+// RequestFrame (none of the envelope's fields match), so a message that
+// fails to decode as a frame is re-decoded as a bare Request, served
+// synchronously, and answered with a bare Response — version-1 clients keep
+// their one-at-a-time in-order semantics. The two generations can share one
+// server, even one connection. The version-2 Client does not fall back:
+// dialing a version-1 server fails at the initial handshake.
 package rpc
 
 import (
@@ -26,43 +52,105 @@ import (
 	"geomds/internal/registry"
 )
 
+// ProtocolVersion is the wire protocol generation stamped into every frame
+// header. Version 2 introduced the header itself, request IDs (pipelining)
+// and batch frames; version 1 is the legacy un-tagged request/response
+// protocol, still accepted by the server (see the package documentation).
+const ProtocolVersion = 2
+
+// FrameKind discriminates what a frame's payload carries.
+type FrameKind uint8
+
+// Frame kinds.
+const (
+	// FrameSingle carries one Request (or Response).
+	FrameSingle FrameKind = 1
+	// FrameBatch carries a BatchRequest (or BatchResponse).
+	FrameBatch FrameKind = 2
+)
+
+// Header is the versioned frame header prefixed (inside the gob envelope) to
+// every protocol message since version 2.
+type Header struct {
+	// Version is the protocol generation (ProtocolVersion); legacy
+	// version-1 messages carry no header at all.
+	Version uint16
+	// ID tags the request; the server echoes it in the matching response so
+	// the client can demultiplex pipelined responses arriving out of order.
+	ID uint64
+	// Kind selects between a single operation and a batch.
+	Kind FrameKind
+}
+
+// BatchRequest carries many registry operations in one round trip.
+type BatchRequest struct {
+	// Ops are executed by the server in order.
+	Ops []Request
+}
+
+// BatchResponse answers a BatchRequest with one Response per operation, in
+// the same order.
+type BatchResponse struct {
+	Ops []Response
+}
+
+// RequestFrame is the client-to-server envelope.
+type RequestFrame struct {
+	Header Header
+	// Req is the payload of a FrameSingle frame.
+	Req Request
+	// Batch is the payload of a FrameBatch frame.
+	Batch BatchRequest
+}
+
+// ResponseFrame is the server-to-client envelope.
+type ResponseFrame struct {
+	Header Header
+	// Resp is the payload of a FrameSingle frame.
+	Resp Response
+	// Batch is the payload of a FrameBatch frame.
+	Batch BatchResponse
+}
+
 // Op identifies the requested registry operation.
 type Op string
 
 // Supported operations. They mirror registry.API one-to-one.
 const (
-	OpPing     Op = "ping"
-	OpSite     Op = "site"
-	OpCreate   Op = "create"
-	OpPut      Op = "put"
-	OpGet      Op = "get"
-	OpContains Op = "contains"
-	OpAddLoc   Op = "addloc"
-	OpDelete   Op = "delete"
-	OpNames    Op = "names"
-	OpEntries  Op = "entries"
-	OpGetMany  Op = "getmany"
-	OpMerge    Op = "merge"
-	OpLen      Op = "len"
+	OpPing       Op = "ping"
+	OpSite       Op = "site"
+	OpCreate     Op = "create"
+	OpPut        Op = "put"
+	OpGet        Op = "get"
+	OpContains   Op = "contains"
+	OpAddLoc     Op = "addloc"
+	OpDelete     Op = "delete"
+	OpNames      Op = "names"
+	OpEntries    Op = "entries"
+	OpGetMany    Op = "getmany"
+	OpPutMany    Op = "putmany"
+	OpDeleteMany Op = "deletemany"
+	OpMerge      Op = "merge"
+	OpLen        Op = "len"
 )
 
-// Request is one client-to-server message.
+// Request is one client-to-server operation.
 type Request struct {
 	// Op selects the operation.
 	Op Op
 	// Name is the entry name for Get/Contains/AddLoc/Delete.
 	Name string
-	// Names carries the name list for GetMany.
+	// Names carries the name list for GetMany/DeleteMany.
 	Names []string
 	// Entry carries the payload for Create/Put.
 	Entry registry.Entry
-	// Entries carries the payload for Merge.
+	// Entries carries the payload for Merge/PutMany.
 	Entries []registry.Entry
 	// Location carries the payload for AddLoc.
 	Location registry.Location
 }
 
-// Response is one server-to-client message.
+// Response is one server-to-client result.
 type Response struct {
 	// OK reports whether the operation succeeded.
 	OK bool
@@ -72,13 +160,14 @@ type Response struct {
 	Detail string
 	// Entry is the result of Create/Put/Get/AddLoc.
 	Entry registry.Entry
-	// Entries is the result of Entries.
+	// Entries is the result of Entries/GetMany/PutMany.
 	Entries []registry.Entry
 	// Names is the result of Names.
 	Names []string
 	// Bool is the result of Contains.
 	Bool bool
-	// N is the result of Len/Merge, and carries the SiteID for OpSite.
+	// N is the result of Len/Merge/DeleteMany, and carries the SiteID for
+	// OpSite.
 	N int
 }
 
@@ -137,44 +226,70 @@ func decodeErr(code ErrCode, detail string) error {
 	}
 }
 
+// encodeFrame renders one length-prefixed gob message, ready to be written
+// with a single Write call. Pre-encoding lets callers keep the expensive gob
+// work outside their connection write locks.
+func encodeFrame(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0}) // length prefix, patched below
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("rpc: encode: %w", err)
+	}
+	n := buf.Len() - 4
+	if n > MaxMessageSize {
+		return nil, fmt.Errorf("rpc: message of %d bytes exceeds limit", n)
+	}
+	frame := buf.Bytes()
+	binary.BigEndian.PutUint32(frame[:4], uint32(n))
+	return frame, nil
+}
+
 // writeFrame writes one length-prefixed gob message to w.
 func writeFrame(w io.Writer, v any) error {
-	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
-		return fmt.Errorf("rpc: encode: %w", err)
+	frame, err := encodeFrame(v)
+	if err != nil {
+		return err
 	}
-	if payload.Len() > MaxMessageSize {
-		return fmt.Errorf("rpc: message of %d bytes exceeds limit", payload.Len())
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("rpc: write frame: %w", err)
 	}
+	return nil
+}
+
+// readPayload reads one length-prefixed message from r and returns its raw
+// gob payload. Keeping the bytes around lets the server re-decode a message
+// under the legacy (version-1) schema after version detection.
+func readPayload(r io.Reader) ([]byte, error) {
 	var header [4]byte
-	binary.BigEndian.PutUint32(header[:], uint32(payload.Len()))
-	if _, err := w.Write(header[:]); err != nil {
-		return fmt.Errorf("rpc: write header: %w", err)
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, err // io.EOF is meaningful to callers; do not wrap
 	}
-	if _, err := w.Write(payload.Bytes()); err != nil {
-		return fmt.Errorf("rpc: write payload: %w", err)
+	n := binary.BigEndian.Uint32(header[:])
+	if n > MaxMessageSize {
+		return nil, fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("rpc: read payload: %w", err)
+	}
+	return payload, nil
+}
+
+// decodePayload gob-decodes a raw payload into v.
+func decodePayload(payload []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("rpc: decode: %w", err)
 	}
 	return nil
 }
 
 // readFrame reads one length-prefixed gob message from r into v.
 func readFrame(r io.Reader, v any) error {
-	var header [4]byte
-	if _, err := io.ReadFull(r, header[:]); err != nil {
-		return err // io.EOF is meaningful to callers; do not wrap
+	payload, err := readPayload(r)
+	if err != nil {
+		return err
 	}
-	n := binary.BigEndian.Uint32(header[:])
-	if n > MaxMessageSize {
-		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return fmt.Errorf("rpc: read payload: %w", err)
-	}
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
-		return fmt.Errorf("rpc: decode: %w", err)
-	}
-	return nil
+	return decodePayload(payload, v)
 }
 
 // siteFromN converts the N field of an OpSite response into a SiteID.

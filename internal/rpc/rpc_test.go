@@ -190,9 +190,13 @@ func TestClientReconnects(t *testing.T) {
 	if _, err := client.Create(wireEntry("before")); err != nil {
 		t.Fatal(err)
 	}
-	// Force the cached connection to go stale; the next call must recover.
+	// Force every pooled connection to go stale; the next call must recover.
 	client.mu.Lock()
-	client.conn.Close()
+	for _, pc := range client.conns {
+		if pc != nil {
+			pc.conn.Close()
+		}
+	}
 	client.mu.Unlock()
 	if _, err := client.Get("before"); err != nil {
 		t.Errorf("Get after dropped connection: %v", err)

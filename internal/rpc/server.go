@@ -12,12 +12,23 @@ import (
 	"geomds/internal/registry"
 )
 
+// DefaultMaxInflight is the per-connection bound on concurrently executing
+// pipelined requests unless WithMaxInflight says otherwise.
+const DefaultMaxInflight = 64
+
 // Server exposes one registry instance over TCP. One server corresponds to
 // the metadata registry deployment of a single datacenter.
+//
+// Requests from version-2 clients are pipelined: each connection executes up
+// to the configured in-flight bound concurrently and responses are written
+// as they complete, tagged with the request ID, possibly out of order.
+// Legacy version-1 connections are served synchronously in order (see the
+// package documentation for the compatibility rules).
 type Server struct {
-	reg      registry.API
-	listener net.Listener
-	logger   *log.Logger
+	reg         registry.API
+	listener    net.Listener
+	logger      *log.Logger
+	maxInflight int
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -27,13 +38,36 @@ type Server struct {
 	requests atomic.Int64
 }
 
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithMaxInflight bounds how many pipelined requests one connection may have
+// executing concurrently (default DefaultMaxInflight). Excess requests wait
+// in the connection's read loop, applying backpressure to the client.
+func WithMaxInflight(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxInflight = n
+		}
+	}
+}
+
 // NewServer wraps the given registry behind a server. Call Serve (or
 // ListenAndServe) to start accepting connections.
-func NewServer(reg registry.API, logger *log.Logger) *Server {
+func NewServer(reg registry.API, logger *log.Logger, opts ...ServerOption) *Server {
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
-	return &Server{reg: reg, logger: logger, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		reg:         reg,
+		logger:      logger,
+		maxInflight: DefaultMaxInflight,
+		conns:       make(map[net.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // ListenAndServe listens on addr (e.g. "127.0.0.1:7070" or ":0") and serves
@@ -108,7 +142,8 @@ func (s *Server) Addr() string {
 	return s.listener.Addr().String()
 }
 
-// Requests returns the number of requests served.
+// Requests returns the number of registry operations served (each operation
+// of a batch frame counts individually).
 func (s *Server) Requests() int64 { return s.requests.Load() }
 
 func (s *Server) isClosed() bool {
@@ -139,29 +174,96 @@ func (s *Server) Close() error {
 	return err
 }
 
+// handle serves one connection until it drops. Version-2 frames are
+// dispatched concurrently (bounded by maxInflight) and answered out of
+// order; version-1 messages are answered synchronously, preserving the
+// legacy in-order contract.
 func (s *Server) handle(conn net.Conn) {
+	var (
+		wmu   sync.Mutex // serializes response-frame writes
+		wg    sync.WaitGroup
+		slots = make(chan struct{}, s.maxInflight)
+	)
 	defer func() {
+		// Close before waiting: a response writer stuck on a stalled client
+		// is only unblocked by the close.
 		conn.Close()
+		wg.Wait()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
 	for {
-		var req Request
-		if err := readFrame(conn, &req); err != nil {
+		payload, err := readPayload(conn)
+		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !s.isClosed() {
 				s.logger.Printf("rpc: read from %s: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
-		s.requests.Add(1)
-		resp := s.dispatch(req)
-		if err := writeFrame(conn, resp); err != nil {
-			if !s.isClosed() {
-				s.logger.Printf("rpc: write to %s: %v", conn.RemoteAddr(), err)
+		var rf RequestFrame
+		if err := decodePayload(payload, &rf); err != nil {
+			// Not a version-2 envelope: gob refuses to decode a legacy bare
+			// Request into a RequestFrame (no fields match), so this is
+			// either a version-1 message or garbage. Re-decode and answer in
+			// place, preserving the legacy one-at-a-time in-order contract.
+			var req Request
+			if err := decodePayload(payload, &req); err != nil {
+				s.logger.Printf("rpc: bad frame from %s: %v", conn.RemoteAddr(), err)
+				return
 			}
-			return
+			s.requests.Add(1)
+			resp := s.dispatch(req)
+			// Take the write lock: pipelined version-2 responses may still
+			// be in flight on this connection.
+			wmu.Lock()
+			err := writeFrame(conn, resp)
+			wmu.Unlock()
+			if err != nil {
+				if !s.isClosed() {
+					s.logger.Printf("rpc: write to %s: %v", conn.RemoteAddr(), err)
+				}
+				return
+			}
+			continue
 		}
+
+		slots <- struct{}{}
+		wg.Add(1)
+		go func(rf RequestFrame) {
+			defer func() {
+				<-slots
+				wg.Done()
+			}()
+			out := ResponseFrame{Header: Header{
+				Version: ProtocolVersion,
+				ID:      rf.Header.ID,
+				Kind:    rf.Header.Kind,
+			}}
+			switch rf.Header.Kind {
+			case FrameBatch:
+				s.requests.Add(int64(len(rf.Batch.Ops)))
+				out.Batch.Ops = make([]Response, len(rf.Batch.Ops))
+				for i, req := range rf.Batch.Ops {
+					out.Batch.Ops[i] = s.dispatch(req)
+				}
+			default:
+				s.requests.Add(1)
+				out.Resp = s.dispatch(rf.Req)
+			}
+			frame, err := encodeFrame(out)
+			if err == nil {
+				wmu.Lock()
+				_, err = conn.Write(frame)
+				wmu.Unlock()
+			}
+			if err != nil {
+				if !s.isClosed() {
+					s.logger.Printf("rpc: write to %s: %v", conn.RemoteAddr(), err)
+				}
+				conn.Close() // unblock the read loop; the connection is gone
+			}
+		}(rf)
 	}
 }
 
@@ -204,6 +306,18 @@ func (s *Server) dispatch(req Request) Response {
 			return failure(err)
 		}
 		return Response{OK: true, Entries: entries}
+	case OpPutMany:
+		entries, err := s.reg.PutMany(req.Entries)
+		if err != nil {
+			return failure(err)
+		}
+		return Response{OK: true, Entries: entries}
+	case OpDeleteMany:
+		n, err := s.reg.DeleteMany(req.Names)
+		if err != nil {
+			return failure(err)
+		}
+		return Response{OK: true, N: n}
 	case OpMerge:
 		n, err := s.reg.Merge(req.Entries)
 		if err != nil {

@@ -1,0 +1,204 @@
+package geomds
+
+// Transport benchmarks: how many metadata operations per second one
+// registry server sustains under the Fig. 7-style metadata-intensive
+// workload (many concurrent writers, each alternating entry publications and
+// look-ups, no compute between operations), depending on how the client-side
+// middleware talks to it:
+//
+//   - SingleConn:       one TCP connection, requests strictly serialized —
+//     the wire behavior of the version-1 protocol.
+//   - PooledPipelined:  a connection pool with per-connection pipelining
+//     (tagged requests, out-of-order responses).
+//   - Batched:          pooled and pipelined, plus BatchRequest frames that
+//     carry many registry ops per round trip.
+//
+// Run with:
+//
+//	go test -bench=Transport -benchtime=2x
+//
+// The ops/s metric is the figure of merit; the pooled+batched transport is
+// expected to sustain well over 2x the single-connection baseline. Note that
+// pooling and pipelining pay off in proportion to the round-trip latency and
+// the CPU parallelism available: on a single-core host with loopback
+// networking the per-frame gob work bounds all unbatched transports alike,
+// and the batched transport — which amortizes that framing cost over
+// benchBatchSize ops — is where the gain shows.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"geomds/internal/memcache"
+	"geomds/internal/registry"
+	"geomds/internal/rpc"
+)
+
+const (
+	// benchWriters is the number of concurrent clients of the Fig. 7-style
+	// workload (the paper scales 8..128 nodes; 32 sits in the knee).
+	benchWriters = 32
+	// benchOpsPerWriter is how many metadata operations each writer issues
+	// per benchmark iteration.
+	benchOpsPerWriter = 256
+	// benchBatchSize is how many operations a batched writer packs per
+	// frame.
+	benchBatchSize = 64
+)
+
+// startBenchServer brings up a registry server on localhost with an
+// unconstrained in-memory cache, so the benchmark measures the transport,
+// not the modelled cache capacity.
+func startBenchServer(b *testing.B) string {
+	b.Helper()
+	inst := registry.NewInstance(0, memcache.New(memcache.Config{}))
+	srv := rpc.NewServer(inst, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	return addr
+}
+
+func benchEntry(writer, i int) registry.Entry {
+	return registry.NewEntry(fmt.Sprintf("w%d/f%d", writer, i), 2048, "bench",
+		registry.Location{Site: 0, Node: 1})
+}
+
+// runTransportBench drives the metadata-intensive workload through op, which
+// performs one writer's whole operation stream, and reports aggregate ops/s.
+func runTransportBench(b *testing.B, client *rpc.Client, perWriter func(writer int) (ops int, err error)) {
+	b.Helper()
+	defer client.Close()
+	var total atomic.Int64
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, benchWriters)
+		for w := 0; w < benchWriters; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				n, err := perWriter(w)
+				if err != nil {
+					errs <- err
+					return
+				}
+				total.Add(int64(n))
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	if elapsed > 0 {
+		b.ReportMetric(float64(total.Load())/elapsed.Seconds(), "ops/s")
+	}
+}
+
+// BenchmarkTransportSingleConn is the baseline: every request of every
+// writer is serialized over one shared TCP connection, one at a time — the
+// version-1 wire behavior the paper's middleware bottlenecks on.
+func BenchmarkTransportSingleConn(b *testing.B) {
+	addr := startBenchServer(b)
+	client, err := rpc.Dial(addr, rpc.WithPoolSize(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A single connection pipelines by default; serialize the calls to
+	// reproduce the strict request/response regime of the old transport.
+	var serial sync.Mutex
+	runTransportBench(b, client, func(w int) (int, error) {
+		n := 0
+		for i := 0; i < benchOpsPerWriter/2; i++ {
+			serial.Lock()
+			_, err := client.Put(benchEntry(w, i))
+			if err == nil {
+				_, err = client.Get(benchEntry(w, i).Name)
+			}
+			serial.Unlock()
+			if err != nil {
+				return n, err
+			}
+			n += 2
+		}
+		return n, nil
+	})
+}
+
+// BenchmarkTransportPooledPipelined spreads the same workload over the
+// connection pool with per-connection pipelining: writers issue requests
+// concurrently and responses demultiplex by ID.
+func BenchmarkTransportPooledPipelined(b *testing.B) {
+	addr := startBenchServer(b)
+	client, err := rpc.Dial(addr, rpc.WithPoolSize(rpc.DefaultPoolSize))
+	if err != nil {
+		b.Fatal(err)
+	}
+	runTransportBench(b, client, func(w int) (int, error) {
+		n := 0
+		for i := 0; i < benchOpsPerWriter/2; i++ {
+			if _, err := client.Put(benchEntry(w, i)); err != nil {
+				return n, err
+			}
+			if _, err := client.Get(benchEntry(w, i).Name); err != nil {
+				return n, err
+			}
+			n += 2
+		}
+		return n, nil
+	})
+}
+
+// BenchmarkTransportBatched additionally packs the operations into
+// BatchRequest frames, benchBatchSize registry ops per round trip.
+func BenchmarkTransportBatched(b *testing.B) {
+	addr := startBenchServer(b)
+	client, err := rpc.Dial(addr, rpc.WithPoolSize(rpc.DefaultPoolSize))
+	if err != nil {
+		b.Fatal(err)
+	}
+	runTransportBench(b, client, func(w int) (int, error) {
+		n := 0
+		var ops []rpc.Request
+		flush := func() error {
+			if len(ops) == 0 {
+				return nil
+			}
+			resps, err := client.Batch(ops)
+			if err != nil {
+				return err
+			}
+			for i, resp := range resps {
+				if !resp.OK {
+					return fmt.Errorf("batched %s: %s", ops[i].Op, resp.Detail)
+				}
+			}
+			n += len(ops)
+			ops = ops[:0]
+			return nil
+		}
+		for i := 0; i < benchOpsPerWriter/2; i++ {
+			e := benchEntry(w, i)
+			ops = append(ops,
+				rpc.Request{Op: rpc.OpPut, Entry: e},
+				rpc.Request{Op: rpc.OpGet, Name: e.Name},
+			)
+			if len(ops) >= benchBatchSize {
+				if err := flush(); err != nil {
+					return n, err
+				}
+			}
+		}
+		return n, flush()
+	})
+}
