@@ -13,6 +13,7 @@ package geomds
 //	go test -bench=Figure7 -benchtime=3x
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -24,6 +25,8 @@ import (
 	"geomds/internal/registry"
 	"geomds/internal/workloads"
 )
+
+var bctx = context.Background()
 
 // benchConfig is the reduced-size experiment configuration used by every
 // figure benchmark.
@@ -43,7 +46,7 @@ func benchConfig() experiments.Config {
 func BenchmarkFigure1RemoteMetadataLatency(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure1(cfg)
+		res, err := experiments.Figure1(bctx, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -61,7 +64,7 @@ func BenchmarkFigure1RemoteMetadataLatency(b *testing.B) {
 func BenchmarkFigure5Strategies(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure5(cfg)
+		res, err := experiments.Figure5(bctx, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -83,7 +86,7 @@ func BenchmarkFigure5Strategies(b *testing.B) {
 func BenchmarkFigure6Progress(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure6(cfg)
+		res, err := experiments.Figure6(bctx, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -98,7 +101,7 @@ func BenchmarkFigure6Progress(b *testing.B) {
 func BenchmarkFigure7Throughput(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure7(cfg)
+		res, err := experiments.Figure7(bctx, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -117,7 +120,7 @@ func BenchmarkFigure7Throughput(b *testing.B) {
 func BenchmarkFigure8Completion(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure8(cfg)
+		res, err := experiments.Figure8(bctx, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -162,7 +165,7 @@ func BenchmarkTableIScenarios(b *testing.B) {
 func BenchmarkFigure10Workflows(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure10(cfg)
+		res, err := experiments.Figure10(bctx, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -186,7 +189,7 @@ func BenchmarkFigure10Workflows(b *testing.B) {
 func BenchmarkAblationLocalReplica(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationLocalReplica(cfg, 20)
+		res, err := experiments.AblationLocalReplica(bctx, cfg, 20)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -200,7 +203,7 @@ func BenchmarkAblationLocalReplica(b *testing.B) {
 func BenchmarkAblationLazyVsEager(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationLazyVsEager(cfg, 20)
+		res, err := experiments.AblationLazyVsEager(bctx, cfg, 20)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -224,7 +227,7 @@ func BenchmarkAblationHashingChurn(b *testing.B) {
 func BenchmarkAblationRegistryCapacity(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationRegistryCapacity(cfg, cfg.ServiceTime, 16, 20)
+		res, err := experiments.AblationRegistryCapacity(bctx, cfg, cfg.ServiceTime, 16, 20)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -239,7 +242,7 @@ func BenchmarkAblationScheduler(b *testing.B) {
 	cfg := benchConfig()
 	sc := workloads.Scenario{Name: "bench", OpsPerTask: 4, Compute: 100 * time.Millisecond}
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationScheduler(cfg, sc)
+		res, err := experiments.AblationScheduler(bctx, cfg, sc)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -278,7 +281,7 @@ func BenchmarkMetadataCreate(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				e := registry.NewEntry(fmt.Sprintf("micro/create/%d", i), 1024, "bench",
 					registry.Location{Site: cloud.SiteID(i % 4), Node: cloud.NodeID(i % 8)})
-				if _, err := svc.Create(cloud.SiteID(i%4), e); err != nil {
+				if _, err := svc.Create(bctx, cloud.SiteID(i%4), e); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -296,17 +299,17 @@ func BenchmarkMetadataLookup(b *testing.B) {
 			for i := 0; i < preload; i++ {
 				e := registry.NewEntry(fmt.Sprintf("micro/lookup/%d", i), 1024, "bench",
 					registry.Location{Site: cloud.SiteID(i % 4), Node: cloud.NodeID(i % 8)})
-				if _, err := svc.Create(cloud.SiteID(i%4), e); err != nil {
+				if _, err := svc.Create(bctx, cloud.SiteID(i%4), e); err != nil {
 					b.Fatal(err)
 				}
 			}
-			if err := svc.Flush(); err != nil {
+			if err := svc.Flush(bctx); err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				name := fmt.Sprintf("micro/lookup/%d", i%preload)
-				if _, err := svc.Lookup(cloud.SiteID(i%4), name); err != nil {
+				if _, err := svc.Lookup(bctx, cloud.SiteID(i%4), name); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -9,9 +9,17 @@
 //	metactl -addr 127.0.0.1:7070 del  <name> [name...]
 //	metactl -addr 127.0.0.1:7070 ls
 //	metactl -addr 127.0.0.1:7070 stat
+//
+// The -timeout flag is a real per-operation deadline: it bounds the dial and
+// each command's context, and the deadline is propagated over the wire so
+// the server abandons work metactl has given up on. Exit codes distinguish
+// the outcome: 0 success, 1 generic failure, 2 usage error, 3 entry not
+// found, 4 deadline exceeded / cancelled.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,28 +31,54 @@ import (
 	"geomds/internal/rpc"
 )
 
+// Exit codes; scripts branch on them instead of parsing messages.
+const (
+	exitUsage    = 2
+	exitNotFound = 3
+	exitDeadline = 4
+)
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "registry server address")
 	pool := flag.Int("pool", rpc.DefaultPoolSize, "connection-pool size towards the server")
-	timeout := flag.Duration("timeout", 10*time.Second, "per-call timeout")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-operation deadline, propagated to the server")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 
-	client, err := rpc.Dial(*addr, rpc.WithPoolSize(*pool), rpc.WithTimeout(*timeout))
+	// opCtx returns a fresh deadline-bounded context per operation, so a slow
+	// dial does not eat into the budget of the command that follows it.
+	opCtx := func() (context.Context, context.CancelFunc) {
+		return context.WithTimeout(context.Background(), *timeout)
+	}
+
+	// The context deadline is the per-operation bound; the transport timeout
+	// stays strictly behind it so the deadline — with its precise error and
+	// exit code — is what fires, and the transport backstop only catches a
+	// truly hung connection.
+	backstop := 2 * *timeout
+	if backstop < 10*time.Second {
+		backstop = 10 * time.Second
+	}
+	dialCtx, cancel := opCtx()
+	client, err := rpc.Dial(dialCtx, *addr, rpc.WithPoolSize(*pool), rpc.WithTimeout(backstop))
+	cancel()
 	if err != nil {
 		fatal(err)
 	}
 	defer client.Close()
 
+	ctx, cancel := opCtx()
+	defer cancel()
+
 	switch args[0] {
 	case "put":
 		if len(args) < 4 {
 			usage()
-			os.Exit(2)
+			os.Exit(exitUsage)
 		}
 		size, err := strconv.ParseInt(args[2], 10, 64)
 		if err != nil {
@@ -62,7 +96,7 @@ func main() {
 		}
 		e := registry.NewEntry(args[1], size, "metactl",
 			registry.Location{Site: cloud.SiteID(site), Node: cloud.NodeID(node)})
-		stored, err := client.Create(e)
+		stored, err := client.Create(ctx, e)
 		if err != nil {
 			fatal(err)
 		}
@@ -71,9 +105,9 @@ func main() {
 	case "get":
 		if len(args) < 2 {
 			usage()
-			os.Exit(2)
+			os.Exit(exitUsage)
 		}
-		e, err := client.Get(args[1])
+		e, err := client.Get(ctx, args[1])
 		if err != nil {
 			fatal(err)
 		}
@@ -86,33 +120,44 @@ func main() {
 	case "del":
 		if len(args) < 2 {
 			usage()
-			os.Exit(2)
+			os.Exit(exitUsage)
 		}
 		if names := args[1:]; len(names) > 1 {
 			// Many names travel as one DeleteMany frame.
-			n, err := client.DeleteMany(names)
+			n, err := client.DeleteMany(ctx, names)
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Printf("deleted %d of %d entries\n", n, len(names))
 		} else {
-			if err := client.Delete(names[0]); err != nil {
+			if err := client.Delete(ctx, names[0]); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("deleted %q\n", names[0])
 		}
 
 	case "ls":
-		for _, name := range client.Names() {
-			fmt.Println(name)
+		// Entries (not the best-effort Names) so a timeout or dead server is
+		// an error with the right exit code, not an empty listing.
+		entries, err := client.Entries(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		for _, e := range entries {
+			fmt.Println(e.Name)
 		}
 
 	case "stat":
-		fmt.Printf("address: %s\nsite:    %d\nentries: %d\n", client.Addr(), client.Site(), client.Len())
+		// Ping first: Len is best-effort and reads 0 on failure, which must
+		// not masquerade as an empty registry.
+		if err := client.Ping(ctx); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("address: %s\nsite:    %d\nentries: %d\n", client.Addr(), client.Site(), client.Len(ctx))
 
 	default:
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 }
 
@@ -124,10 +169,23 @@ commands:
   get <name>                        print an entry as JSON
   del <name> [name...]              delete entries (many names go as one batch)
   ls                                list entry names
-  stat                              print server statistics`)
+  stat                              print server statistics
+
+exit codes: 0 ok, 1 error, 2 usage, 3 not found, 4 deadline exceeded`)
 }
 
+// fatal reports the failure and exits with a code that tells "the entry is
+// not there" apart from "the server did not answer in time".
 func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "metactl: %v\n", err)
-	os.Exit(1)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		fmt.Fprintf(os.Stderr, "metactl: deadline exceeded: %v\n", err)
+		os.Exit(exitDeadline)
+	case errors.Is(err, registry.ErrNotFound):
+		fmt.Fprintf(os.Stderr, "metactl: not found: %v\n", err)
+		os.Exit(exitNotFound)
+	default:
+		fmt.Fprintf(os.Stderr, "metactl: %v\n", err)
+		os.Exit(1)
+	}
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -72,7 +73,7 @@ func main() {
 	for {
 		select {
 		case <-ticker.C:
-			logger.Printf("entries=%d requests=%d", inst.Len(), srv.Requests())
+			logger.Printf("entries=%d requests=%d abandoned=%d", inst.Len(context.Background()), srv.Requests(), srv.Abandoned())
 		case s := <-sig:
 			logger.Printf("received %v, shutting down", s)
 			if err := srv.Close(); err != nil {

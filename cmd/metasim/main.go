@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +34,7 @@ func main() {
 		nodes     = flag.Int("nodes", 0, "override the node count for fixed-size experiments")
 		csvPath   = flag.String("csv", "", "write the result series as CSV to this file")
 		seed      = flag.Int64("seed", 0, "override the random seed")
+		timeout   = flag.Duration("timeout", 0, "wall-clock deadline for the whole run; 0 means none")
 	)
 	flag.Parse()
 
@@ -58,18 +60,25 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	start := time.Now()
 	var csv string
 	var err error
 	switch {
 	case *all:
-		csv, err = runAll(cfg)
+		csv, err = runAll(ctx, cfg)
 	case *ablations:
-		err = runAblations(cfg)
+		err = runAblations(ctx, cfg)
 	case *table == 1:
 		fmt.Print(experiments.TableI().Render())
 	case *fig != 0:
-		csv, err = runFigure(cfg, *fig)
+		csv, err = runFigure(ctx, cfg, *fig)
 	default:
 		err = fmt.Errorf("unknown table %d", *table)
 	}
@@ -88,38 +97,38 @@ func main() {
 		time.Since(start).Round(time.Millisecond), cfg.Scale, cfg.SizeFactor)
 }
 
-func runFigure(cfg experiments.Config, fig int) (csv string, err error) {
+func runFigure(ctx context.Context, cfg experiments.Config, fig int) (csv string, err error) {
 	switch fig {
 	case 1:
-		res, err := experiments.Figure1(cfg)
+		res, err := experiments.Figure1(ctx, cfg)
 		if err != nil {
 			return "", err
 		}
 		fmt.Print(res.Render())
 		return res.CSV(), nil
 	case 5:
-		res, err := experiments.Figure5(cfg)
+		res, err := experiments.Figure5(ctx, cfg)
 		if err != nil {
 			return "", err
 		}
 		fmt.Print(res.Render())
 		return res.CSV(), nil
 	case 6:
-		res, err := experiments.Figure6(cfg)
+		res, err := experiments.Figure6(ctx, cfg)
 		if err != nil {
 			return "", err
 		}
 		fmt.Print(res.Render())
 		return res.CSV(), nil
 	case 7:
-		res, err := experiments.Figure7(cfg)
+		res, err := experiments.Figure7(ctx, cfg)
 		if err != nil {
 			return "", err
 		}
 		fmt.Print(res.Render())
 		return res.CSV(), nil
 	case 8:
-		res, err := experiments.Figure8(cfg)
+		res, err := experiments.Figure8(ctx, cfg)
 		if err != nil {
 			return "", err
 		}
@@ -133,7 +142,7 @@ func runFigure(cfg experiments.Config, fig int) (csv string, err error) {
 		fmt.Print(res.Render())
 		return "", nil
 	case 10:
-		res, err := experiments.Figure10(cfg)
+		res, err := experiments.Figure10(ctx, cfg)
 		if err != nil {
 			return "", err
 		}
@@ -144,12 +153,12 @@ func runFigure(cfg experiments.Config, fig int) (csv string, err error) {
 	}
 }
 
-func runAll(cfg experiments.Config) (string, error) {
+func runAll(ctx context.Context, cfg experiments.Config) (string, error) {
 	fmt.Print(experiments.TableI().Render())
 	fmt.Println()
 	var lastCSV string
 	for _, fig := range []int{1, 5, 6, 7, 8, 9, 10} {
-		csv, err := runFigure(cfg, fig)
+		csv, err := runFigure(ctx, cfg, fig)
 		if err != nil {
 			return "", fmt.Errorf("figure %d: %w", fig, err)
 		}
@@ -158,20 +167,20 @@ func runAll(cfg experiments.Config) (string, error) {
 		}
 		fmt.Println()
 	}
-	if err := runAblations(cfg); err != nil {
+	if err := runAblations(ctx, cfg); err != nil {
 		return "", err
 	}
 	return lastCSV, nil
 }
 
-func runAblations(cfg experiments.Config) error {
-	replica, err := experiments.AblationLocalReplica(cfg, 0)
+func runAblations(ctx context.Context, cfg experiments.Config) error {
+	replica, err := experiments.AblationLocalReplica(ctx, cfg, 0)
 	if err != nil {
 		return err
 	}
 	fmt.Print(replica.Render())
 
-	lazy, err := experiments.AblationLazyVsEager(cfg, 0)
+	lazy, err := experiments.AblationLazyVsEager(ctx, cfg, 0)
 	if err != nil {
 		return err
 	}
@@ -179,13 +188,13 @@ func runAblations(cfg experiments.Config) error {
 
 	fmt.Print(experiments.AblationHashingChurn(0).Render())
 
-	capa, err := experiments.AblationRegistryCapacity(cfg, cfg.ServiceTime, cfg.Nodes, cfg.ScaledOps(1000, 20))
+	capa, err := experiments.AblationRegistryCapacity(ctx, cfg, cfg.ServiceTime, cfg.Nodes, cfg.ScaledOps(1000, 20))
 	if err != nil {
 		return err
 	}
 	fmt.Print(capa.Render())
 
-	sched, err := experiments.AblationScheduler(cfg, workloads.Scenario{
+	sched, err := experiments.AblationScheduler(ctx, cfg, workloads.Scenario{
 		Name: "ablation", OpsPerTask: cfg.ScaledOps(100, 4), Compute: time.Second,
 	})
 	if err != nil {

@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +39,7 @@ func main() {
 		scale     = flag.Float64("scale", 0.01, "time-compression factor for injected latencies")
 		size      = flag.Float64("size", 1.0, "workload size factor (fraction of the scenario's ops per task)")
 		scheduler = flag.String("scheduler", "round-robin", "task scheduler: round-robin, locality or random")
+		timeout   = flag.Duration("timeout", 0, "wall-clock deadline for each run; 0 means none. On expiry every in-flight metadata operation is cancelled")
 	)
 	flag.Parse()
 
@@ -92,8 +95,17 @@ func main() {
 	cfg.Nodes = *nodes
 
 	for _, kind := range kinds {
-		res, err := runOnce(cfg, wf, kind, sched)
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if *timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+		}
+		res, err := runOnce(ctx, cfg, wf, kind, sched)
+		cancel()
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				fatal(fmt.Errorf("%s: deadline of %v exceeded: %w", kind, *timeout, err))
+			}
 			fatal(fmt.Errorf("%s: %w", kind, err))
 		}
 		fmt.Printf("%-22s makespan %8.1fs   reads %7d  writes %7d  retries %6d  (wall %v)\n",
@@ -102,15 +114,16 @@ func main() {
 }
 
 // runOnce executes the workflow on a fresh environment for one strategy so
-// runs do not share registry state.
-func runOnce(cfg experiments.Config, wf *workflow.Workflow, kind core.StrategyKind, sched workflow.Scheduler) (workflow.Result, error) {
+// runs do not share registry state. The context bounds the whole run,
+// including the strategy hand-over flush.
+func runOnce(ctx context.Context, cfg experiments.Config, wf *workflow.Workflow, kind core.StrategyKind, sched workflow.Scheduler) (workflow.Result, error) {
 	topo := cloud.Azure4DC()
 	lat := latency.New(topo, latency.WithScale(cfg.Scale), latency.WithSeed(cfg.Seed))
 	fabric := core.NewFabric(topo, lat, core.WithCacheCapacity(cfg.ServiceTime, cfg.Concurrency))
 	ctrl := core.NewController(fabric,
 		core.WithControllerSyncInterval(cfg.SyncInterval),
 		core.WithControllerLazy(cfg.FlushInterval, core.DefaultMaxBatch))
-	svc, err := ctrl.Use(kind)
+	svc, err := ctrl.Use(ctx, kind)
 	if err != nil {
 		return workflow.Result{}, err
 	}
@@ -124,7 +137,7 @@ func runOnce(cfg experiments.Config, wf *workflow.Workflow, kind core.StrategyKi
 		return workflow.Result{}, err
 	}
 	eng := workflow.NewEngine(dep, svc, lat, workflow.EngineConfig{})
-	return eng.Run(wf, plan)
+	return eng.Run(ctx, wf, plan)
 }
 
 func buildWorkflow(name string, sc workloads.Scenario, tasks int) (*workflow.Workflow, error) {

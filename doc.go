@@ -13,6 +13,21 @@
 // (workflow), the paper's synthetic and real-life workloads (workloads), and
 // one harness per table and figure of the evaluation (experiments).
 //
+// # Context-first API
+//
+// The metadata stack is context-first end to end: every operation on
+// registry.API, core.MetadataService, the core.Client session wrapper and
+// rpc.Client takes a context.Context as its first parameter. Deadlines and
+// cancellation propagate through every layer — a cancelled caller unblocks
+// from the modelled WAN sleeps of the latency model, retires its pipelined
+// RPC without disturbing the other requests in flight on the same
+// connection, and (via the deadline carried in the rpc frame header) makes
+// the remote server abandon work the client has given up on. Failures are
+// typed: strategy operations return *core.OpError values wrapping sentinel
+// causes (core.ErrNotFound, core.ErrExists, core.ErrClosed,
+// core.ErrSiteUnreachable, context.DeadlineExceeded), so callers branch
+// with errors.Is and recover structured detail with errors.As.
+//
 // Executables live under cmd/ (metasim, metaserver, metactl, wfrun), runnable
 // examples under examples/, and the benchmark suite that regenerates every
 // table and figure lives in bench_test.go at the repository root.

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -85,7 +86,7 @@ func run(cfg workloads.WorkflowConfig, kind core.StrategyKind, sched workflow.Sc
 		return err
 	}
 	eng := workflow.NewEngine(dep, svc, lat, workflow.EngineConfig{})
-	res, err := eng.Run(wf, plan)
+	res, err := eng.Run(context.Background(), wf, plan)
 	if err != nil {
 		return err
 	}

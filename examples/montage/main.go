@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -88,7 +89,7 @@ func run(wf *workflow.Workflow, kind core.StrategyKind, nodes int, scale float64
 		return 0, err
 	}
 	eng := workflow.NewEngine(dep, svc, lat, workflow.EngineConfig{})
-	res, err := eng.Run(wf, sched)
+	res, err := eng.Run(context.Background(), wf, sched)
 	if err != nil {
 		return 0, err
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -32,6 +33,7 @@ func main() {
 		scale        = flag.Float64("scale", 0.05, "time-compression factor for the injected WAN latency")
 	)
 	flag.Parse()
+	ctx := context.Background()
 
 	kind, err := core.ParseStrategy(*strategyName)
 	if err != nil {
@@ -52,7 +54,7 @@ func main() {
 			log.Fatalf("starting registry for %s: %v", site.Name, err)
 		}
 		defer srv.Close()
-		client, err := rpc.Dial(addr)
+		client, err := rpc.Dial(ctx, addr)
 		if err != nil {
 			log.Fatalf("dialing registry for %s: %v", site.Name, err)
 		}
@@ -83,12 +85,12 @@ func main() {
 		client := core.NewClient(svc, node)
 		for i := 0; i < *entries/2; i++ {
 			name := fmt.Sprintf("multisite/%s/site%d-node%d/file%04d", kind.Short(), node.Site, node.ID, i)
-			if _, err := client.PublishFile(name, 64<<10, "producer"); err != nil {
+			if _, err := client.PublishFile(ctx, name, 64<<10, "producer"); err != nil {
 				log.Fatalf("publish: %v", err)
 			}
 		}
 	}
-	if err := svc.Flush(); err != nil {
+	if err := svc.Flush(ctx); err != nil {
 		log.Fatal(err)
 	}
 
@@ -99,7 +101,7 @@ func main() {
 		peer := dep.Node((node.ID + 2) % cloud.NodeID(dep.NumNodes()))
 		for i := 0; i < *entries/2; i++ {
 			name := fmt.Sprintf("multisite/%s/site%d-node%d/file%04d", kind.Short(), peer.Site, peer.ID, i)
-			if _, err := svc.Lookup(node.Site, name); err != nil {
+			if _, err := svc.Lookup(ctx, node.Site, name); err != nil {
 				misses++
 			}
 		}
@@ -112,6 +114,6 @@ func main() {
 	fmt.Printf("  mean op latency %v, p95 %v, %d ops crossed datacenters\n",
 		summary.Mean.Round(time.Millisecond), summary.P95.Round(time.Millisecond), summary.RemoteCount)
 	for _, site := range topo.Sites() {
-		fmt.Printf("  registry at %-16s holds %5d entries\n", site.Name, proxies[site.ID].Len())
+		fmt.Printf("  registry at %-16s holds %5d entries\n", site.Name, proxies[site.ID].Len(ctx))
 	}
 }

@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -32,6 +34,12 @@ func main() {
 }
 
 func demo(topo *cloud.Topology, kind core.StrategyKind) error {
+	// Every operation below runs under this deadline; if a strategy ever
+	// stalled, the demo would fail with context.DeadlineExceeded instead of
+	// hanging.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
 	lat := latency.New(topo, latency.WithScale(0.1), latency.WithSeed(7))
 	rec := metrics.NewRecorder()
 	rec.SetSimConverter(lat.ToSimulated)
@@ -58,21 +66,21 @@ func demo(topo *cloud.Topology, kind core.StrategyKind) error {
 	// workflow task publishes its outputs.
 	for i := 0; i < 10; i++ {
 		name := fmt.Sprintf("quickstart/%s/result-%02d.dat", kind.Short(), i)
-		if _, err := producer.PublishFile(name, 256<<10, "task-producer"); err != nil {
+		if _, err := producer.PublishFile(ctx, name, 256<<10, "task-producer"); err != nil {
 			return fmt.Errorf("publish %s: %w", name, err)
 		}
 	}
 
 	// Make any asynchronous propagation (sync agent, lazy batches) converge
 	// so the consumer is guaranteed to see the entries.
-	if err := svc.Flush(); err != nil {
+	if err := svc.Flush(ctx); err != nil {
 		return err
 	}
 
 	// The consumer, an ocean away, resolves the files it needs.
 	for i := 0; i < 10; i++ {
 		name := fmt.Sprintf("quickstart/%s/result-%02d.dat", kind.Short(), i)
-		e, err := consumer.LocateFile(name)
+		e, err := consumer.LocateFile(ctx, name)
 		if err != nil {
 			return fmt.Errorf("locate %s: %w", name, err)
 		}
@@ -81,7 +89,7 @@ func demo(topo *cloud.Topology, kind core.StrategyKind) error {
 		}
 		// Register that the consumer now also holds a copy (e.g. after a
 		// transfer), enriching provenance for later tasks.
-		if _, err := consumer.RegisterCopy(name); err != nil && err != core.ErrNotFound {
+		if _, err := consumer.RegisterCopy(ctx, name); err != nil && !errors.Is(err, core.ErrNotFound) {
 			return fmt.Errorf("register copy %s: %w", name, err)
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -37,39 +38,39 @@ func (c *countingAPI) Calls(method string) int {
 	return c.calls[method]
 }
 
-func (c *countingAPI) Create(e registry.Entry) (registry.Entry, error) {
+func (c *countingAPI) Create(ctx context.Context, e registry.Entry) (registry.Entry, error) {
 	c.count("Create")
-	return c.API.Create(e)
+	return c.API.Create(ctx, e)
 }
 
-func (c *countingAPI) Put(e registry.Entry) (registry.Entry, error) {
+func (c *countingAPI) Put(ctx context.Context, e registry.Entry) (registry.Entry, error) {
 	c.count("Put")
-	return c.API.Put(e)
+	return c.API.Put(ctx, e)
 }
 
-func (c *countingAPI) Delete(name string) error {
+func (c *countingAPI) Delete(ctx context.Context, name string) error {
 	c.count("Delete")
-	return c.API.Delete(name)
+	return c.API.Delete(ctx, name)
 }
 
-func (c *countingAPI) GetMany(names []string) ([]registry.Entry, error) {
+func (c *countingAPI) GetMany(ctx context.Context, names []string) ([]registry.Entry, error) {
 	c.count("GetMany")
-	return c.API.GetMany(names)
+	return c.API.GetMany(ctx, names)
 }
 
-func (c *countingAPI) PutMany(entries []registry.Entry) ([]registry.Entry, error) {
+func (c *countingAPI) PutMany(ctx context.Context, entries []registry.Entry) ([]registry.Entry, error) {
 	c.count("PutMany")
-	return c.API.PutMany(entries)
+	return c.API.PutMany(ctx, entries)
 }
 
-func (c *countingAPI) DeleteMany(names []string) (int, error) {
+func (c *countingAPI) DeleteMany(ctx context.Context, names []string) (int, error) {
 	c.count("DeleteMany")
-	return c.API.DeleteMany(names)
+	return c.API.DeleteMany(ctx, names)
 }
 
-func (c *countingAPI) Merge(entries []registry.Entry) (int, error) {
+func (c *countingAPI) Merge(ctx context.Context, entries []registry.Entry) (int, error) {
 	c.count("Merge")
-	return c.API.Merge(entries)
+	return c.API.Merge(ctx, entries)
 }
 
 // newCountingFabric builds a 4-site test fabric whose every instance is
@@ -102,11 +103,11 @@ func TestReplicatedAgentUsesBatchCalls(t *testing.T) {
 
 	const n = 25
 	for i := 0; i < n; i++ {
-		if _, err := svc.Create(1, testEntry(fmt.Sprintf("batch-%d", i), 1)); err != nil {
+		if _, err := svc.Create(tctx, 1, testEntry(fmt.Sprintf("batch-%d", i), 1)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	svc.Flush() // round 1: propagate the creates
+	svc.Flush(tctx) // round 1: propagate the creates
 
 	for _, site := range f.Sites() {
 		c := counters[site]
@@ -123,11 +124,11 @@ func TestReplicatedAgentUsesBatchCalls(t *testing.T) {
 	}
 
 	for i := 0; i < n; i++ {
-		if err := svc.Delete(1, fmt.Sprintf("batch-%d", i)); err != nil {
+		if err := svc.Delete(tctx, 1, fmt.Sprintf("batch-%d", i)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	svc.Flush() // round 2: propagate the deletes
+	svc.Flush(tctx) // round 2: propagate the deletes
 
 	for _, site := range f.Sites() {
 		c := counters[site]
@@ -145,8 +146,8 @@ func TestReplicatedAgentUsesBatchCalls(t *testing.T) {
 	}
 	for _, site := range f.Sites() {
 		inst, _ := f.Instance(site)
-		if inst.Len() != 0 {
-			t.Errorf("site %d still holds %d entries after propagated deletes", site, inst.Len())
+		if inst.Len(tctx) != 0 {
+			t.Errorf("site %d still holds %d entries after propagated deletes", site, inst.Len(tctx))
 		}
 	}
 }
@@ -164,19 +165,19 @@ func TestPropagatorOrderWithinFlushWindow(t *testing.T) {
 	// delete → re-create: the entry must survive the flush.
 	old := testEntry("cycle", 0)
 	p.Enqueue(0, 2, old)
-	p.FlushNow()
+	p.FlushNow(tctx)
 	p.EnqueueDelete(0, 2, "cycle")
 	p.Enqueue(0, 2, testEntry("cycle", 0))
-	p.FlushNow()
-	if !inst.Contains("cycle") {
+	p.FlushNow(tctx)
+	if !inst.Contains(tctx, "cycle") {
 		t.Error("entry deleted and re-created in one window vanished at the destination")
 	}
 
 	// create → delete: the entry must be gone after the flush.
 	p.Enqueue(0, 2, testEntry("doomed", 0))
 	p.EnqueueDelete(0, 2, "doomed")
-	p.FlushNow()
-	if inst.Contains("doomed") {
+	p.FlushNow(tctx)
+	if inst.Contains(tctx, "doomed") {
 		t.Error("entry created and deleted in one window survived at the destination")
 	}
 }
@@ -201,11 +202,11 @@ func TestDecReplicatedLazyDeleteUsesBatch(t *testing.T) {
 		}
 	}
 	for _, name := range names {
-		if _, err := svc.Create(0, testEntry(name, 0)); err != nil {
+		if _, err := svc.Create(tctx, 0, testEntry(name, 0)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := svc.Flush(); err != nil {
+	if err := svc.Flush(tctx); err != nil {
 		t.Fatal(err)
 	}
 	if got := counters[2].Calls("Merge"); got != 1 {
@@ -213,7 +214,7 @@ func TestDecReplicatedLazyDeleteUsesBatch(t *testing.T) {
 	}
 
 	for _, name := range names {
-		if err := svc.Delete(0, name); err != nil {
+		if err := svc.Delete(tctx, 0, name); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -222,10 +223,10 @@ func TestDecReplicatedLazyDeleteUsesBatch(t *testing.T) {
 		t.Errorf("home site saw %d eager Deletes in lazy mode, want 0", got)
 	}
 	home, _ := f.Instance(2)
-	if home.Len() != len(names) {
-		t.Errorf("home holds %d entries before flush, want %d", home.Len(), len(names))
+	if home.Len(tctx) != len(names) {
+		t.Errorf("home holds %d entries before flush, want %d", home.Len(tctx), len(names))
 	}
-	if err := svc.Flush(); err != nil {
+	if err := svc.Flush(tctx); err != nil {
 		t.Fatal(err)
 	}
 	// ...after it they are gone, removed by exactly one DeleteMany.
@@ -235,7 +236,7 @@ func TestDecReplicatedLazyDeleteUsesBatch(t *testing.T) {
 	if got := counters[2].Calls("Delete"); got != 0 {
 		t.Errorf("home site saw %d per-entry Deletes, want 0", got)
 	}
-	if home.Len() != 0 {
-		t.Errorf("home still holds %d entries after flushed deletes", home.Len())
+	if home.Len(tctx) != 0 {
+		t.Errorf("home still holds %d entries after flushed deletes", home.Len(tctx))
 	}
 }

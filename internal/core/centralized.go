@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -41,67 +42,82 @@ func (s *CentralizedService) Home() cloud.SiteID { return s.home }
 // Create implements MetadataService. Per the paper's definition, the write is
 // a look-up (to verify the name is free) followed by the actual write; both
 // are served by the central instance.
-func (s *CentralizedService) Create(from cloud.SiteID, e registry.Entry) (registry.Entry, error) {
+func (s *CentralizedService) Create(ctx context.Context, from cloud.SiteID, e registry.Entry) (registry.Entry, error) {
 	if s.closed.Load() {
-		return registry.Entry{}, ErrClosed
+		return registry.Entry{}, opErr("create", from, e.Name, ErrClosed)
 	}
 	start := time.Now()
 	// One round trip to the central registry; the instance performs the
 	// look-up (existence check) and the write server-side, as the paper's
 	// write = look-up + write composite.
-	remote := s.fabric.call(from, s.home, s.fabric.EntrySize(e), s.fabric.ackBytes)
-	stored, err := s.inst.Create(e)
+	remote, err := s.fabric.call(ctx, from, s.home, s.fabric.EntrySize(e), s.fabric.ackBytes)
+	if err != nil {
+		s.fabric.record(metrics.OpWrite, start, remote)
+		return registry.Entry{}, opErr("create", from, e.Name, err)
+	}
+	stored, err := s.inst.Create(ctx, e)
 	s.fabric.record(metrics.OpWrite, start, remote)
-	return stored, err
+	return stored, opErr("create", from, e.Name, err)
 }
 
 // Lookup implements MetadataService.
-func (s *CentralizedService) Lookup(from cloud.SiteID, name string) (registry.Entry, error) {
+func (s *CentralizedService) Lookup(ctx context.Context, from cloud.SiteID, name string) (registry.Entry, error) {
 	if s.closed.Load() {
-		return registry.Entry{}, ErrClosed
+		return registry.Entry{}, opErr("lookup", from, name, ErrClosed)
 	}
 	start := time.Now()
-	e, err := s.inst.Get(name)
+	e, err := s.inst.Get(ctx, name)
 	respBytes := s.fabric.ackBytes
 	if err == nil {
 		respBytes = s.fabric.EntrySize(e)
 	}
-	remote := s.fabric.call(from, s.home, s.fabric.queryBytes, respBytes)
+	remote, callErr := s.fabric.call(ctx, from, s.home, s.fabric.queryBytes, respBytes)
 	s.fabric.record(metrics.OpRead, start, remote)
-	return e, err
+	if lerr := lookupErr(from, name, err, callErr); lerr != nil {
+		return registry.Entry{}, lerr
+	}
+	return e, nil
 }
 
 // AddLocation implements MetadataService.
-func (s *CentralizedService) AddLocation(from cloud.SiteID, name string, loc registry.Location) (registry.Entry, error) {
+func (s *CentralizedService) AddLocation(ctx context.Context, from cloud.SiteID, name string, loc registry.Location) (registry.Entry, error) {
 	if s.closed.Load() {
-		return registry.Entry{}, ErrClosed
+		return registry.Entry{}, opErr("addlocation", from, name, ErrClosed)
 	}
 	start := time.Now()
-	remote := s.fabric.call(from, s.home, s.fabric.queryBytes, s.fabric.ackBytes)
-	e, err := s.inst.AddLocation(name, loc)
+	remote, err := s.fabric.call(ctx, from, s.home, s.fabric.queryBytes, s.fabric.ackBytes)
+	if err != nil {
+		s.fabric.record(metrics.OpUpdate, start, remote)
+		return registry.Entry{}, opErr("addlocation", from, name, err)
+	}
+	e, err := s.inst.AddLocation(ctx, name, loc)
 	s.fabric.record(metrics.OpUpdate, start, remote)
-	return e, err
+	return e, opErr("addlocation", from, name, err)
 }
 
 // Delete implements MetadataService.
-func (s *CentralizedService) Delete(from cloud.SiteID, name string) error {
+func (s *CentralizedService) Delete(ctx context.Context, from cloud.SiteID, name string) error {
 	if s.closed.Load() {
-		return ErrClosed
+		return opErr("delete", from, name, ErrClosed)
 	}
 	start := time.Now()
-	remote := s.fabric.call(from, s.home, s.fabric.queryBytes, s.fabric.ackBytes)
-	err := s.inst.Delete(name)
+	remote, err := s.fabric.call(ctx, from, s.home, s.fabric.queryBytes, s.fabric.ackBytes)
+	if err != nil {
+		s.fabric.record(metrics.OpDelete, start, remote)
+		return opErr("delete", from, name, err)
+	}
+	err = s.inst.Delete(ctx, name)
 	s.fabric.record(metrics.OpDelete, start, remote)
-	return err
+	return opErr("delete", from, name, err)
 }
 
 // Flush implements MetadataService; the centralized strategy has no
 // asynchronous machinery, so it is a no-op.
-func (s *CentralizedService) Flush() error {
+func (s *CentralizedService) Flush(ctx context.Context) error {
 	if s.closed.Load() {
-		return ErrClosed
+		return opErr("flush", s.home, "", ErrClosed)
 	}
-	return nil
+	return ctx.Err()
 }
 
 // Close implements MetadataService.

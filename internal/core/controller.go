@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -97,16 +99,18 @@ func (c *Controller) Current() (MetadataService, StrategyKind, bool) {
 }
 
 // Use switches the controller to the given strategy, closing the previously
-// active service (after flushing it) and returning the new one. Switching to
-// the strategy already in use returns the existing service.
-func (c *Controller) Use(kind StrategyKind) (MetadataService, error) {
+// active service (after flushing it under ctx) and returning the new one.
+// Switching to the strategy already in use returns the existing service. A
+// cancelled context aborts the hand-over flush; the previous service is then
+// left in place so no pending updates are lost.
+func (c *Controller) Use(ctx context.Context, kind StrategyKind) (MetadataService, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.started && c.kind == kind {
 		return c.current, nil
 	}
 	if c.started {
-		if err := c.current.Flush(); err != nil && err != ErrClosed {
+		if err := c.current.Flush(ctx); err != nil && !errors.Is(err, ErrClosed) {
 			return nil, fmt.Errorf("controller: flushing %s: %w", c.kind, err)
 		}
 		if err := c.current.Close(); err != nil {
@@ -156,5 +160,5 @@ func (c *Controller) build(kind StrategyKind) (MetadataService, error) {
 // given kind over the fabric with default parameters (central registry and
 // sync agent on the fabric's first site, modulo hashing, lazy propagation).
 func NewService(fabric *Fabric, kind StrategyKind) (MetadataService, error) {
-	return NewController(fabric).Use(kind)
+	return NewController(fabric).Use(context.Background(), kind)
 }

@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -102,7 +103,10 @@ func ParseStrategy(s string) (StrategyKind, error) {
 	}
 }
 
-// Errors shared by every strategy implementation.
+// Errors shared by every strategy implementation. Strategy operations report
+// failures as *OpError values wrapping one of these sentinel causes (or a
+// context error), so callers branch with errors.Is / errors.As instead of
+// string matching.
 var (
 	// ErrNotFound is returned when a looked-up entry does not exist anywhere
 	// the strategy is able (or allowed) to look.
@@ -114,12 +118,82 @@ var (
 	// ErrNoSuchSite is returned when an operation names a site outside the
 	// fabric.
 	ErrNoSuchSite = errors.New("core: site not part of the metadata fabric")
+	// ErrSiteUnreachable is returned when the registry instance of a site
+	// cannot be reached at all — a partitioned or crashed remote deployment —
+	// as opposed to answering with a per-entry error. It is the core-level
+	// name of registry.ErrUnavailable (rpc proxies report that sentinel on
+	// transport failures), so errors.Is matches either spelling.
+	ErrSiteUnreachable = registry.ErrUnavailable
 )
+
+// OpError describes the failure of one metadata operation: which operation,
+// issued from which site, on which entry, and the underlying cause. It
+// implements the errors.Unwrap contract, so errors.Is(err, ErrNotFound),
+// errors.Is(err, context.DeadlineExceeded) and friends see through it; use
+// errors.As to recover the structured fields.
+type OpError struct {
+	// Op is the operation that failed ("create", "lookup", "addlocation",
+	// "delete", "flush", "sync").
+	Op string
+	// Site is the datacenter the operation was issued from.
+	Site cloud.SiteID
+	// Name is the entry the operation targeted; empty when the operation has
+	// no single target (e.g. flush).
+	Name string
+	// Err is the underlying cause — one of the sentinel errors, a context
+	// error, or a transport failure.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *OpError) Error() string {
+	if e.Name == "" {
+		return fmt.Sprintf("core: %s from site %d: %v", e.Op, e.Site, e.Err)
+	}
+	return fmt.Sprintf("core: %s %q from site %d: %v", e.Op, e.Name, e.Site, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *OpError) Unwrap() error { return e.Err }
+
+// opErr wraps err in an *OpError unless it is nil or already one (the
+// innermost operation wins: it knows the site and entry best).
+func opErr(op string, site cloud.SiteID, name string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var oe *OpError
+	if errors.As(err, &oe) {
+		return err
+	}
+	return &OpError{Op: op, Site: site, Name: name, Err: err}
+}
+
+// lookupErr merges a read's two failure sources into one typed error: the
+// registry operation's error wins (a genuine not-found answer is the result
+// even if the caller was cancelled while the modelled exchange completed),
+// and only an otherwise-successful read surfaces the modelled call's
+// cancellation. Every strategy shares this policy so their lookup error
+// semantics cannot drift apart.
+func lookupErr(from cloud.SiteID, name string, regErr, callErr error) error {
+	if regErr == nil {
+		regErr = callErr
+	}
+	return opErr("lookup", from, name, regErr)
+}
 
 // MetadataService is the client-facing API of the metadata middleware. Every
 // operation is issued *from* a site: the datacenter hosting the execution
 // node performing it. Implementations charge the appropriate wide-area
 // latency for any communication that leaves that site.
+//
+// Every operation takes a context.Context first. Deadlines and cancellation
+// propagate all the way down: through the fabric's modelled WAN sleeps,
+// through the per-site registry instances, and — when a site is backed by an
+// rpc proxy — over the wire to the remote server, which abandons work whose
+// client has given up. Operations report failures as *OpError values
+// wrapping the sentinel causes (ErrNotFound, ErrExists, ErrClosed,
+// ErrSiteUnreachable, context.DeadlineExceeded, ...).
 //
 // Following the paper's terminology, a "write" (Create) consists of a look-up
 // to verify the entry does not already exist followed by the actual write,
@@ -130,26 +204,29 @@ type MetadataService interface {
 
 	// Create publishes a new metadata entry. It fails with ErrExists if an
 	// entry with the same name is already visible to the caller's site.
-	Create(from cloud.SiteID, e registry.Entry) (registry.Entry, error)
+	Create(ctx context.Context, from cloud.SiteID, e registry.Entry) (registry.Entry, error)
 
 	// Lookup retrieves the entry with the given name. Under eventually
 	// consistent strategies a recently created entry may not yet be visible
 	// from every site, in which case Lookup returns ErrNotFound.
-	Lookup(from cloud.SiteID, name string) (registry.Entry, error)
+	Lookup(ctx context.Context, from cloud.SiteID, name string) (registry.Entry, error)
 
 	// AddLocation records an additional copy of the named file.
-	AddLocation(from cloud.SiteID, name string, loc registry.Location) (registry.Entry, error)
+	AddLocation(ctx context.Context, from cloud.SiteID, name string, loc registry.Location) (registry.Entry, error)
 
 	// Delete removes the entry with the given name.
-	Delete(from cloud.SiteID, name string) error
+	Delete(ctx context.Context, from cloud.SiteID, name string) error
 
 	// Flush forces any pending asynchronous propagation (sync-agent rounds,
 	// lazy batches) to complete, bringing every site up to date. It is a
-	// no-op for strategies without asynchronous machinery.
-	Flush() error
+	// no-op for strategies without asynchronous machinery. A cancelled
+	// context aborts the round mid-fan-out; on a closed service Flush
+	// returns an error wrapping ErrClosed.
+	Flush(ctx context.Context) error
 
 	// Close releases background resources (agents, propagators). The service
-	// must not be used afterwards.
+	// must not be used afterwards. Close takes no context: it must always be
+	// able to run to completion during teardown.
 	Close() error
 }
 
@@ -173,23 +250,23 @@ func (c *Client) Node() cloud.Node { return c.node }
 func (c *Client) Service() MetadataService { return c.svc }
 
 // PublishFile creates a metadata entry for a file produced by the node.
-func (c *Client) PublishFile(name string, size int64, producer string) (registry.Entry, error) {
+func (c *Client) PublishFile(ctx context.Context, name string, size int64, producer string) (registry.Entry, error) {
 	loc := registry.Location{Site: c.node.Site, Node: c.node.ID}
-	return c.svc.Create(c.node.Site, registry.NewEntry(name, size, producer, loc))
+	return c.svc.Create(ctx, c.node.Site, registry.NewEntry(name, size, producer, loc))
 }
 
 // LocateFile looks up the metadata entry of a file.
-func (c *Client) LocateFile(name string) (registry.Entry, error) {
-	return c.svc.Lookup(c.node.Site, name)
+func (c *Client) LocateFile(ctx context.Context, name string) (registry.Entry, error) {
+	return c.svc.Lookup(ctx, c.node.Site, name)
 }
 
 // RegisterCopy records that this node now holds a copy of the file.
-func (c *Client) RegisterCopy(name string) (registry.Entry, error) {
+func (c *Client) RegisterCopy(ctx context.Context, name string) (registry.Entry, error) {
 	loc := registry.Location{Site: c.node.Site, Node: c.node.ID}
-	return c.svc.AddLocation(c.node.Site, name, loc)
+	return c.svc.AddLocation(ctx, c.node.Site, name, loc)
 }
 
 // Remove deletes the metadata entry of a file.
-func (c *Client) Remove(name string) error {
-	return c.svc.Delete(c.node.Site, name)
+func (c *Client) Remove(ctx context.Context, name string) error {
+	return c.svc.Delete(ctx, c.node.Site, name)
 }

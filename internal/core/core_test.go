@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -14,6 +15,8 @@ import (
 	"geomds/internal/metrics"
 	"geomds/internal/registry"
 )
+
+var tctx = context.Background()
 
 // newTestFabric builds a 4-site fabric whose latency model never actually
 // sleeps, so strategy-logic tests run instantly. The cache capacity model is
@@ -85,7 +88,7 @@ func TestFabricBasics(t *testing.T) {
 	if f.EntrySize(testEntry("x", 0)) <= 0 {
 		t.Error("EntrySize should be positive")
 	}
-	if f.TotalEntries() != 0 {
+	if f.TotalEntries(tctx) != 0 {
 		t.Error("fresh fabric should be empty")
 	}
 }
@@ -112,12 +115,12 @@ func TestCentralizedCreateLookup(t *testing.T) {
 	}
 
 	e := testEntry("f1", 1)
-	if _, err := svc.Create(1, e); err != nil {
+	if _, err := svc.Create(tctx, 1, e); err != nil {
 		t.Fatalf("Create: %v", err)
 	}
 	// Entry exists from every site (single instance).
 	for site := cloud.SiteID(0); site < 4; site++ {
-		got, err := svc.Lookup(site, "f1")
+		got, err := svc.Lookup(tctx, site, "f1")
 		if err != nil {
 			t.Fatalf("Lookup from %d: %v", site, err)
 		}
@@ -125,19 +128,19 @@ func TestCentralizedCreateLookup(t *testing.T) {
 			t.Errorf("Lookup returned %+v", got)
 		}
 	}
-	if _, err := svc.Create(2, e); !errors.Is(err, ErrExists) {
+	if _, err := svc.Create(tctx, 2, e); !errors.Is(err, ErrExists) {
 		t.Errorf("duplicate Create = %v, want ErrExists", err)
 	}
-	if _, err := svc.Lookup(0, "missing"); !errors.Is(err, ErrNotFound) {
+	if _, err := svc.Lookup(tctx, 0, "missing"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Lookup missing = %v, want ErrNotFound", err)
 	}
-	if _, err := svc.AddLocation(3, "f1", registry.Location{Site: 3, Node: 9}); err != nil {
+	if _, err := svc.AddLocation(tctx, 3, "f1", registry.Location{Site: 3, Node: 9}); err != nil {
 		t.Errorf("AddLocation: %v", err)
 	}
-	if err := svc.Delete(2, "f1"); err != nil {
+	if err := svc.Delete(tctx, 2, "f1"); err != nil {
 		t.Errorf("Delete: %v", err)
 	}
-	if err := svc.Flush(); err != nil {
+	if err := svc.Flush(tctx); err != nil {
 		t.Errorf("Flush: %v", err)
 	}
 }
@@ -146,15 +149,15 @@ func TestCentralizedStoresOnlyAtHome(t *testing.T) {
 	f := newTestFabric()
 	svc, _ := NewCentralized(f, 2)
 	defer svc.Close()
-	svc.Create(0, testEntry("only-home", 0))
+	svc.Create(tctx, 0, testEntry("only-home", 0))
 	for _, site := range f.Sites() {
 		inst, _ := f.Instance(site)
 		want := 0
 		if site == 2 {
 			want = 1
 		}
-		if inst.Len() != want {
-			t.Errorf("site %d holds %d entries, want %d", site, inst.Len(), want)
+		if inst.Len(tctx) != want {
+			t.Errorf("site %d holds %d entries, want %d", site, inst.Len(tctx), want)
 		}
 	}
 }
@@ -163,16 +166,16 @@ func TestCentralizedClosed(t *testing.T) {
 	f := newTestFabric()
 	svc, _ := NewCentralized(f, 0)
 	svc.Close()
-	if _, err := svc.Create(0, testEntry("x", 0)); !errors.Is(err, ErrClosed) {
+	if _, err := svc.Create(tctx, 0, testEntry("x", 0)); !errors.Is(err, ErrClosed) {
 		t.Errorf("Create after close = %v", err)
 	}
-	if _, err := svc.Lookup(0, "x"); !errors.Is(err, ErrClosed) {
+	if _, err := svc.Lookup(tctx, 0, "x"); !errors.Is(err, ErrClosed) {
 		t.Errorf("Lookup after close = %v", err)
 	}
-	if err := svc.Delete(0, "x"); !errors.Is(err, ErrClosed) {
+	if err := svc.Delete(tctx, 0, "x"); !errors.Is(err, ErrClosed) {
 		t.Errorf("Delete after close = %v", err)
 	}
-	if err := svc.Flush(); !errors.Is(err, ErrClosed) {
+	if err := svc.Flush(tctx); !errors.Is(err, ErrClosed) {
 		t.Errorf("Flush after close = %v", err)
 	}
 }
@@ -196,23 +199,23 @@ func TestReplicatedLocalThenEventual(t *testing.T) {
 	}
 
 	e := testEntry("shared", 1)
-	if _, err := svc.Create(1, e); err != nil {
+	if _, err := svc.Create(tctx, 1, e); err != nil {
 		t.Fatalf("Create: %v", err)
 	}
 	// Immediately visible locally...
-	if _, err := svc.Lookup(1, "shared"); err != nil {
+	if _, err := svc.Lookup(tctx, 1, "shared"); err != nil {
 		t.Errorf("local Lookup: %v", err)
 	}
 	// ...but not yet at other sites (eventual consistency).
-	if _, err := svc.Lookup(3, "shared"); !errors.Is(err, ErrNotFound) {
+	if _, err := svc.Lookup(tctx, 3, "shared"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("remote Lookup before sync = %v, want ErrNotFound", err)
 	}
 	// After a sync round the entry is everywhere.
-	if err := svc.Flush(); err != nil {
+	if err := svc.Flush(tctx); err != nil {
 		t.Fatal(err)
 	}
 	for _, site := range f.Sites() {
-		if _, err := svc.Lookup(site, "shared"); err != nil {
+		if _, err := svc.Lookup(tctx, site, "shared"); err != nil {
 			t.Errorf("Lookup from %d after sync: %v", site, err)
 		}
 	}
@@ -228,14 +231,14 @@ func TestReplicatedDeletePropagates(t *testing.T) {
 	f := newTestFabric()
 	svc, _ := NewReplicated(f, 0, WithSyncInterval(time.Hour))
 	defer svc.Close()
-	svc.Create(2, testEntry("todelete", 2))
-	svc.Flush()
-	if err := svc.Delete(2, "todelete"); err != nil {
+	svc.Create(tctx, 2, testEntry("todelete", 2))
+	svc.Flush(tctx)
+	if err := svc.Delete(tctx, 2, "todelete"); err != nil {
 		t.Fatalf("Delete: %v", err)
 	}
-	svc.Flush()
+	svc.Flush(tctx)
 	for _, site := range f.Sites() {
-		if _, err := svc.Lookup(site, "todelete"); !errors.Is(err, ErrNotFound) {
+		if _, err := svc.Lookup(tctx, site, "todelete"); !errors.Is(err, ErrNotFound) {
 			t.Errorf("entry still visible at %d after propagated delete: %v", site, err)
 		}
 	}
@@ -245,13 +248,13 @@ func TestReplicatedAddLocationPropagates(t *testing.T) {
 	f := newTestFabric()
 	svc, _ := NewReplicated(f, 1, WithSyncInterval(time.Hour))
 	defer svc.Close()
-	svc.Create(0, testEntry("f", 0))
-	svc.Flush()
-	if _, err := svc.AddLocation(0, "f", registry.Location{Site: 3, Node: 7}); err != nil {
+	svc.Create(tctx, 0, testEntry("f", 0))
+	svc.Flush(tctx)
+	if _, err := svc.AddLocation(tctx, 0, "f", registry.Location{Site: 3, Node: 7}); err != nil {
 		t.Fatalf("AddLocation: %v", err)
 	}
-	svc.Flush()
-	got, err := svc.Lookup(2, "f")
+	svc.Flush(tctx)
+	got, err := svc.Lookup(tctx, 2, "f")
 	if err != nil {
 		t.Fatalf("Lookup: %v", err)
 	}
@@ -265,10 +268,10 @@ func TestReplicatedBackgroundAgent(t *testing.T) {
 	// Simulated 10ms interval at scale 1.0 = wall 10ms: fast enough to observe.
 	svc, _ := NewReplicated(f, 0, WithSyncInterval(10*time.Millisecond))
 	defer svc.Close()
-	svc.Create(0, testEntry("bg", 0))
+	svc.Create(tctx, 0, testEntry("bg", 0))
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		if _, err := svc.Lookup(3, "bg"); err == nil {
+		if _, err := svc.Lookup(tctx, 3, "bg"); err == nil {
 			return
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -280,7 +283,7 @@ func TestReplicatedClosed(t *testing.T) {
 	f := newTestFabric()
 	svc, _ := NewReplicated(f, 0)
 	svc.Close()
-	if _, err := svc.Create(0, testEntry("x", 0)); !errors.Is(err, ErrClosed) {
+	if _, err := svc.Create(tctx, 0, testEntry("x", 0)); !errors.Is(err, ErrClosed) {
 		t.Errorf("Create after close = %v", err)
 	}
 	if err := svc.Close(); err != nil {
@@ -301,12 +304,12 @@ func TestDecentralizedPlacement(t *testing.T) {
 
 	for i := 0; i < 40; i++ {
 		name := fmt.Sprintf("file-%d", i)
-		if _, err := svc.Create(cloud.SiteID(i%4), testEntry(name, cloud.SiteID(i%4))); err != nil {
+		if _, err := svc.Create(tctx, cloud.SiteID(i%4), testEntry(name, cloud.SiteID(i%4))); err != nil {
 			t.Fatalf("Create %s: %v", name, err)
 		}
 		home := svc.Home(name)
 		inst, _ := f.Instance(home)
-		if !inst.Contains(name) {
+		if !inst.Contains(tctx, name) {
 			t.Errorf("%s not stored at its home site %d", name, home)
 		}
 		// It must be stored nowhere else.
@@ -315,13 +318,13 @@ func TestDecentralizedPlacement(t *testing.T) {
 				continue
 			}
 			other, _ := f.Instance(site)
-			if other.Contains(name) {
+			if other.Contains(tctx, name) {
 				t.Errorf("%s replicated to non-home site %d", name, site)
 			}
 		}
 	}
-	if f.TotalEntries() != 40 {
-		t.Errorf("TotalEntries = %d, want 40 (no replication)", f.TotalEntries())
+	if f.TotalEntries(tctx) != 40 {
+		t.Errorf("TotalEntries = %d, want 40 (no replication)", f.TotalEntries(tctx))
 	}
 	local, remote := svc.LocalRemoteOps()
 	if local+remote != 40 {
@@ -334,30 +337,30 @@ func TestDecentralizedLookupAndErrors(t *testing.T) {
 	svc, _ := NewDecentralized(f, nil)
 	defer svc.Close()
 	e := testEntry("data.bin", 2)
-	svc.Create(2, e)
+	svc.Create(tctx, 2, e)
 	for _, site := range f.Sites() {
-		got, err := svc.Lookup(site, "data.bin")
+		got, err := svc.Lookup(tctx, site, "data.bin")
 		if err != nil || !got.Equal(e) {
 			t.Errorf("Lookup from %d: %v", site, err)
 		}
 	}
-	if _, err := svc.Lookup(0, "nope"); !errors.Is(err, ErrNotFound) {
+	if _, err := svc.Lookup(tctx, 0, "nope"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Lookup missing = %v", err)
 	}
-	if _, err := svc.Create(1, e); !errors.Is(err, ErrExists) {
+	if _, err := svc.Create(tctx, 1, e); !errors.Is(err, ErrExists) {
 		t.Errorf("duplicate Create = %v", err)
 	}
-	if _, err := svc.AddLocation(3, "data.bin", registry.Location{Site: 3, Node: 5}); err != nil {
+	if _, err := svc.AddLocation(tctx, 3, "data.bin", registry.Location{Site: 3, Node: 5}); err != nil {
 		t.Errorf("AddLocation: %v", err)
 	}
-	if err := svc.Delete(1, "data.bin"); err != nil {
+	if err := svc.Delete(tctx, 1, "data.bin"); err != nil {
 		t.Errorf("Delete: %v", err)
 	}
-	if err := svc.Flush(); err != nil {
+	if err := svc.Flush(tctx); err != nil {
 		t.Errorf("Flush: %v", err)
 	}
 	svc.Close()
-	if _, err := svc.Lookup(0, "x"); !errors.Is(err, ErrClosed) {
+	if _, err := svc.Lookup(tctx, 0, "x"); !errors.Is(err, ErrClosed) {
 		t.Errorf("Lookup after close = %v", err)
 	}
 }
@@ -381,15 +384,15 @@ func TestDecReplicatedEagerWrite(t *testing.T) {
 			break
 		}
 	}
-	if _, err := svc.Create(1, testEntry(name, 1)); err != nil {
+	if _, err := svc.Create(tctx, 1, testEntry(name, 1)); err != nil {
 		t.Fatalf("Create: %v", err)
 	}
 	local, _ := f.Instance(1)
 	home, _ := f.Instance(svc.Home(name))
-	if !local.Contains(name) {
+	if !local.Contains(tctx, name) {
 		t.Error("local replica missing")
 	}
-	if !home.Contains(name) {
+	if !home.Contains(tctx, name) {
 		t.Error("home copy missing (eager propagation)")
 	}
 }
@@ -412,14 +415,14 @@ func TestDecReplicatedLazyWrite(t *testing.T) {
 			break
 		}
 	}
-	svc.Create(0, testEntry(name, 0))
+	svc.Create(tctx, 0, testEntry(name, 0))
 	homeSite := svc.Home(name)
 	homeInst, _ := f.Instance(homeSite)
-	if homeInst.Contains(name) {
+	if homeInst.Contains(tctx, name) {
 		t.Error("home copy should not exist before the lazy flush")
 	}
 	// Reads from the writer's site hit the local replica immediately.
-	if _, err := svc.Lookup(0, name); err != nil {
+	if _, err := svc.Lookup(tctx, 0, name); err != nil {
 		t.Errorf("local Lookup: %v", err)
 	}
 	// Reads from a third site that is neither writer nor home miss until the
@@ -431,16 +434,16 @@ func TestDecReplicatedLazyWrite(t *testing.T) {
 			break
 		}
 	}
-	if _, err := svc.Lookup(third, name); !errors.Is(err, ErrNotFound) {
+	if _, err := svc.Lookup(tctx, third, name); !errors.Is(err, ErrNotFound) {
 		t.Errorf("third-site Lookup before flush = %v, want ErrNotFound", err)
 	}
-	if err := svc.Flush(); err != nil {
+	if err := svc.Flush(tctx); err != nil {
 		t.Fatal(err)
 	}
-	if !homeInst.Contains(name) {
+	if !homeInst.Contains(tctx, name) {
 		t.Error("home copy missing after flush")
 	}
-	if _, err := svc.Lookup(third, name); err != nil {
+	if _, err := svc.Lookup(tctx, third, name); err != nil {
 		t.Errorf("third-site Lookup after flush: %v", err)
 	}
 	if rate := svc.LocalHitRate(); rate <= 0 || rate > 1 {
@@ -460,9 +463,9 @@ func TestDecReplicatedHomeEqualsWriter(t *testing.T) {
 			break
 		}
 	}
-	svc.Create(2, testEntry(name, 2))
-	if f.TotalEntries() != 1 {
-		t.Errorf("TotalEntries = %d, want 1 (no self-replication)", f.TotalEntries())
+	svc.Create(tctx, 2, testEntry(name, 2))
+	if f.TotalEntries(tctx) != 1 {
+		t.Errorf("TotalEntries = %d, want 1 (no self-replication)", f.TotalEntries(tctx))
 	}
 }
 
@@ -477,27 +480,27 @@ func TestDecReplicatedUpdateAndDelete(t *testing.T) {
 			break
 		}
 	}
-	svc.Create(0, testEntry(name, 0))
-	if _, err := svc.AddLocation(0, name, registry.Location{Site: 3, Node: 4}); err != nil {
+	svc.Create(tctx, 0, testEntry(name, 0))
+	if _, err := svc.AddLocation(tctx, 0, name, registry.Location{Site: 3, Node: 4}); err != nil {
 		t.Fatalf("AddLocation: %v", err)
 	}
 	// Updating from a site that has no local replica works via the home.
-	if _, err := svc.AddLocation(3, name, registry.Location{Site: 2, Node: 8}); err != nil {
+	if _, err := svc.AddLocation(tctx, 3, name, registry.Location{Site: 2, Node: 8}); err != nil {
 		t.Fatalf("AddLocation from non-replica site: %v", err)
 	}
-	if err := svc.Delete(0, name); err != nil {
+	if err := svc.Delete(tctx, 0, name); err != nil {
 		t.Fatalf("Delete: %v", err)
 	}
 	for _, site := range f.Sites() {
 		inst, _ := f.Instance(site)
-		if inst.Contains(name) {
+		if inst.Contains(tctx, name) {
 			t.Errorf("entry still present at site %d after delete", site)
 		}
 	}
-	if err := svc.Delete(0, name); !errors.Is(err, ErrNotFound) {
+	if err := svc.Delete(tctx, 0, name); !errors.Is(err, ErrNotFound) {
 		t.Errorf("second Delete = %v, want ErrNotFound", err)
 	}
-	if _, err := svc.AddLocation(1, "ghost", registry.Location{}); !errors.Is(err, ErrNotFound) {
+	if _, err := svc.AddLocation(tctx, 1, "ghost", registry.Location{}); !errors.Is(err, ErrNotFound) {
 		t.Errorf("AddLocation on missing entry = %v, want ErrNotFound", err)
 	}
 }
@@ -506,7 +509,7 @@ func TestDecReplicatedClosed(t *testing.T) {
 	f := newTestFabric()
 	svc, _ := NewDecReplicated(f)
 	svc.Close()
-	if _, err := svc.Create(0, testEntry("x", 0)); !errors.Is(err, ErrClosed) {
+	if _, err := svc.Create(tctx, 0, testEntry("x", 0)); !errors.Is(err, ErrClosed) {
 		t.Errorf("Create after close = %v", err)
 	}
 	if err := svc.Close(); err != nil {
@@ -523,12 +526,12 @@ func TestPropagator(t *testing.T) {
 	if p.Pending() != 1 {
 		t.Errorf("Pending = %d, want 1", p.Pending())
 	}
-	p.FlushNow()
+	p.FlushNow(tctx)
 	if p.Pending() != 0 {
 		t.Errorf("Pending after flush = %d, want 0", p.Pending())
 	}
 	inst, _ := f.Instance(2)
-	if !inst.Contains("prop") {
+	if !inst.Contains(tctx, "prop") {
 		t.Error("entry not applied at destination")
 	}
 	if p.Flushes() == 0 || p.Propagated() != 1 {
@@ -551,12 +554,12 @@ func TestPropagatorMaxBatchTriggersFlush(t *testing.T) {
 	inst, _ := f.Instance(1)
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		if inst.Len() == 3 {
+		if inst.Len(tctx) == 3 {
 			return
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	t.Errorf("max-batch flush did not run; destination holds %d entries", inst.Len())
+	t.Errorf("max-batch flush did not run; destination holds %d entries", inst.Len(tctx))
 }
 
 func TestController(t *testing.T) {
@@ -568,7 +571,7 @@ func TestController(t *testing.T) {
 	if _, _, ok := ctrl.Current(); ok {
 		t.Error("Current should report not started")
 	}
-	svc, err := ctrl.Use(Centralized)
+	svc, err := ctrl.Use(tctx, Centralized)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -579,13 +582,13 @@ func TestController(t *testing.T) {
 		t.Error("central site option not honoured")
 	}
 	// Same kind returns the same instance.
-	again, _ := ctrl.Use(Centralized)
+	again, _ := ctrl.Use(tctx, Centralized)
 	if again != svc {
 		t.Error("Use with same kind should reuse the service")
 	}
 	// Switch through every strategy.
 	for _, kind := range []StrategyKind{Replicated, Decentralized, DecentralizedReplicated} {
-		s, err := ctrl.Use(kind)
+		s, err := ctrl.Use(tctx, kind)
 		if err != nil {
 			t.Fatalf("Use(%v): %v", kind, err)
 		}
@@ -598,10 +601,10 @@ func TestController(t *testing.T) {
 		}
 	}
 	// The previously active service is closed after a switch.
-	if _, err := svc.Lookup(0, "x"); !errors.Is(err, ErrClosed) {
+	if _, err := svc.Lookup(tctx, 0, "x"); !errors.Is(err, ErrClosed) {
 		t.Errorf("old service should be closed, got %v", err)
 	}
-	if _, err := ctrl.Use(StrategyKind(42)); err == nil {
+	if _, err := ctrl.Use(tctx, StrategyKind(42)); err == nil {
 		t.Error("unknown strategy should fail")
 	}
 	if err := ctrl.Close(); err != nil {
@@ -617,7 +620,7 @@ func TestControllerWithRingPlacer(t *testing.T) {
 	ring := dht.NewRingPlacer(f.Sites(), 64)
 	ctrl := NewController(f, WithControllerPlacer(ring))
 	defer ctrl.Close()
-	svc, err := ctrl.Use(Decentralized)
+	svc, err := ctrl.Use(tctx, Decentralized)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -651,21 +654,21 @@ func TestClient(t *testing.T) {
 	if client.Node().ID != nodeID || client.Service() != svc {
 		t.Error("client accessors wrong")
 	}
-	e, err := client.PublishFile("out.dat", 2048, "task-9")
+	e, err := client.PublishFile(tctx, "out.dat", 2048, "task-9")
 	if err != nil {
 		t.Fatalf("PublishFile: %v", err)
 	}
 	if !e.HasLocation(registry.Location{Site: 2, Node: nodeID}) {
 		t.Error("published entry missing the node's location")
 	}
-	got, err := client.LocateFile("out.dat")
+	got, err := client.LocateFile(tctx, "out.dat")
 	if err != nil || got.Name != "out.dat" {
 		t.Errorf("LocateFile: %v", err)
 	}
-	if _, err := client.RegisterCopy("out.dat"); err != nil {
+	if _, err := client.RegisterCopy(tctx, "out.dat"); err != nil {
 		t.Errorf("RegisterCopy: %v", err)
 	}
-	if err := client.Remove("out.dat"); err != nil {
+	if err := client.Remove(tctx, "out.dat"); err != nil {
 		t.Errorf("Remove: %v", err)
 	}
 }
@@ -675,8 +678,8 @@ func TestRecorderIntegration(t *testing.T) {
 	f := newTestFabric(WithRecorder(rec))
 	svc, _ := NewCentralized(f, 0)
 	defer svc.Close()
-	svc.Create(1, testEntry("m1", 1))
-	svc.Lookup(2, "m1")
+	svc.Create(tctx, 1, testEntry("m1", 1))
+	svc.Lookup(tctx, 2, "m1")
 	s := rec.Summarize()
 	if s.PerKind[metrics.OpWrite] != 1 || s.PerKind[metrics.OpRead] != 1 {
 		t.Errorf("recorded kinds = %v", s.PerKind)
@@ -706,11 +709,11 @@ func TestConcurrentCreatesAllStrategies(t *testing.T) {
 					site := cloud.SiteID(w % 4)
 					for i := 0; i < 25; i++ {
 						name := fmt.Sprintf("w%d-f%d", w, i)
-						if _, err := svc.Create(site, testEntry(name, site)); err != nil {
+						if _, err := svc.Create(tctx, site, testEntry(name, site)); err != nil {
 							errs <- fmt.Errorf("create %s: %w", name, err)
 							return
 						}
-						if _, err := svc.Lookup(site, name); err != nil {
+						if _, err := svc.Lookup(tctx, site, name); err != nil {
 							errs <- fmt.Errorf("lookup %s: %w", name, err)
 							return
 						}
@@ -741,19 +744,19 @@ func TestGlobalVisibilityProperty(t *testing.T) {
 			name := fmt.Sprintf("prop-%s-%d", kind.Short(), nameRaw)
 			writeSite := cloud.SiteID(writeRaw % 4)
 			readSite := cloud.SiteID(readRaw % 4)
-			if _, err := svc.Create(writeSite, testEntry(name, writeSite)); err != nil {
+			if _, err := svc.Create(tctx, writeSite, testEntry(name, writeSite)); err != nil {
 				// The generator may repeat names; only ErrExists is tolerable.
 				if !errors.Is(err, ErrExists) {
 					return false
 				}
 			}
-			if err := svc.Flush(); err != nil {
+			if err := svc.Flush(tctx); err != nil {
 				return false
 			}
-			if _, err := svc.Lookup(readSite, name); err != nil {
+			if _, err := svc.Lookup(tctx, readSite, name); err != nil {
 				return false
 			}
-			_, err := svc.Create(readSite, testEntry(name, readSite))
+			_, err := svc.Create(tctx, readSite, testEntry(name, readSite))
 			if kind == DecentralizedReplicated {
 				// Lazy-mode writes are optimistic: a duplicate create from a
 				// site holding neither the local replica nor the home copy is

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -62,90 +63,105 @@ func (s *DecentralizedService) countLocality(remote bool) {
 
 // Create implements MetadataService: look-up followed by write, both at the
 // entry's hashed home site.
-func (s *DecentralizedService) Create(from cloud.SiteID, e registry.Entry) (registry.Entry, error) {
+func (s *DecentralizedService) Create(ctx context.Context, from cloud.SiteID, e registry.Entry) (registry.Entry, error) {
 	if s.closed.Load() {
-		return registry.Entry{}, ErrClosed
+		return registry.Entry{}, opErr("create", from, e.Name, ErrClosed)
 	}
 	home := s.placer.Home(e.Name)
 	inst, err := s.fabric.Instance(home)
 	if err != nil {
-		return registry.Entry{}, err
+		return registry.Entry{}, opErr("create", from, e.Name, err)
 	}
 	start := time.Now()
 	// One round trip to the entry's home instance; the look-up (existence
 	// check) and the write happen server-side.
-	remote := s.fabric.call(from, home, s.fabric.EntrySize(e), s.fabric.ackBytes)
-	stored, err := inst.Create(e)
+	remote, err := s.fabric.call(ctx, from, home, s.fabric.EntrySize(e), s.fabric.ackBytes)
+	if err != nil {
+		s.fabric.record(metrics.OpWrite, start, remote)
+		return registry.Entry{}, opErr("create", from, e.Name, err)
+	}
+	stored, err := inst.Create(ctx, e)
 	s.fabric.record(metrics.OpWrite, start, remote)
 	s.countLocality(remote)
-	return stored, err
+	return stored, opErr("create", from, e.Name, err)
 }
 
 // Lookup implements MetadataService: the entry is fetched from its hashed
 // home site.
-func (s *DecentralizedService) Lookup(from cloud.SiteID, name string) (registry.Entry, error) {
+func (s *DecentralizedService) Lookup(ctx context.Context, from cloud.SiteID, name string) (registry.Entry, error) {
 	if s.closed.Load() {
-		return registry.Entry{}, ErrClosed
+		return registry.Entry{}, opErr("lookup", from, name, ErrClosed)
 	}
 	home := s.placer.Home(name)
 	inst, err := s.fabric.Instance(home)
 	if err != nil {
-		return registry.Entry{}, err
+		return registry.Entry{}, opErr("lookup", from, name, err)
 	}
 	start := time.Now()
-	e, err := inst.Get(name)
+	e, err := inst.Get(ctx, name)
 	respBytes := s.fabric.ackBytes
 	if err == nil {
 		respBytes = s.fabric.EntrySize(e)
 	}
-	remote := s.fabric.call(from, home, s.fabric.queryBytes, respBytes)
+	remote, callErr := s.fabric.call(ctx, from, home, s.fabric.queryBytes, respBytes)
 	s.fabric.record(metrics.OpRead, start, remote)
 	s.countLocality(remote)
-	return e, err
+	if lerr := lookupErr(from, name, err, callErr); lerr != nil {
+		return registry.Entry{}, lerr
+	}
+	return e, nil
 }
 
 // AddLocation implements MetadataService.
-func (s *DecentralizedService) AddLocation(from cloud.SiteID, name string, loc registry.Location) (registry.Entry, error) {
+func (s *DecentralizedService) AddLocation(ctx context.Context, from cloud.SiteID, name string, loc registry.Location) (registry.Entry, error) {
 	if s.closed.Load() {
-		return registry.Entry{}, ErrClosed
+		return registry.Entry{}, opErr("addlocation", from, name, ErrClosed)
 	}
 	home := s.placer.Home(name)
 	inst, err := s.fabric.Instance(home)
 	if err != nil {
-		return registry.Entry{}, err
+		return registry.Entry{}, opErr("addlocation", from, name, err)
 	}
 	start := time.Now()
-	remote := s.fabric.call(from, home, s.fabric.queryBytes, s.fabric.ackBytes)
-	e, err := inst.AddLocation(name, loc)
+	remote, err := s.fabric.call(ctx, from, home, s.fabric.queryBytes, s.fabric.ackBytes)
+	if err != nil {
+		s.fabric.record(metrics.OpUpdate, start, remote)
+		return registry.Entry{}, opErr("addlocation", from, name, err)
+	}
+	e, err := inst.AddLocation(ctx, name, loc)
 	s.fabric.record(metrics.OpUpdate, start, remote)
 	s.countLocality(remote)
-	return e, err
+	return e, opErr("addlocation", from, name, err)
 }
 
 // Delete implements MetadataService.
-func (s *DecentralizedService) Delete(from cloud.SiteID, name string) error {
+func (s *DecentralizedService) Delete(ctx context.Context, from cloud.SiteID, name string) error {
 	if s.closed.Load() {
-		return ErrClosed
+		return opErr("delete", from, name, ErrClosed)
 	}
 	home := s.placer.Home(name)
 	inst, err := s.fabric.Instance(home)
 	if err != nil {
-		return err
+		return opErr("delete", from, name, err)
 	}
 	start := time.Now()
-	remote := s.fabric.call(from, home, s.fabric.queryBytes, s.fabric.ackBytes)
-	err = inst.Delete(name)
+	remote, err := s.fabric.call(ctx, from, home, s.fabric.queryBytes, s.fabric.ackBytes)
+	if err != nil {
+		s.fabric.record(metrics.OpDelete, start, remote)
+		return opErr("delete", from, name, err)
+	}
+	err = inst.Delete(ctx, name)
 	s.fabric.record(metrics.OpDelete, start, remote)
 	s.countLocality(remote)
-	return err
+	return opErr("delete", from, name, err)
 }
 
 // Flush implements MetadataService; there is no asynchronous machinery.
-func (s *DecentralizedService) Flush() error {
+func (s *DecentralizedService) Flush(ctx context.Context) error {
 	if s.closed.Load() {
-		return ErrClosed
+		return opErr("flush", 0, "", ErrClosed)
 	}
-	return nil
+	return ctx.Err()
 }
 
 // Close implements MetadataService.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -111,13 +112,13 @@ func (s *DecReplicatedService) LocalHitRate() float64 {
 // Create implements MetadataService: the entry is stored in the caller's
 // local instance first, then replicated to its hashed home site (eagerly or
 // lazily). When the hash designates the local site no second copy is made.
-func (s *DecReplicatedService) Create(from cloud.SiteID, e registry.Entry) (registry.Entry, error) {
+func (s *DecReplicatedService) Create(ctx context.Context, from cloud.SiteID, e registry.Entry) (registry.Entry, error) {
 	if s.closed.Load() {
-		return registry.Entry{}, ErrClosed
+		return registry.Entry{}, opErr("create", from, e.Name, ErrClosed)
 	}
 	local, err := s.fabric.Instance(from)
 	if err != nil {
-		return registry.Entry{}, err
+		return registry.Entry{}, opErr("create", from, e.Name, err)
 	}
 	home := s.placer.Home(e.Name)
 	start := time.Now()
@@ -125,11 +126,14 @@ func (s *DecReplicatedService) Create(from cloud.SiteID, e registry.Entry) (regi
 	// The entry is first stored in the local registry instance: one
 	// intra-datacenter round trip, with the look-up (existence check against
 	// the local replica set) and the write performed server-side.
-	s.fabric.call(from, from, s.fabric.EntrySize(e), s.fabric.ackBytes)
-	stored, err := local.Create(e)
+	if _, err := s.fabric.call(ctx, from, from, s.fabric.EntrySize(e), s.fabric.ackBytes); err != nil {
+		s.fabric.record(metrics.OpWrite, start, false)
+		return registry.Entry{}, opErr("create", from, e.Name, err)
+	}
+	stored, err := local.Create(ctx, e)
 	if err != nil {
 		s.fabric.record(metrics.OpWrite, start, false)
-		return registry.Entry{}, err
+		return registry.Entry{}, opErr("create", from, e.Name, err)
 	}
 
 	if home != from {
@@ -145,15 +149,18 @@ func (s *DecReplicatedService) Create(from cloud.SiteID, e registry.Entry) (regi
 			// part of the same request).
 			homeInst, err := s.fabric.Instance(home)
 			if err != nil {
-				return registry.Entry{}, err
+				return registry.Entry{}, opErr("create", from, e.Name, err)
 			}
-			s.fabric.call(from, home, s.fabric.EntrySize(stored), s.fabric.ackBytes)
-			if _, err := homeInst.Create(stored); err != nil {
+			if _, err := s.fabric.call(ctx, from, home, s.fabric.EntrySize(stored), s.fabric.ackBytes); err != nil {
+				s.fabric.record(metrics.OpWrite, start, true)
+				return registry.Entry{}, opErr("create", from, e.Name, err)
+			}
+			if _, err := homeInst.Create(ctx, stored); err != nil {
 				s.fabric.record(metrics.OpWrite, start, true)
 				if errors.Is(err, registry.ErrExists) {
-					return registry.Entry{}, fmt.Errorf("decentralized-rep create %q: %w", e.Name, ErrExists)
+					return registry.Entry{}, opErr("create", from, e.Name, ErrExists)
 				}
-				return registry.Entry{}, err
+				return registry.Entry{}, opErr("create", from, e.Name, err)
 			}
 			s.fabric.record(metrics.OpWrite, start, true)
 			return stored, nil
@@ -166,24 +173,33 @@ func (s *DecReplicatedService) Create(from cloud.SiteID, e registry.Entry) (regi
 
 // Lookup implements MetadataService: two-step hierarchical read — local
 // replica first, then the hashed home site.
-func (s *DecReplicatedService) Lookup(from cloud.SiteID, name string) (registry.Entry, error) {
+func (s *DecReplicatedService) Lookup(ctx context.Context, from cloud.SiteID, name string) (registry.Entry, error) {
 	if s.closed.Load() {
-		return registry.Entry{}, ErrClosed
+		return registry.Entry{}, opErr("lookup", from, name, ErrClosed)
 	}
 	local, err := s.fabric.Instance(from)
 	if err != nil {
-		return registry.Entry{}, err
+		return registry.Entry{}, opErr("lookup", from, name, err)
 	}
 	start := time.Now()
 
 	// Step 1: local replica.
-	if e, err := local.Get(name); err == nil {
-		s.fabric.call(from, from, s.fabric.queryBytes, s.fabric.EntrySize(e))
+	if e, err := local.Get(ctx, name); err == nil {
+		if _, callErr := s.fabric.call(ctx, from, from, s.fabric.queryBytes, s.fabric.EntrySize(e)); callErr != nil {
+			s.fabric.record(metrics.OpRead, start, false)
+			return registry.Entry{}, opErr("lookup", from, name, callErr)
+		}
 		s.fabric.record(metrics.OpRead, start, false)
 		s.localHits.Add(1)
 		return e, nil
+	} else if ctx.Err() != nil {
+		s.fabric.record(metrics.OpRead, start, false)
+		return registry.Entry{}, opErr("lookup", from, name, ctx.Err())
 	}
-	s.fabric.call(from, from, s.fabric.queryBytes, s.fabric.ackBytes)
+	if _, callErr := s.fabric.call(ctx, from, from, s.fabric.queryBytes, s.fabric.ackBytes); callErr != nil {
+		s.fabric.record(metrics.OpRead, start, false)
+		return registry.Entry{}, opErr("lookup", from, name, callErr)
+	}
 
 	// Step 2: the entry's home site.
 	home := s.placer.Home(name)
@@ -191,56 +207,66 @@ func (s *DecReplicatedService) Lookup(from cloud.SiteID, name string) (registry.
 		// The local instance *is* the home: the entry does not exist (yet).
 		s.fabric.record(metrics.OpRead, start, false)
 		s.remoteReads.Add(1)
-		return registry.Entry{}, fmt.Errorf("decentralized-rep lookup %q: %w", name, ErrNotFound)
+		return registry.Entry{}, opErr("lookup", from, name, ErrNotFound)
 	}
 	homeInst, err := s.fabric.Instance(home)
 	if err != nil {
-		return registry.Entry{}, err
+		return registry.Entry{}, opErr("lookup", from, name, err)
 	}
-	e, err := homeInst.Get(name)
+	e, err := homeInst.Get(ctx, name)
 	respBytes := s.fabric.ackBytes
 	if err == nil {
 		respBytes = s.fabric.EntrySize(e)
 	}
-	s.fabric.call(from, home, s.fabric.queryBytes, respBytes)
+	_, callErr := s.fabric.call(ctx, from, home, s.fabric.queryBytes, respBytes)
 	s.fabric.record(metrics.OpRead, start, true)
 	s.remoteReads.Add(1)
-	return e, err
+	if lerr := lookupErr(from, name, err, callErr); lerr != nil {
+		return registry.Entry{}, lerr
+	}
+	return e, nil
 }
 
 // AddLocation implements MetadataService: the update is applied to the local
 // replica if present and to the home site (eagerly or lazily).
-func (s *DecReplicatedService) AddLocation(from cloud.SiteID, name string, loc registry.Location) (registry.Entry, error) {
+func (s *DecReplicatedService) AddLocation(ctx context.Context, from cloud.SiteID, name string, loc registry.Location) (registry.Entry, error) {
 	if s.closed.Load() {
-		return registry.Entry{}, ErrClosed
+		return registry.Entry{}, opErr("addlocation", from, name, ErrClosed)
 	}
 	local, err := s.fabric.Instance(from)
 	if err != nil {
-		return registry.Entry{}, err
+		return registry.Entry{}, opErr("addlocation", from, name, err)
 	}
 	home := s.placer.Home(name)
 	start := time.Now()
 
 	var updated registry.Entry
 	var localErr error
-	s.fabric.call(from, from, s.fabric.queryBytes, s.fabric.ackBytes)
-	if local.Contains(name) {
-		updated, localErr = local.AddLocation(name, loc)
+	if _, err := s.fabric.call(ctx, from, from, s.fabric.queryBytes, s.fabric.ackBytes); err != nil {
+		s.fabric.record(metrics.OpUpdate, start, false)
+		return registry.Entry{}, opErr("addlocation", from, name, err)
+	}
+	if local.Contains(ctx, name) {
+		updated, localErr = local.AddLocation(ctx, name, loc)
 	} else {
 		localErr = registry.ErrNotFound
+	}
+	if ctx.Err() != nil {
+		s.fabric.record(metrics.OpUpdate, start, false)
+		return registry.Entry{}, opErr("addlocation", from, name, ctx.Err())
 	}
 
 	if home == from {
 		s.fabric.record(metrics.OpUpdate, start, false)
 		if localErr != nil {
-			return registry.Entry{}, fmt.Errorf("decentralized-rep update %q: %w", name, ErrNotFound)
+			return registry.Entry{}, opErr("addlocation", from, name, ErrNotFound)
 		}
 		return updated, nil
 	}
 
 	homeInst, err := s.fabric.Instance(home)
 	if err != nil {
-		return registry.Entry{}, err
+		return registry.Entry{}, opErr("addlocation", from, name, err)
 	}
 	if s.lazy && localErr == nil {
 		// Local update succeeded; propagate the new state lazily.
@@ -249,13 +275,17 @@ func (s *DecReplicatedService) AddLocation(from cloud.SiteID, name string, loc r
 		return updated, nil
 	}
 	// Eager mode, or the entry is not replicated locally: update the home.
-	remote := s.fabric.call(from, home, s.fabric.queryBytes, s.fabric.ackBytes)
-	e, err := homeInst.AddLocation(name, loc)
+	remote, callErr := s.fabric.call(ctx, from, home, s.fabric.queryBytes, s.fabric.ackBytes)
+	if callErr != nil {
+		s.fabric.record(metrics.OpUpdate, start, remote)
+		return registry.Entry{}, opErr("addlocation", from, name, callErr)
+	}
+	e, err := homeInst.AddLocation(ctx, name, loc)
 	s.fabric.record(metrics.OpUpdate, start, remote)
 	if err != nil && localErr == nil {
 		return updated, nil
 	}
-	return e, err
+	return e, opErr("addlocation", from, name, err)
 }
 
 // Delete implements MetadataService: the entry is removed from the local
@@ -265,23 +295,30 @@ func (s *DecReplicatedService) AddLocation(from cloud.SiteID, name string, loc r
 // latency, mirroring how lazy creates and updates behave. When there is no
 // local copy to confirm against, the home is deleted eagerly so the caller
 // gets an authoritative answer.
-func (s *DecReplicatedService) Delete(from cloud.SiteID, name string) error {
+func (s *DecReplicatedService) Delete(ctx context.Context, from cloud.SiteID, name string) error {
 	if s.closed.Load() {
-		return ErrClosed
+		return opErr("delete", from, name, ErrClosed)
 	}
 	local, err := s.fabric.Instance(from)
 	if err != nil {
-		return err
+		return opErr("delete", from, name, err)
 	}
 	home := s.placer.Home(name)
 	start := time.Now()
 
-	s.fabric.call(from, from, s.fabric.queryBytes, s.fabric.ackBytes)
-	localErr := local.Delete(name)
+	if _, err := s.fabric.call(ctx, from, from, s.fabric.queryBytes, s.fabric.ackBytes); err != nil {
+		s.fabric.record(metrics.OpDelete, start, false)
+		return opErr("delete", from, name, err)
+	}
+	localErr := local.Delete(ctx, name)
+	if ctx.Err() != nil {
+		s.fabric.record(metrics.OpDelete, start, false)
+		return opErr("delete", from, name, ctx.Err())
+	}
 
 	if home == from {
 		s.fabric.record(metrics.OpDelete, start, false)
-		return localErr
+		return opErr("delete", from, name, localErr)
 	}
 	if s.lazy && localErr == nil {
 		// The local delete succeeded; the home copy is removed in a later
@@ -292,29 +329,35 @@ func (s *DecReplicatedService) Delete(from cloud.SiteID, name string) error {
 	}
 	homeInst, err := s.fabric.Instance(home)
 	if err != nil {
-		return err
+		return opErr("delete", from, name, err)
 	}
-	remote := s.fabric.call(from, home, s.fabric.queryBytes, s.fabric.ackBytes)
-	homeErr := homeInst.Delete(name)
+	remote, callErr := s.fabric.call(ctx, from, home, s.fabric.queryBytes, s.fabric.ackBytes)
+	if callErr != nil {
+		s.fabric.record(metrics.OpDelete, start, remote)
+		return opErr("delete", from, name, callErr)
+	}
+	homeErr := homeInst.Delete(ctx, name)
 	s.fabric.record(metrics.OpDelete, start, remote)
 	if localErr == nil || homeErr == nil {
 		return nil
 	}
 	if errors.Is(homeErr, registry.ErrNotFound) {
-		return fmt.Errorf("decentralized-rep delete %q: %w", name, ErrNotFound)
+		return opErr("delete", from, name, ErrNotFound)
 	}
-	return homeErr
+	return opErr("delete", from, name, homeErr)
 }
 
-// Flush pushes every pending lazy batch to its home site.
-func (s *DecReplicatedService) Flush() error {
+// Flush pushes every pending lazy batch to its home site. A cancelled
+// context aborts the flush mid-fan-out; the un-applied batches are re-queued
+// for the propagator's next round.
+func (s *DecReplicatedService) Flush(ctx context.Context) error {
 	if s.closed.Load() {
-		return ErrClosed
+		return opErr("flush", 0, "", ErrClosed)
 	}
 	if s.propagator != nil {
-		s.propagator.FlushNow()
+		return opErr("flush", 0, "", s.propagator.FlushNow(ctx))
 	}
-	return nil
+	return ctx.Err()
 }
 
 // Close stops the lazy propagator (flushing pending batches first).

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -124,7 +125,7 @@ func NewFabric(topo *cloud.Topology, lat *latency.Model, opts ...FabricOption) *
 				Concurrency: cfg.concurrency,
 				// Route the service-time sleep through the latency model so
 				// the experiment's time-compression factor applies uniformly.
-				Sleep: lat.InjectDuration,
+				Sleep: lat.Sleeper(),
 			})
 		}
 		if cfg.ha {
@@ -187,10 +188,10 @@ func (f *Fabric) Instance(site cloud.SiteID) (registry.API, error) {
 
 // TotalEntries sums the number of entries stored across every instance
 // (entries replicated on k sites count k times).
-func (f *Fabric) TotalEntries() int {
+func (f *Fabric) TotalEntries(ctx context.Context) int {
 	total := 0
 	for _, inst := range f.instances {
-		total += inst.Len()
+		total += inst.Len(ctx)
 	}
 	return total
 }
@@ -206,10 +207,11 @@ func (f *Fabric) EntrySize(e registry.Entry) int {
 
 // call models one request/response exchange between the caller's site and the
 // site hosting a registry instance, charging WAN latency when they differ.
-// It returns whether the exchange was remote.
-func (f *Fabric) call(from, to cloud.SiteID, reqBytes, respBytes int) bool {
-	f.lat.InjectRoundTrip(from, to, reqBytes, respBytes)
-	return f.topo.DistanceClass(from, to).Remote()
+// It returns whether the exchange was remote; a cancelled context aborts the
+// modelled wait early and surfaces as the returned error.
+func (f *Fabric) call(ctx context.Context, from, to cloud.SiteID, reqBytes, respBytes int) (bool, error) {
+	_, err := f.lat.InjectRoundTrip(ctx, from, to, reqBytes, respBytes)
+	return f.topo.DistanceClass(from, to).Remote(), err
 }
 
 // record stores an operation sample on the fabric's recorder, if any.

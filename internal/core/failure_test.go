@@ -42,7 +42,7 @@ func TestCentralizedSurvivesPrimaryCacheFailure(t *testing.T) {
 	defer svc.Close()
 
 	for i := 0; i < 50; i++ {
-		if _, err := svc.Create(cloud.SiteID(i%4), testEntry(fmt.Sprintf("pre-%d", i), cloud.SiteID(i%4))); err != nil {
+		if _, err := svc.Create(tctx, cloud.SiteID(i%4), testEntry(fmt.Sprintf("pre-%d", i), cloud.SiteID(i%4))); err != nil {
 			t.Fatalf("Create before failover: %v", err)
 		}
 	}
@@ -50,12 +50,12 @@ func TestCentralizedSurvivesPrimaryCacheFailure(t *testing.T) {
 	pairs[0].FailPrimary()
 
 	for i := 0; i < 50; i++ {
-		if _, err := svc.Lookup(cloud.SiteID(i%4), fmt.Sprintf("pre-%d", i)); err != nil {
+		if _, err := svc.Lookup(tctx, cloud.SiteID(i%4), fmt.Sprintf("pre-%d", i)); err != nil {
 			t.Errorf("entry pre-%d lost in failover: %v", i, err)
 		}
 	}
 	// The service keeps accepting new entries after the failover.
-	if _, err := svc.Create(1, testEntry("post-failover", 1)); err != nil {
+	if _, err := svc.Create(tctx, 1, testEntry("post-failover", 1)); err != nil {
 		t.Errorf("Create after failover: %v", err)
 	}
 }
@@ -78,11 +78,11 @@ func TestDecReplicatedFailoverUnderConcurrentLoad(t *testing.T) {
 			site := cloud.SiteID(w % 4)
 			for i := 0; i < perWorker; i++ {
 				name := fmt.Sprintf("ha-load/w%d/f%d", w, i)
-				if _, err := svc.Create(site, testEntry(name, site)); err != nil {
+				if _, err := svc.Create(tctx, site, testEntry(name, site)); err != nil {
 					errCh <- fmt.Errorf("create %s: %w", name, err)
 					return
 				}
-				if _, err := svc.Lookup(site, name); err != nil {
+				if _, err := svc.Lookup(tctx, site, name); err != nil {
 					errCh <- fmt.Errorf("lookup %s: %w", name, err)
 					return
 				}
@@ -116,7 +116,7 @@ func TestDecentralizedSiteDepartureWithRingPlacer(t *testing.T) {
 	homes := make(map[string]cloud.SiteID, entries)
 	for i := 0; i < entries; i++ {
 		name := fmt.Sprintf("elastic/file-%04d", i)
-		if _, err := svc.Create(cloud.SiteID(i%4), testEntry(name, cloud.SiteID(i%4))); err != nil {
+		if _, err := svc.Create(tctx, cloud.SiteID(i%4), testEntry(name, cloud.SiteID(i%4))); err != nil {
 			t.Fatal(err)
 		}
 		homes[name] = svc.Home(name)
@@ -130,7 +130,7 @@ func TestDecentralizedSiteDepartureWithRingPlacer(t *testing.T) {
 		if svc.Home(name) == 3 {
 			t.Errorf("%s still placed on the departed site", name)
 		}
-		_, err := svc.Lookup(0, name)
+		_, err := svc.Lookup(tctx, 0, name)
 		switch {
 		case err == nil:
 			reachable++
@@ -153,7 +153,7 @@ func TestDecentralizedSiteDepartureWithRingPlacer(t *testing.T) {
 	// New entries keep working and never land on the departed site.
 	for i := 0; i < 40; i++ {
 		name := fmt.Sprintf("elastic/new-%04d", i)
-		if _, err := svc.Create(0, testEntry(name, 0)); err != nil {
+		if _, err := svc.Create(tctx, 0, testEntry(name, 0)); err != nil {
 			t.Fatalf("create after departure: %v", err)
 		}
 		if svc.Home(name) == 3 {
@@ -198,21 +198,21 @@ func TestReplicatedAgentSiteFailureIsIsolated(t *testing.T) {
 	}
 	defer svc.Close()
 
-	if _, err := svc.Create(1, testEntry("before-crash", 1)); err != nil {
+	if _, err := svc.Create(tctx, 1, testEntry("before-crash", 1)); err != nil {
 		t.Fatal(err)
 	}
 	caches[3].Stop() // site 3's registry dies
-	if err := svc.Flush(); err != nil {
+	if err := svc.Flush(tctx); err != nil {
 		t.Fatalf("Flush with a dead site: %v", err)
 	}
 	// The entry still reached the surviving sites.
 	for _, site := range []cloud.SiteID{0, 1, 2} {
-		if _, err := svc.Lookup(site, "before-crash"); err != nil {
+		if _, err := svc.Lookup(tctx, site, "before-crash"); err != nil {
 			t.Errorf("entry missing at surviving site %d: %v", site, err)
 		}
 	}
 	// Operations against the dead site fail loudly rather than hanging.
-	if _, err := svc.Create(3, testEntry("at-dead-site", 3)); err == nil {
+	if _, err := svc.Create(tctx, 3, testEntry("at-dead-site", 3)); err == nil {
 		t.Error("creating at a stopped site should fail")
 	}
 }

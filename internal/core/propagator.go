@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +21,8 @@ import (
 // A flush fans out across the destination sites concurrently, and each
 // destination receives its whole batch as bulk operations: one Merge for
 // the upserts and one DeleteMany for the deletions, never per-entry calls.
+// A cancelled flush context aborts the fan-out mid-flight and re-queues the
+// drained batches, so a closing caller is never stuck behind a slow site.
 type Propagator struct {
 	fabric *Fabric
 	// flushInterval is the maximum simulated time an update may wait in a
@@ -28,6 +31,11 @@ type Propagator struct {
 	// maxBatch flushes a destination's batch once it reaches this many
 	// entries, even before the interval elapses.
 	maxBatch int
+
+	// life is cancelled when the propagator closes, aborting in-flight
+	// background flush rounds.
+	life     context.Context
+	lifeStop context.CancelFunc
 
 	mu      sync.Mutex
 	batches map[destination][]registry.Entry
@@ -66,10 +74,13 @@ func NewPropagator(fabric *Fabric, flushInterval time.Duration, maxBatch int) *P
 	if maxBatch <= 0 {
 		maxBatch = DefaultMaxBatch
 	}
+	life, lifeStop := context.WithCancel(context.Background())
 	p := &Propagator{
 		fabric:        fabric,
 		flushInterval: flushInterval,
 		maxBatch:      maxBatch,
+		life:          life,
+		lifeStop:      lifeStop,
 		batches:       make(map[destination][]registry.Entry),
 		deletes:       make(map[destination][]string),
 		stop:          make(chan struct{}),
@@ -104,7 +115,7 @@ func (p *Propagator) Enqueue(from, to cloud.SiteID, e registry.Entry) {
 	full := len(p.batches[d])+len(p.deletes[d]) >= p.maxBatch
 	p.mu.Unlock()
 	if full {
-		go p.FlushNow()
+		go p.FlushNow(p.life) //nolint:errcheck // a cancelled flush re-queues its work
 	}
 }
 
@@ -132,7 +143,7 @@ func (p *Propagator) EnqueueDelete(from, to cloud.SiteID, name string) {
 	full := len(p.batches[d])+len(p.deletes[d]) >= p.maxBatch
 	p.mu.Unlock()
 	if full {
-		go p.FlushNow()
+		go p.FlushNow(p.life) //nolint:errcheck // a cancelled flush re-queues its work
 	}
 }
 
@@ -167,10 +178,19 @@ func (p *Propagator) Propagated() int64 {
 }
 
 // FlushNow pushes every pending batch to its destination and returns when
-// all of them have been applied. Destinations are flushed concurrently.
-func (p *Propagator) FlushNow() {
+// all of them have been applied. Destinations are flushed concurrently. A
+// cancelled context aborts the fan-out: destination goroutines return as
+// soon as they observe the cancellation, un-applied batches are re-queued
+// for the next round (bulk application is idempotent, so a destination that
+// was already updated tolerates seeing its batch again), and the context's
+// error is returned.
+func (p *Propagator) FlushNow(ctx context.Context) error {
 	p.flushMu.Lock()
 	defer p.flushMu.Unlock()
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
 	p.mu.Lock()
 	batches := p.batches
@@ -209,10 +229,12 @@ func (p *Propagator) FlushNow() {
 			for _, e := range entries {
 				batchBytes += p.fabric.EntrySize(e)
 			}
-			p.fabric.call(d.From, d.To, batchBytes, p.fabric.ackBytes)
-			n, _ := inst.Merge(entries)
+			if _, err := p.fabric.call(ctx, d.From, d.To, batchBytes, p.fabric.ackBytes); err != nil {
+				return
+			}
+			n, _ := inst.Merge(ctx, entries)
 			if len(dels) > 0 {
-				m, _ := inst.DeleteMany(dels)
+				m, _ := inst.DeleteMany(ctx, dels)
 				n += m
 			}
 			applied.Add(int64(n))
@@ -221,13 +243,32 @@ func (p *Propagator) FlushNow() {
 	}
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		// Put everything back; the next (uncancelled) flush converges. The
+		// re-queue ignores the closed flag on purpose: Close's final drain
+		// must still see batches a cancelled in-flight round had grabbed.
+		p.mu.Lock()
+		for d, entries := range batches {
+			p.batches[d] = append(p.batches[d], entries...)
+		}
+		for d, names := range deletes {
+			p.deletes[d] = append(p.deletes[d], names...)
+		}
+		p.mu.Unlock()
+		return err
+	}
+
 	p.mu.Lock()
 	p.flushes++
 	p.propagated += applied.Load()
 	p.mu.Unlock()
+	return nil
 }
 
-// Close flushes any pending batches and stops the propagator.
+// Close flushes any pending batches and stops the propagator. The final
+// flush runs under a fresh background context — closing must still drain
+// what it can — while the cancelled life context aborts any round that was
+// already in flight.
 func (p *Propagator) Close() {
 	p.mu.Lock()
 	if p.closed {
@@ -236,9 +277,10 @@ func (p *Propagator) Close() {
 	}
 	p.closed = true
 	p.mu.Unlock()
+	p.lifeStop()
 	close(p.stop)
 	<-p.done
-	p.FlushNow()
+	p.FlushNow(context.Background()) //nolint:errcheck // Background never cancels
 }
 
 func (p *Propagator) loop() {
@@ -254,7 +296,7 @@ func (p *Propagator) loop() {
 		case <-p.stop:
 			return
 		case <-timer.C:
-			p.FlushNow()
+			p.FlushNow(p.life) //nolint:errcheck // a cancelled flush re-queues its work
 			timer.Reset(wallInterval)
 		}
 	}

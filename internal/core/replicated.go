@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -28,11 +29,17 @@ const DefaultSyncInterval = 2 * time.Second
 // eliminating — that bottleneck: within a round the agent fans the per-site
 // pull and push exchanges out concurrently, and every exchange is a bulk
 // operation (GetMany / Merge / DeleteMany), one frame per site and
-// direction.
+// direction. Closing the service cancels the agent's context, so a round
+// blocked mid-fan-out on a slow site aborts instead of delaying shutdown;
+// updates a cancelled round had drained are re-queued for the next round.
 type ReplicatedService struct {
 	fabric    *Fabric
 	agentSite cloud.SiteID
 	interval  time.Duration
+
+	// life is cancelled on Close, aborting the agent's in-flight round.
+	life     context.Context
+	lifeStop context.CancelFunc
 
 	mu             sync.Mutex
 	pendingCreates map[cloud.SiteID][]string
@@ -69,10 +76,13 @@ func NewReplicated(fabric *Fabric, agentSite cloud.SiteID, opts ...ReplicatedOpt
 	if !fabric.HasSite(agentSite) {
 		return nil, fmt.Errorf("replicated: agent site: %w", ErrNoSuchSite)
 	}
+	life, lifeStop := context.WithCancel(context.Background())
 	s := &ReplicatedService{
 		fabric:         fabric,
 		agentSite:      agentSite,
 		interval:       DefaultSyncInterval,
+		life:           life,
+		lifeStop:       lifeStop,
 		pendingCreates: make(map[cloud.SiteID][]string),
 		pendingDeletes: make(map[cloud.SiteID][]string),
 		stop:           make(chan struct{}),
@@ -118,106 +128,119 @@ func (s *ReplicatedService) localInstance(from cloud.SiteID) (registry.API, erro
 
 // Create implements MetadataService: the entry is created in the caller's
 // local registry instance and queued for propagation by the agent.
-func (s *ReplicatedService) Create(from cloud.SiteID, e registry.Entry) (registry.Entry, error) {
+func (s *ReplicatedService) Create(ctx context.Context, from cloud.SiteID, e registry.Entry) (registry.Entry, error) {
 	if s.isClosed() {
-		return registry.Entry{}, ErrClosed
+		return registry.Entry{}, opErr("create", from, e.Name, ErrClosed)
 	}
 	inst, err := s.localInstance(from)
 	if err != nil {
-		return registry.Entry{}, err
+		return registry.Entry{}, opErr("create", from, e.Name, err)
 	}
 	start := time.Now()
 	// One intra-datacenter round trip; the registry instance performs the
 	// look-up (existence check) and the write server-side.
-	s.fabric.call(from, from, s.fabric.EntrySize(e), s.fabric.ackBytes)
-	stored, err := inst.Create(e)
+	if _, err := s.fabric.call(ctx, from, from, s.fabric.EntrySize(e), s.fabric.ackBytes); err != nil {
+		s.fabric.record(metrics.OpWrite, start, false)
+		return registry.Entry{}, opErr("create", from, e.Name, err)
+	}
+	stored, err := inst.Create(ctx, e)
 	if err == nil {
 		s.mu.Lock()
 		s.pendingCreates[from] = append(s.pendingCreates[from], e.Name)
 		s.mu.Unlock()
 	}
 	s.fabric.record(metrics.OpWrite, start, false)
-	return stored, err
+	return stored, opErr("create", from, e.Name, err)
 }
 
 // Lookup implements MetadataService: only the caller's local instance is
 // consulted. Entries created at other sites become visible after the agent's
 // next round (eventual consistency).
-func (s *ReplicatedService) Lookup(from cloud.SiteID, name string) (registry.Entry, error) {
+func (s *ReplicatedService) Lookup(ctx context.Context, from cloud.SiteID, name string) (registry.Entry, error) {
 	if s.isClosed() {
-		return registry.Entry{}, ErrClosed
+		return registry.Entry{}, opErr("lookup", from, name, ErrClosed)
 	}
 	inst, err := s.localInstance(from)
 	if err != nil {
-		return registry.Entry{}, err
+		return registry.Entry{}, opErr("lookup", from, name, err)
 	}
 	start := time.Now()
-	e, err := inst.Get(name)
+	e, err := inst.Get(ctx, name)
 	respBytes := s.fabric.ackBytes
 	if err == nil {
 		respBytes = s.fabric.EntrySize(e)
 	}
-	s.fabric.call(from, from, s.fabric.queryBytes, respBytes)
+	_, callErr := s.fabric.call(ctx, from, from, s.fabric.queryBytes, respBytes)
 	s.fabric.record(metrics.OpRead, start, false)
-	return e, err
+	if lerr := lookupErr(from, name, err, callErr); lerr != nil {
+		return registry.Entry{}, lerr
+	}
+	return e, nil
 }
 
 // AddLocation implements MetadataService: the update is applied locally and
 // queued for propagation.
-func (s *ReplicatedService) AddLocation(from cloud.SiteID, name string, loc registry.Location) (registry.Entry, error) {
+func (s *ReplicatedService) AddLocation(ctx context.Context, from cloud.SiteID, name string, loc registry.Location) (registry.Entry, error) {
 	if s.isClosed() {
-		return registry.Entry{}, ErrClosed
+		return registry.Entry{}, opErr("addlocation", from, name, ErrClosed)
 	}
 	inst, err := s.localInstance(from)
 	if err != nil {
-		return registry.Entry{}, err
+		return registry.Entry{}, opErr("addlocation", from, name, err)
 	}
 	start := time.Now()
-	s.fabric.call(from, from, s.fabric.queryBytes, s.fabric.ackBytes)
-	e, err := inst.AddLocation(name, loc)
+	if _, err := s.fabric.call(ctx, from, from, s.fabric.queryBytes, s.fabric.ackBytes); err != nil {
+		s.fabric.record(metrics.OpUpdate, start, false)
+		return registry.Entry{}, opErr("addlocation", from, name, err)
+	}
+	e, err := inst.AddLocation(ctx, name, loc)
 	if err == nil {
 		s.mu.Lock()
 		s.pendingCreates[from] = append(s.pendingCreates[from], name)
 		s.mu.Unlock()
 	}
 	s.fabric.record(metrics.OpUpdate, start, false)
-	return e, err
+	return e, opErr("addlocation", from, name, err)
 }
 
 // Delete implements MetadataService: the entry is removed locally and the
 // deletion is propagated by the agent.
-func (s *ReplicatedService) Delete(from cloud.SiteID, name string) error {
+func (s *ReplicatedService) Delete(ctx context.Context, from cloud.SiteID, name string) error {
 	if s.isClosed() {
-		return ErrClosed
+		return opErr("delete", from, name, ErrClosed)
 	}
 	inst, err := s.localInstance(from)
 	if err != nil {
-		return err
+		return opErr("delete", from, name, err)
 	}
 	start := time.Now()
-	s.fabric.call(from, from, s.fabric.queryBytes, s.fabric.ackBytes)
-	err = inst.Delete(name)
+	if _, err := s.fabric.call(ctx, from, from, s.fabric.queryBytes, s.fabric.ackBytes); err != nil {
+		s.fabric.record(metrics.OpDelete, start, false)
+		return opErr("delete", from, name, err)
+	}
+	err = inst.Delete(ctx, name)
 	if err == nil {
 		s.mu.Lock()
 		s.pendingDeletes[from] = append(s.pendingDeletes[from], name)
 		s.mu.Unlock()
 	}
 	s.fabric.record(metrics.OpDelete, start, false)
-	return err
+	return opErr("delete", from, name, err)
 }
 
 // Flush runs one synchronization round immediately and returns when every
-// instance has been updated.
-func (s *ReplicatedService) Flush() error {
+// instance has been updated (or the context is cancelled mid-round, in which
+// case the drained updates are re-queued and the context's error returned).
+func (s *ReplicatedService) Flush(ctx context.Context) error {
 	if s.isClosed() {
-		return ErrClosed
+		return opErr("flush", s.agentSite, "", ErrClosed)
 	}
-	s.syncRound()
-	return nil
+	return opErr("flush", s.agentSite, "", s.syncRound(ctx))
 }
 
-// Close stops the synchronization agent. Pending updates that have not been
-// propagated yet are dropped; call Flush first to push them.
+// Close stops the synchronization agent, cancelling any in-flight round.
+// Pending updates that have not been propagated yet are dropped; call Flush
+// first to push them.
 func (s *ReplicatedService) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -226,6 +249,7 @@ func (s *ReplicatedService) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.lifeStop()
 	close(s.stop)
 	<-s.done
 	return nil
@@ -245,7 +269,7 @@ func (s *ReplicatedService) agentLoop() {
 		case <-s.stop:
 			return
 		case <-timer.C:
-			s.syncRound()
+			s.syncRound(s.life) //nolint:errcheck // a cancelled round re-queues its work
 			timer.Reset(wallInterval)
 		}
 	}
@@ -259,9 +283,19 @@ func (s *ReplicatedService) agentLoop() {
 // operations (GetMany on the pull side, Merge plus DeleteMany on the push
 // side), so a round costs one request frame per site and direction no matter
 // how many entries it carries.
-func (s *ReplicatedService) syncRound() {
+//
+// A cancelled context aborts the round mid-fan-out: the per-site goroutines
+// return as soon as their modelled exchange or registry call observes the
+// cancellation, and every drained update is re-queued so the next round
+// picks it up (bulk application is idempotent, so double-propagation is
+// harmless).
+func (s *ReplicatedService) syncRound(ctx context.Context) error {
 	s.syncMu.Lock()
 	defer s.syncMu.Unlock()
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
 	// Drain the pending queues.
 	s.mu.Lock()
@@ -270,6 +304,17 @@ func (s *ReplicatedService) syncRound() {
 	s.pendingCreates = make(map[cloud.SiteID][]string)
 	s.pendingDeletes = make(map[cloud.SiteID][]string)
 	s.mu.Unlock()
+
+	requeue := func() {
+		s.mu.Lock()
+		for site, names := range creates {
+			s.pendingCreates[site] = append(s.pendingCreates[site], names...)
+		}
+		for site, names := range deletes {
+			s.pendingDeletes[site] = append(s.pendingDeletes[site], names...)
+		}
+		s.mu.Unlock()
+	}
 
 	// Pull phase: the agent queries each instance that reported updates,
 	// one goroutine per site.
@@ -294,7 +339,7 @@ func (s *ReplicatedService) syncRound() {
 			start := time.Now()
 			// Bulk pull: one request returns every updated entry of the site
 			// (entries deleted in the meantime are simply absent).
-			batch, err := inst.GetMany(names)
+			batch, err := inst.GetMany(ctx, names)
 			if err != nil {
 				return
 			}
@@ -302,7 +347,7 @@ func (s *ReplicatedService) syncRound() {
 			for _, e := range batch {
 				batchBytes += s.fabric.EntrySize(e)
 			}
-			s.fabric.call(s.agentSite, site, s.fabric.queryBytes, batchBytes)
+			s.fabric.call(ctx, s.agentSite, site, s.fabric.queryBytes, batchBytes) //nolint:errcheck // cancellation handled below
 			s.fabric.record(metrics.OpSync, start, s.fabric.Topology().DistanceClass(s.agentSite, site).Remote())
 			if len(batch) > 0 {
 				pullMu.Lock()
@@ -313,6 +358,11 @@ func (s *ReplicatedService) syncRound() {
 		}(site, inst, names)
 	}
 	pullWG.Wait()
+
+	if err := ctx.Err(); err != nil {
+		requeue()
+		return err
+	}
 
 	allBytes := 0
 	for _, e := range all {
@@ -327,7 +377,7 @@ func (s *ReplicatedService) syncRound() {
 		s.mu.Lock()
 		s.rounds++
 		s.mu.Unlock()
-		return
+		return nil
 	}
 
 	// Push phase: propagate the merged set to every instance concurrently.
@@ -346,10 +396,12 @@ func (s *ReplicatedService) syncRound() {
 		go func(site cloud.SiteID, inst registry.API) {
 			defer pushWG.Done()
 			start := time.Now()
-			s.fabric.call(s.agentSite, site, allBytes+len(allDeletes)*s.fabric.queryBytes, s.fabric.ackBytes)
-			applied, _ := inst.Merge(all)
+			if _, err := s.fabric.call(ctx, s.agentSite, site, allBytes+len(allDeletes)*s.fabric.queryBytes, s.fabric.ackBytes); err != nil {
+				return
+			}
+			applied, _ := inst.Merge(ctx, all)
 			if len(allDeletes) > 0 {
-				n, _ := inst.DeleteMany(allDeletes)
+				n, _ := inst.DeleteMany(ctx, allDeletes)
 				applied += n
 			}
 			synced.Add(int64(applied))
@@ -358,11 +410,19 @@ func (s *ReplicatedService) syncRound() {
 	}
 	pushWG.Wait()
 
+	if err := ctx.Err(); err != nil {
+		// Some sites may have been updated before the cancellation; the bulk
+		// operations are idempotent, so re-queueing everything is safe.
+		requeue()
+		return err
+	}
+
 	s.mu.Lock()
 	s.rounds++
 	s.entriesSynced += synced.Load()
 	s.entriesObserved += int64(totalEntries)
 	s.mu.Unlock()
+	return nil
 }
 
 // dedupe returns the unique strings of the input, preserving first-seen order.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -33,7 +34,7 @@ type AblationLocalReplicaResult struct {
 // decentralized strategies with and without local replication: every node
 // writes a set of entries and then reads back its own entries (the dominant
 // pattern when the scheduler co-locates consumers with producers).
-func AblationLocalReplica(cfg Config, entriesPerNode int) (AblationLocalReplicaResult, error) {
+func AblationLocalReplica(ctx context.Context, cfg Config, entriesPerNode int) (AblationLocalReplicaResult, error) {
 	if entriesPerNode <= 0 {
 		entriesPerNode = 50
 	}
@@ -41,7 +42,7 @@ func AblationLocalReplica(cfg Config, entriesPerNode int) (AblationLocalReplicaR
 
 	run := func(kind core.StrategyKind) (time.Duration, float64, error) {
 		env := cfg.newEnvironment(cfg.Nodes)
-		svc, err := cfg.newService(env, kind)
+		svc, err := cfg.newService(ctx, env, kind)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -50,19 +51,19 @@ func AblationLocalReplica(cfg Config, entriesPerNode int) (AblationLocalReplicaR
 			for i := 0; i < entriesPerNode; i++ {
 				name := fmt.Sprintf("ablation-replica/%s/n%d/f%d", kind.Short(), node.ID, i)
 				e := registry.NewEntry(name, 0, "writer", registry.Location{Site: node.Site, Node: node.ID})
-				if _, err := svc.Create(node.Site, e); err != nil {
+				if _, err := svc.Create(ctx, node.Site, e); err != nil {
 					return 0, 0, err
 				}
 			}
 		}
-		if err := svc.Flush(); err != nil {
+		if err := svc.Flush(ctx); err != nil {
 			return 0, 0, err
 		}
 		env.rec.Reset() // isolate the read phase
 		for _, node := range env.dep.Nodes() {
 			for i := 0; i < entriesPerNode; i++ {
 				name := fmt.Sprintf("ablation-replica/%s/n%d/f%d", kind.Short(), node.ID, i)
-				if _, err := svc.Lookup(node.Site, name); err != nil {
+				if _, err := svc.Lookup(ctx, node.Site, name); err != nil {
 					return 0, 0, err
 				}
 			}
@@ -99,7 +100,7 @@ type AblationLazyVsEagerResult struct {
 // AblationLazyVsEager measures the writer-perceived latency of Create under
 // lazy and eager propagation (paper §III-D: lazy updates achieve low
 // user-perceived response latency).
-func AblationLazyVsEager(cfg Config, entriesPerNode int) (AblationLazyVsEagerResult, error) {
+func AblationLazyVsEager(ctx context.Context, cfg Config, entriesPerNode int) (AblationLazyVsEagerResult, error) {
 	if entriesPerNode <= 0 {
 		entriesPerNode = 50
 	}
@@ -120,7 +121,7 @@ func AblationLazyVsEager(cfg Config, entriesPerNode int) (AblationLazyVsEagerRes
 			for i := 0; i < entriesPerNode; i++ {
 				name := fmt.Sprintf("ablation-lazy/%v/n%d/f%d", eager, node.ID, i)
 				e := registry.NewEntry(name, 0, "writer", registry.Location{Site: node.Site, Node: node.ID})
-				if _, err := svc.Create(node.Site, e); err != nil {
+				if _, err := svc.Create(ctx, node.Site, e); err != nil {
 					return 0, err
 				}
 			}
@@ -182,15 +183,15 @@ type AblationCapacityResult struct {
 // AblationRegistryCapacity runs the synthetic benchmark at one node count for
 // the centralized and decentralized strategies under a given per-operation
 // service time of the cache instances.
-func AblationRegistryCapacity(cfg Config, serviceTime time.Duration, nodes, opsPerNode int) (AblationCapacityResult, error) {
+func AblationRegistryCapacity(ctx context.Context, cfg Config, serviceTime time.Duration, nodes, opsPerNode int) (AblationCapacityResult, error) {
 	runCfg := cfg
 	runCfg.ServiceTime = serviceTime
 	res := AblationCapacityResult{ServiceTime: serviceTime}
-	c, err := runSynthetic(runCfg, core.Centralized, nodes, opsPerNode, nil)
+	c, err := runSynthetic(ctx, runCfg, core.Centralized, nodes, opsPerNode, nil)
 	if err != nil {
 		return res, err
 	}
-	d, err := runSynthetic(runCfg, core.Decentralized, nodes, opsPerNode, nil)
+	d, err := runSynthetic(ctx, runCfg, core.Decentralized, nodes, opsPerNode, nil)
 	if err != nil {
 		return res, err
 	}
@@ -209,7 +210,7 @@ type AblationSchedulerResult struct {
 // AblationScheduler runs a reduced Montage workflow under the hybrid strategy
 // with three schedulers, isolating the benefit the paper attributes to
 // engines scheduling dependent tasks in the same datacenter.
-func AblationScheduler(cfg Config, sc workloads.Scenario) (AblationSchedulerResult, error) {
+func AblationScheduler(ctx context.Context, cfg Config, sc workloads.Scenario) (AblationSchedulerResult, error) {
 	res := AblationSchedulerResult{
 		Strategy: core.DecentralizedReplicated,
 		Makespan: make(map[string]time.Duration, 3),
@@ -221,7 +222,7 @@ func AblationScheduler(cfg Config, sc workloads.Scenario) (AblationSchedulerResu
 	}
 	for _, sched := range schedulers {
 		env := cfg.newEnvironment(cfg.Nodes)
-		svc, err := cfg.newService(env, core.DecentralizedReplicated)
+		svc, err := cfg.newService(ctx, env, core.DecentralizedReplicated)
 		if err != nil {
 			return res, err
 		}
@@ -234,7 +235,7 @@ func AblationScheduler(cfg Config, sc workloads.Scenario) (AblationSchedulerResu
 			return res, err
 		}
 		eng := workflow.NewEngine(env.dep, svc, env.lat, workflow.EngineConfig{})
-		run, err := eng.Run(wf, plan)
+		run, err := eng.Run(ctx, wf, plan)
 		svc.Close()
 		if err != nil {
 			return res, err

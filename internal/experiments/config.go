@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"geomds/internal/cloud"
@@ -139,7 +140,7 @@ func (c Config) newEnvironment(nodes int) *environment {
 
 // newService builds the given strategy over the environment's fabric using
 // the experiment's tuning parameters.
-func (c Config) newService(env *environment, kind core.StrategyKind) (core.MetadataService, error) {
+func (c Config) newService(ctx context.Context, env *environment, kind core.StrategyKind) (core.MetadataService, error) {
 	central := c.centralSite(env.topo)
 	ctrl := core.NewController(env.fabric,
 		core.WithCentralSite(central),
@@ -148,5 +149,5 @@ func (c Config) newService(env *environment, kind core.StrategyKind) (core.Metad
 		core.WithControllerSyncInterval(c.SyncInterval),
 		core.WithControllerLazy(c.FlushInterval, core.DefaultMaxBatch),
 	)
-	return ctrl.Use(kind)
+	return ctrl.Use(ctx, kind)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -9,6 +10,8 @@ import (
 	"geomds/internal/workflow"
 	"geomds/internal/workloads"
 )
+
+var tctx = context.Background()
 
 // testConfig shrinks the workloads far below QuickConfig so the whole figure
 // suite runs in a few seconds while preserving the latency hierarchy that
@@ -55,7 +58,7 @@ func TestNewEnvironmentAndService(t *testing.T) {
 		t.Fatalf("environment wrong: %d nodes, %d sites", env.dep.NumNodes(), len(env.fabric.Sites()))
 	}
 	for _, kind := range core.Strategies {
-		svc, err := cfg.newService(cfg.newEnvironment(4), kind)
+		svc, err := cfg.newService(tctx, cfg.newEnvironment(4), kind)
 		if err != nil {
 			t.Fatalf("newService(%v): %v", kind, err)
 		}
@@ -67,7 +70,7 @@ func TestNewEnvironmentAndService(t *testing.T) {
 }
 
 func TestFigure1(t *testing.T) {
-	res, err := Figure1(testConfig())
+	res, err := Figure1(tctx, testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +94,7 @@ func TestFigure1(t *testing.T) {
 }
 
 func TestFigure5(t *testing.T) {
-	res, err := Figure5(testConfig())
+	res, err := Figure5(tctx, testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +125,7 @@ func TestFigure5(t *testing.T) {
 }
 
 func TestFigure6(t *testing.T) {
-	res, err := Figure6(testConfig())
+	res, err := Figure6(tctx, testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +152,7 @@ func TestFigure6(t *testing.T) {
 }
 
 func TestFigure7(t *testing.T) {
-	res, err := Figure7(testConfig())
+	res, err := Figure7(tctx, testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +181,7 @@ func TestFigure7(t *testing.T) {
 }
 
 func TestFigure8(t *testing.T) {
-	res, err := Figure8(testConfig())
+	res, err := Figure8(tctx, testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +241,7 @@ func TestFigure9AndTableI(t *testing.T) {
 }
 
 func TestFigure10(t *testing.T) {
-	res, err := Figure10(testConfig())
+	res, err := Figure10(tctx, testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +270,7 @@ func TestFigure10(t *testing.T) {
 
 func TestAblationLocalReplica(t *testing.T) {
 	cfg := testConfig()
-	res, err := AblationLocalReplica(cfg, 10)
+	res, err := AblationLocalReplica(tctx, cfg, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +290,7 @@ func TestAblationLocalReplica(t *testing.T) {
 }
 
 func TestAblationLazyVsEager(t *testing.T) {
-	res, err := AblationLazyVsEager(testConfig(), 10)
+	res, err := AblationLazyVsEager(tctx, testConfig(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +320,7 @@ func TestAblationHashingChurn(t *testing.T) {
 }
 
 func TestAblationRegistryCapacity(t *testing.T) {
-	res, err := AblationRegistryCapacity(testConfig(), 3*time.Millisecond, 16, 20)
+	res, err := AblationRegistryCapacity(tctx, testConfig(), 3*time.Millisecond, 16, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +336,7 @@ func TestAblationRegistryCapacity(t *testing.T) {
 func TestAblationScheduler(t *testing.T) {
 	cfg := testConfig()
 	sc := workloads.Scenario{Name: "tiny", OpsPerTask: 4, Compute: 0}
-	res, err := AblationScheduler(cfg, sc)
+	res, err := AblationScheduler(tctx, cfg, sc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -37,13 +38,13 @@ var Figure1FileCounts = []int{100, 500, 1000, 5000}
 // performed from West Europe against a centralized registry placed in the
 // same datacenter, in the same region (North Europe) and in a distant region
 // (South Central US).
-func Figure1(cfg Config) (Figure1Result, error) {
+func Figure1(ctx context.Context, cfg Config) (Figure1Result, error) {
 	var res Figure1Result
 	for _, files := range Figure1FileCounts {
 		n := cfg.scaled(files, 10)
 		row := Figure1Row{Files: files}
 		for i, registrySite := range []string{cloud.SiteWestEU, cloud.SiteNorthEU, cloud.SiteSouthCentralUS} {
-			elapsed, err := figure1Post(cfg, registrySite, n)
+			elapsed, err := figure1Post(ctx, cfg, registrySite, n)
 			if err != nil {
 				return res, err
 			}
@@ -66,7 +67,7 @@ func Figure1(cfg Config) (Figure1Result, error) {
 
 // figure1Post posts n entries from a single West Europe node to a centralized
 // registry hosted at registrySite and returns the simulated elapsed time.
-func figure1Post(cfg Config, registrySite string, n int) (time.Duration, error) {
+func figure1Post(ctx context.Context, cfg Config, registrySite string, n int) (time.Duration, error) {
 	env := cfg.newEnvironment(1)
 	weu, _ := env.topo.SiteByName(cloud.SiteWestEU)
 	target, ok := env.topo.SiteByName(registrySite)
@@ -83,7 +84,7 @@ func figure1Post(cfg Config, registrySite string, n int) (time.Duration, error) 
 	for i := 0; i < n; i++ {
 		e := registry.NewEntry(fmt.Sprintf("fig1/%s/file%06d", registrySite, i), 0, "poster",
 			registry.Location{Site: weu.ID, Node: 0})
-		if _, err := svc.Create(weu.ID, e); err != nil {
+		if _, err := svc.Create(ctx, weu.ID, e); err != nil {
 			return 0, err
 		}
 	}
@@ -115,12 +116,12 @@ var Figure5OpCounts = []int{500, 1000, 5000, 10000}
 
 // Figure5 runs the synthetic benchmark on a fixed set of nodes while varying
 // the number of metadata operations per node, for all four strategies.
-func Figure5(cfg Config) (Figure5Result, error) {
+func Figure5(ctx context.Context, cfg Config) (Figure5Result, error) {
 	res := Figure5Result{Nodes: cfg.Nodes}
 	for _, ops := range Figure5OpCounts {
 		scaledOps := cfg.scaled(ops, 10)
 		for _, kind := range core.Strategies {
-			run, err := runSynthetic(cfg, kind, cfg.Nodes, scaledOps, nil)
+			run, err := runSynthetic(ctx, cfg, kind, cfg.Nodes, scaledOps, nil)
 			if err != nil {
 				return res, fmt.Errorf("figure5 %s/%d: %w", kind, ops, err)
 			}
@@ -171,14 +172,14 @@ var Figure6Percentages = []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
 // Figure6 zooms on the internal execution of the decentralized strategies
 // (plus the centralized baseline for reference) by tracking the percentage of
 // operations completed over time.
-func Figure6(cfg Config) (Figure6Result, error) {
+func Figure6(ctx context.Context, cfg Config) (Figure6Result, error) {
 	ops := cfg.scaled(5000, 20)
 	res := Figure6Result{Nodes: cfg.Nodes, OpsPerNode: 5000}
 	kinds := []core.StrategyKind{core.Centralized, core.Decentralized, core.DecentralizedReplicated}
 	curves := make(map[core.StrategyKind][]metrics.TimelinePoint, len(kinds))
 	for _, kind := range kinds {
 		prog := metrics.NewProgress(cfg.Nodes * ops)
-		if _, err := runSynthetic(cfg, kind, cfg.Nodes, ops, prog); err != nil {
+		if _, err := runSynthetic(ctx, cfg, kind, cfg.Nodes, ops, prog); err != nil {
 			return res, fmt.Errorf("figure6 %s: %w", kind, err)
 		}
 		points := prog.Timeline(Figure6Percentages)
@@ -222,12 +223,12 @@ var ScalingNodeCounts = []int{8, 16, 32, 64, 128}
 
 // Figure7 measures metadata throughput with a constant per-node workload of
 // 5000 operations while growing the deployment from 8 to 128 nodes.
-func Figure7(cfg Config) (Figure7Result, error) {
+func Figure7(ctx context.Context, cfg Config) (Figure7Result, error) {
 	ops := cfg.scaled(5000, 20)
 	res := Figure7Result{OpsPerNode: 5000}
 	for _, nodes := range ScalingNodeCounts {
 		for _, kind := range core.Strategies {
-			run, err := runSynthetic(cfg, kind, nodes, ops, nil)
+			run, err := runSynthetic(ctx, cfg, kind, nodes, ops, nil)
 			if err != nil {
 				return res, fmt.Errorf("figure7 %s/%d: %w", kind, nodes, err)
 			}
@@ -269,7 +270,7 @@ const Figure8TotalOps = 32000
 
 // Figure8 measures the time to complete a constant aggregate workload of
 // 32 000 operations as the number of nodes grows from 8 to 128.
-func Figure8(cfg Config) (Figure8Result, error) {
+func Figure8(ctx context.Context, cfg Config) (Figure8Result, error) {
 	total := cfg.scaled(Figure8TotalOps, 160)
 	res := Figure8Result{TotalOps: Figure8TotalOps}
 	for _, nodes := range ScalingNodeCounts {
@@ -278,7 +279,7 @@ func Figure8(cfg Config) (Figure8Result, error) {
 			perNode = 1
 		}
 		for _, kind := range core.Strategies {
-			run, err := runSynthetic(cfg, kind, nodes, perNode, nil)
+			run, err := runSynthetic(ctx, cfg, kind, nodes, perNode, nil)
 			if err != nil {
 				return res, fmt.Errorf("figure8 %s/%d: %w", kind, nodes, err)
 			}
@@ -308,9 +309,9 @@ func (r Figure8Result) Point(kind core.StrategyKind, nodes int) (Figure8Point, b
 
 // runSynthetic builds a fresh environment and runs the synthetic benchmark
 // for one strategy.
-func runSynthetic(cfg Config, kind core.StrategyKind, nodes, opsPerNode int, prog *metrics.Progress) (workloads.SyntheticResult, error) {
+func runSynthetic(ctx context.Context, cfg Config, kind core.StrategyKind, nodes, opsPerNode int, prog *metrics.Progress) (workloads.SyntheticResult, error) {
 	env := cfg.newEnvironment(nodes)
-	svc, err := cfg.newService(env, kind)
+	svc, err := cfg.newService(ctx, env, kind)
 	if err != nil {
 		return workloads.SyntheticResult{}, err
 	}
@@ -318,7 +319,7 @@ func runSynthetic(cfg Config, kind core.StrategyKind, nodes, opsPerNode int, pro
 	if prog != nil {
 		prog.SetSimConverter(env.lat.ToSimulated)
 	}
-	return workloads.RunSynthetic(svc, env.dep, env.lat, workloads.SyntheticConfig{
+	return workloads.RunSynthetic(ctx, svc, env.dep, env.lat, workloads.SyntheticConfig{
 		OpsPerNode: opsPerNode,
 		Seed:       cfg.Seed,
 		Prefix:     fmt.Sprintf("%s-n%d-o%d", kind.Short(), nodes, opsPerNode),

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -97,13 +98,13 @@ var Figure10Workflows = []string{"buzzflow", "montage"}
 // Figure10 executes BuzzFlow and Montage through the workflow engine on 32
 // evenly distributed nodes, under the three Table I scenarios and all four
 // strategies, and reports the makespans.
-func Figure10(cfg Config) (Figure10Result, error) {
+func Figure10(ctx context.Context, cfg Config) (Figure10Result, error) {
 	res := Figure10Result{Nodes: cfg.Nodes}
 	for _, wfName := range Figure10Workflows {
 		for _, sc := range workloads.Scenarios {
 			scaled := scaledScenario(cfg, sc)
 			for _, kind := range core.Strategies {
-				cell, err := runWorkflowOnce(cfg, wfName, sc, scaled, kind)
+				cell, err := runWorkflowOnce(ctx, cfg, wfName, sc, scaled, kind)
 				if err != nil {
 					return res, fmt.Errorf("figure10 %s/%s/%s: %w", wfName, sc.Short(), kind, err)
 				}
@@ -134,9 +135,9 @@ func scaledScenario(cfg Config, sc workloads.Scenario) workloads.Scenario {
 
 // runWorkflowOnce executes one (workflow, scenario, strategy) combination in
 // a fresh environment.
-func runWorkflowOnce(cfg Config, wfName string, nominal, scaled workloads.Scenario, kind core.StrategyKind) (Figure10Cell, error) {
+func runWorkflowOnce(ctx context.Context, cfg Config, wfName string, nominal, scaled workloads.Scenario, kind core.StrategyKind) (Figure10Cell, error) {
 	env := cfg.newEnvironment(cfg.Nodes)
-	svc, err := cfg.newService(env, kind)
+	svc, err := cfg.newService(ctx, env, kind)
 	if err != nil {
 		return Figure10Cell{}, err
 	}
@@ -169,7 +170,7 @@ func runWorkflowOnce(cfg Config, wfName string, nominal, scaled workloads.Scenar
 	// large retry budget lets those runs complete (slowly — which is exactly
 	// the degradation the paper reports) instead of aborting.
 	eng := workflow.NewEngine(env.dep, svc, env.lat, workflow.EngineConfig{MaxRetries: 20000})
-	run, err := eng.Run(wf, sched)
+	run, err := eng.Run(ctx, wf, sched)
 	if err != nil {
 		return Figure10Cell{}, err
 	}

@@ -12,6 +12,7 @@
 package latency
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -32,16 +33,35 @@ const spinThreshold = 300 * time.Microsecond
 // (yielding the processor between polls), longer waits sleep for the bulk of
 // the duration and spin the remainder.
 func PreciseSleep(d time.Duration) {
+	PreciseSleepContext(context.Background(), d) //nolint:errcheck // Background never cancels
+}
+
+// PreciseSleepContext waits like PreciseSleep but returns early — with the
+// context's error — when ctx is cancelled or its deadline passes. The bulk of
+// a long wait blocks on a timer racing ctx.Done(), so a cancelled caller
+// (a client that gave up, a closing service) is unblocked immediately instead
+// of serving out a modelled WAN delay it no longer cares about.
+func PreciseSleepContext(ctx context.Context, d time.Duration) error {
 	if d <= 0 {
-		return
+		return ctx.Err()
 	}
 	start := time.Now()
 	if d > spinThreshold {
-		time.Sleep(d - spinThreshold)
+		timer := time.NewTimer(d - spinThreshold)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
 	}
 	for time.Since(start) < d {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		runtime.Gosched()
 	}
+	return ctx.Err()
 }
 
 // Model converts message exchanges between sites into injected delays.
@@ -53,7 +73,10 @@ type Model struct {
 	// 0.01 makes the experiment run 100x faster while preserving ratios.
 	scale float64
 
-	// sleep is the function used to wait; replaced in tests.
+	// sleep, when non-nil, replaces the default context-aware precise sleep;
+	// tests use it to capture requested delays without waiting. A custom
+	// sleeper is not interruptible — the model checks the context before and
+	// after invoking it instead.
 	sleep func(time.Duration)
 
 	mu  sync.Mutex
@@ -94,7 +117,6 @@ func New(topo *cloud.Topology, opts ...Option) *Model {
 	m := &Model{
 		topo:  topo,
 		scale: 1.0,
-		sleep: PreciseSleep,
 		rng:   rand.New(rand.NewSource(1)),
 	}
 	for _, o := range opts {
@@ -136,30 +158,51 @@ func (m *Model) RoundTrip(a, b cloud.SiteID, reqBytes, respBytes int) time.Durat
 }
 
 // InjectOneWay sleeps for the scaled one-way delay of a message from a to b
-// and returns the unscaled delay that was modelled.
-func (m *Model) InjectOneWay(a, b cloud.SiteID, bytes int) time.Duration {
+// and returns the unscaled delay that was modelled. A cancelled context cuts
+// the wait short and is reported as the returned error; the delay is still
+// accounted in full (the message was sent — the caller just stopped waiting).
+func (m *Model) InjectOneWay(ctx context.Context, a, b cloud.SiteID, bytes int) (time.Duration, error) {
 	d := m.OneWay(a, b, bytes)
 	m.account(a, b, d)
-	m.sleep(m.scaled(d))
-	return d
+	return d, m.wait(ctx, m.scaled(d))
 }
 
 // InjectRoundTrip sleeps for the scaled round-trip delay of a request from a
-// to b and back, returning the unscaled modelled delay.
-func (m *Model) InjectRoundTrip(a, b cloud.SiteID, reqBytes, respBytes int) time.Duration {
+// to b and back, returning the unscaled modelled delay. A cancelled context
+// cuts the wait short (see InjectOneWay).
+func (m *Model) InjectRoundTrip(ctx context.Context, a, b cloud.SiteID, reqBytes, respBytes int) (time.Duration, error) {
 	d := m.RoundTrip(a, b, reqBytes, respBytes)
 	m.account(a, b, d)
-	m.sleep(m.scaled(d))
-	return d
+	return d, m.wait(ctx, m.scaled(d))
 }
 
 // InjectDuration sleeps for an arbitrary unscaled duration (e.g. a task's
-// compute time), applying the model's scale factor.
-func (m *Model) InjectDuration(d time.Duration) {
+// compute time), applying the model's scale factor. A cancelled context cuts
+// the wait short and is reported as the returned error.
+func (m *Model) InjectDuration(ctx context.Context, d time.Duration) error {
 	if d <= 0 {
-		return
+		return ctx.Err()
 	}
-	m.sleep(m.scaled(d))
+	return m.wait(ctx, m.scaled(d))
+}
+
+// Sleeper returns a plain, context-free sleep function applying the model's
+// scale factor; components that cannot thread a context (e.g. the simulated
+// cache tier's service times) use it.
+func (m *Model) Sleeper() func(time.Duration) {
+	return func(d time.Duration) { m.InjectDuration(context.Background(), d) } //nolint:errcheck
+}
+
+// wait blocks for the (already scaled) duration d, honouring cancellation.
+func (m *Model) wait(ctx context.Context, d time.Duration) error {
+	if m.sleep != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		m.sleep(d)
+		return ctx.Err()
+	}
+	return PreciseSleepContext(ctx, d)
 }
 
 // ToSimulated converts a measured wall-clock duration back into simulated

@@ -1,6 +1,8 @@
 package latency
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"testing/quick"
 	"time"
@@ -61,7 +63,10 @@ func TestBandwidthTermGrowsWithSize(t *testing.T) {
 
 func TestInjectAppliesScale(t *testing.T) {
 	m, rec := newTestModel(WithScale(0.5))
-	d := m.InjectRoundTrip(0, 2, 0, 0)
+	d, err := m.InjectRoundTrip(context.Background(), 0, 2, 0, 0)
+	if err != nil {
+		t.Fatalf("inject: %v", err)
+	}
 	if len(rec.slept) != 1 {
 		t.Fatalf("expected 1 sleep, got %d", len(rec.slept))
 	}
@@ -73,18 +78,56 @@ func TestInjectAppliesScale(t *testing.T) {
 }
 
 func TestInjectDuration(t *testing.T) {
+	ctx := context.Background()
 	m, rec := newTestModel(WithScale(0.1))
-	m.InjectDuration(10 * time.Second)
+	if err := m.InjectDuration(ctx, 10*time.Second); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
 	if len(rec.slept) != 1 {
 		t.Fatalf("expected 1 sleep, got %d", len(rec.slept))
 	}
 	if rec.slept[0] != time.Second {
 		t.Errorf("slept %v, want 1s", rec.slept[0])
 	}
-	m.InjectDuration(0)
-	m.InjectDuration(-time.Second)
+	m.InjectDuration(ctx, 0)
+	m.InjectDuration(ctx, -time.Second)
 	if len(rec.slept) != 1 {
 		t.Error("non-positive durations should not sleep")
+	}
+}
+
+func TestInjectHonoursCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, rec := newTestModel()
+	if err := m.InjectDuration(ctx, time.Second); !errors.Is(err, context.Canceled) {
+		t.Errorf("InjectDuration error = %v, want context.Canceled", err)
+	}
+	if len(rec.slept) != 0 {
+		t.Errorf("cancelled inject slept %v, want no sleep", rec.slept)
+	}
+	if _, err := m.InjectRoundTrip(ctx, 0, 2, 0, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("InjectRoundTrip error = %v, want context.Canceled", err)
+	}
+	// The exchange is still accounted: the message was modelled as sent.
+	if m.Stats()[cloud.GeoDistant].Messages+m.Stats()[cloud.SameRegion].Messages+m.Stats()[cloud.Local].Messages != 1 {
+		t.Error("cancelled round trip should still be accounted")
+	}
+}
+
+func TestPreciseSleepContextUnblocksOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := PreciseSleepContext(ctx, 10*time.Second)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("sleep not interrupted: took %v", elapsed)
 	}
 }
 
@@ -116,10 +159,11 @@ func TestStatsAccounting(t *testing.T) {
 	neu, _ := topo.SiteByName(cloud.SiteNorthEU)
 	scus, _ := topo.SiteByName(cloud.SiteSouthCentralUS)
 
-	m.InjectRoundTrip(weu.ID, weu.ID, 0, 0)
-	m.InjectRoundTrip(weu.ID, neu.ID, 0, 0)
-	m.InjectRoundTrip(weu.ID, neu.ID, 0, 0)
-	m.InjectOneWay(weu.ID, scus.ID, 0)
+	ctx := context.Background()
+	m.InjectRoundTrip(ctx, weu.ID, weu.ID, 0, 0)
+	m.InjectRoundTrip(ctx, weu.ID, neu.ID, 0, 0)
+	m.InjectRoundTrip(ctx, weu.ID, neu.ID, 0, 0)
+	m.InjectOneWay(ctx, weu.ID, scus.ID, 0)
 
 	stats := m.Stats()
 	if stats[cloud.Local].Messages != 1 {

@@ -14,6 +14,7 @@
 package provision
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -250,14 +251,14 @@ func Evaluate(plan Plan, topo *cloud.Topology) Estimate {
 // site, which is exactly what makes subsequent lookups from that site resolve
 // locally under the hybrid strategy. Entries that do not exist yet (their
 // producer has not run) are skipped and reported in pending.
-func Apply(plan Plan, svc core.MetadataService, dep *cloud.Deployment) (applied int, pending []string, err error) {
+func Apply(ctx context.Context, plan Plan, svc core.MetadataService, dep *cloud.Deployment) (applied int, pending []string, err error) {
 	for _, tr := range plan.Transfers {
 		nodes := dep.NodesAt(tr.To)
 		node := registry.NoNode
 		if len(nodes) > 0 {
 			node = nodes[0]
 		}
-		_, locErr := svc.AddLocation(tr.To, tr.File, registry.Location{Site: tr.To, Node: node})
+		_, locErr := svc.AddLocation(ctx, tr.To, tr.File, registry.Location{Site: tr.To, Node: node})
 		switch {
 		case locErr == nil:
 			applied++

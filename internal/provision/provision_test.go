@@ -1,6 +1,7 @@
 package provision
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -156,7 +157,7 @@ func TestApplyRegistersCopies(t *testing.T) {
 	defer svc.Close()
 
 	// Nothing published yet: every transfer is pending.
-	applied, pending, err := Apply(plan, svc, dep)
+	applied, pending, err := Apply(context.Background(), plan, svc, dep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,11 +168,11 @@ func TestApplyRegistersCopies(t *testing.T) {
 	// Publish the files the plan wants to move, then apply again.
 	producer := core.NewClient(svc, dep.Node(sched["produce"]))
 	for _, tr := range plan.Transfers {
-		if _, err := producer.PublishFile(tr.File, tr.Size, tr.Producer); err != nil {
+		if _, err := producer.PublishFile(context.Background(), tr.File, tr.Size, tr.Producer); err != nil {
 			t.Fatal(err)
 		}
 	}
-	applied, pending, err = Apply(plan, svc, dep)
+	applied, pending, err = Apply(context.Background(), plan, svc, dep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestApplyRegistersCopies(t *testing.T) {
 	}
 	// The consumer's site now resolves the file to a local copy.
 	for _, tr := range plan.Transfers {
-		e, err := svc.Lookup(tr.To, tr.File)
+		e, err := svc.Lookup(context.Background(), tr.To, tr.File)
 		if err != nil {
 			t.Fatalf("lookup %q: %v", tr.File, err)
 		}

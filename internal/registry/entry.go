@@ -66,6 +66,13 @@ var (
 	ErrExists = errors.New("registry: entry already exists")
 	// ErrConflict is returned when an optimistic update lost the race.
 	ErrConflict = errors.New("registry: version conflict")
+	// ErrUnavailable is returned when a registry instance cannot be reached
+	// at all — the connection failed, the server is gone, or the transport
+	// broke mid-call. It distinguishes "the site is unreachable" from
+	// per-entry failures like ErrNotFound, so callers can treat partitions
+	// and crashes differently from misses (core exposes it as
+	// ErrSiteUnreachable).
+	ErrUnavailable = errors.New("registry: instance unavailable")
 )
 
 // NewEntry returns an entry for a file produced by task producer at the given

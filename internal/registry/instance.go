@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -86,7 +87,12 @@ func (i *Instance) Site() cloud.SiteID { return i.site }
 func (i *Instance) Store() Store { return i.store }
 
 // Len returns the number of entries held by this instance.
-func (i *Instance) Len() int { return i.store.Len() }
+func (i *Instance) Len(ctx context.Context) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return i.store.Len()
+}
 
 // Create publishes a new entry. The paper defines a write as a look-up (to
 // verify the entry does not already exist) followed by the actual write; the
@@ -94,7 +100,10 @@ func (i *Instance) Len() int { return i.store.Len() }
 // single conditional store — a CAS with "must not exist" semantics — so a
 // create costs one cache operation and fails with ErrExists if the name is
 // taken.
-func (i *Instance) Create(e Entry) (Entry, error) {
+func (i *Instance) Create(ctx context.Context, e Entry) (Entry, error) {
+	if err := ctx.Err(); err != nil {
+		return Entry{}, fmt.Errorf("create %q: %w", e.Name, err)
+	}
 	if err := e.Validate(); err != nil {
 		return Entry{}, err
 	}
@@ -115,7 +124,10 @@ func (i *Instance) Create(e Entry) (Entry, error) {
 
 // Put stores the entry unconditionally (upsert). The synchronization agent
 // and the lazy-propagation path use it to apply remote updates.
-func (i *Instance) Put(e Entry) (Entry, error) {
+func (i *Instance) Put(ctx context.Context, e Entry) (Entry, error) {
+	if err := ctx.Err(); err != nil {
+		return Entry{}, fmt.Errorf("put %q: %w", e.Name, err)
+	}
 	if err := e.Validate(); err != nil {
 		return Entry{}, err
 	}
@@ -132,7 +144,10 @@ func (i *Instance) Put(e Entry) (Entry, error) {
 }
 
 // Get returns the entry stored under name.
-func (i *Instance) Get(name string) (Entry, error) {
+func (i *Instance) Get(ctx context.Context, name string) (Entry, error) {
+	if err := ctx.Err(); err != nil {
+		return Entry{}, fmt.Errorf("get %q: %w", name, err)
+	}
 	it, err := i.store.Get(name)
 	if err != nil {
 		if errors.Is(err, memcache.ErrNotFound) {
@@ -149,13 +164,21 @@ func (i *Instance) Get(name string) (Entry, error) {
 }
 
 // Contains reports whether an entry with the given name exists.
-func (i *Instance) Contains(name string) bool { return i.store.Contains(name) }
+func (i *Instance) Contains(ctx context.Context, name string) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	return i.store.Contains(name)
+}
 
 // Update applies mutate to the current value of the entry and stores the
 // result using optimistic concurrency, retrying on conflicts up to the
 // configured limit. The entry must exist.
-func (i *Instance) Update(name string, mutate func(Entry) Entry) (Entry, error) {
+func (i *Instance) Update(ctx context.Context, name string, mutate func(Entry) Entry) (Entry, error) {
 	for attempt := 0; attempt < i.maxCASRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return Entry{}, fmt.Errorf("update %q: %w", name, err)
+		}
 		it, err := i.store.Get(name)
 		if err != nil {
 			if errors.Is(err, memcache.ErrNotFound) {
@@ -191,12 +214,15 @@ func (i *Instance) Update(name string, mutate func(Entry) Entry) (Entry, error) 
 }
 
 // AddLocation records an additional copy of the file named name.
-func (i *Instance) AddLocation(name string, loc Location) (Entry, error) {
-	return i.Update(name, func(e Entry) Entry { return e.AddLocation(loc) })
+func (i *Instance) AddLocation(ctx context.Context, name string, loc Location) (Entry, error) {
+	return i.Update(ctx, name, func(e Entry) Entry { return e.AddLocation(loc) })
 }
 
 // Delete removes the entry stored under name.
-func (i *Instance) Delete(name string) error {
+func (i *Instance) Delete(ctx context.Context, name string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("delete %q: %w", name, err)
+	}
 	if err := i.store.Delete(name); err != nil {
 		if errors.Is(err, memcache.ErrNotFound) {
 			return fmt.Errorf("delete %q: %w", name, ErrNotFound)
@@ -207,11 +233,19 @@ func (i *Instance) Delete(name string) error {
 }
 
 // Names returns the names of all entries held by this instance.
-func (i *Instance) Names() []string { return i.store.Keys() }
+func (i *Instance) Names(ctx context.Context) []string {
+	if ctx.Err() != nil {
+		return nil
+	}
+	return i.store.Keys()
+}
 
 // Entries decodes and returns every entry held by this instance. The
 // synchronization agent uses it to pull an instance's content.
-func (i *Instance) Entries() ([]Entry, error) {
+func (i *Instance) Entries(ctx context.Context) ([]Entry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("entries: %w", err)
+	}
 	items := i.store.Snapshot()
 	out := make([]Entry, 0, len(items))
 	for _, it := range items {
@@ -228,7 +262,10 @@ func (i *Instance) Entries() ([]Entry, error) {
 // GetMany returns the entries stored under the given names, silently
 // skipping absent ones. It uses the store's bulk path, so it is the
 // preferred way for the synchronization agent to pull a round's updates.
-func (i *Instance) GetMany(names []string) ([]Entry, error) {
+func (i *Instance) GetMany(ctx context.Context, names []string) ([]Entry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("get-many: %w", err)
+	}
 	items, _, err := i.store.GetBatch(names)
 	if err != nil {
 		return nil, fmt.Errorf("get-many: %w", err)
@@ -249,7 +286,10 @@ func (i *Instance) GetMany(names []string) ([]Entry, error) {
 // batch), returning the stored entries with their new versions in input
 // order. It is the write half of the batch API the synchronization agents
 // and the RPC transport forward as single frames.
-func (i *Instance) PutMany(entries []Entry) ([]Entry, error) {
+func (i *Instance) PutMany(ctx context.Context, entries []Entry) ([]Entry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("put-many: %w", err)
+	}
 	if len(entries) == 0 {
 		return nil, nil
 	}
@@ -281,7 +321,10 @@ func (i *Instance) PutMany(entries []Entry) ([]Entry, error) {
 // returning how many of them were present. Names that are absent are
 // silently skipped: bulk deletes propagate deletions that already succeeded
 // at their origin site, so "already gone" is success.
-func (i *Instance) DeleteMany(names []string) (int, error) {
+func (i *Instance) DeleteMany(ctx context.Context, names []string) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("delete-many: %w", err)
+	}
 	if len(names) == 0 {
 		return 0, nil
 	}
@@ -297,7 +340,10 @@ func (i *Instance) DeleteMany(names []string) (int, error) {
 // apply side of the synchronization agent and of lazy propagation: last
 // writer wins, location lists are unioned. Merge uses the store's bulk path
 // (one read batch, one write batch).
-func (i *Instance) Merge(entries []Entry) (applied int, err error) {
+func (i *Instance) Merge(ctx context.Context, entries []Entry) (applied int, err error) {
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("merge: %w", err)
+	}
 	if len(entries) == 0 {
 		return 0, nil
 	}

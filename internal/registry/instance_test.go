@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -10,6 +11,8 @@ import (
 	"geomds/internal/memcache"
 )
 
+var tctx = context.Background()
+
 func newTestInstance(opts ...InstanceOption) *Instance {
 	return NewInstance(0, memcache.New(memcache.Config{}), opts...)
 }
@@ -17,21 +20,21 @@ func newTestInstance(opts ...InstanceOption) *Instance {
 func TestInstanceCreateGet(t *testing.T) {
 	inst := newTestInstance()
 	e := sampleEntry()
-	stored, err := inst.Create(e)
+	stored, err := inst.Create(tctx, e)
 	if err != nil {
 		t.Fatalf("Create: %v", err)
 	}
 	if stored.Version == 0 {
 		t.Error("Create should assign a version")
 	}
-	got, err := inst.Get(e.Name)
+	got, err := inst.Get(tctx, e.Name)
 	if err != nil {
 		t.Fatalf("Get: %v", err)
 	}
 	if !got.Equal(e) {
 		t.Errorf("Get = %+v, want %+v", got, e)
 	}
-	if !inst.Contains(e.Name) || inst.Len() != 1 {
+	if !inst.Contains(tctx, e.Name) || inst.Len(tctx) != 1 {
 		t.Error("Contains/Len inconsistent after Create")
 	}
 	if inst.Site() != 0 {
@@ -42,24 +45,24 @@ func TestInstanceCreateGet(t *testing.T) {
 func TestInstanceCreateDuplicate(t *testing.T) {
 	inst := newTestInstance()
 	e := sampleEntry()
-	if _, err := inst.Create(e); err != nil {
+	if _, err := inst.Create(tctx, e); err != nil {
 		t.Fatalf("first Create: %v", err)
 	}
-	if _, err := inst.Create(e); !errors.Is(err, ErrExists) {
+	if _, err := inst.Create(tctx, e); !errors.Is(err, ErrExists) {
 		t.Errorf("duplicate Create = %v, want ErrExists", err)
 	}
 }
 
 func TestInstanceCreateInvalid(t *testing.T) {
 	inst := newTestInstance()
-	if _, err := inst.Create(Entry{}); !errors.Is(err, ErrInvalidEntry) {
+	if _, err := inst.Create(tctx, Entry{}); !errors.Is(err, ErrInvalidEntry) {
 		t.Errorf("Create invalid = %v, want ErrInvalidEntry", err)
 	}
 }
 
 func TestInstanceGetMissing(t *testing.T) {
 	inst := newTestInstance()
-	if _, err := inst.Get("absent"); !errors.Is(err, ErrNotFound) {
+	if _, err := inst.Get(tctx, "absent"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Get missing = %v, want ErrNotFound", err)
 	}
 }
@@ -67,22 +70,22 @@ func TestInstanceGetMissing(t *testing.T) {
 func TestInstancePutUpsert(t *testing.T) {
 	inst := newTestInstance()
 	e := sampleEntry()
-	if _, err := inst.Put(e); err != nil {
+	if _, err := inst.Put(tctx, e); err != nil {
 		t.Fatalf("Put: %v", err)
 	}
 	e.Size = 42
-	updated, err := inst.Put(e)
+	updated, err := inst.Put(tctx, e)
 	if err != nil {
 		t.Fatalf("Put upsert: %v", err)
 	}
 	if updated.Version != 2 {
 		t.Errorf("upsert version = %d, want 2", updated.Version)
 	}
-	got, _ := inst.Get(e.Name)
+	got, _ := inst.Get(tctx, e.Name)
 	if got.Size != 42 {
 		t.Errorf("Size = %d, want 42", got.Size)
 	}
-	if _, err := inst.Put(Entry{}); !errors.Is(err, ErrInvalidEntry) {
+	if _, err := inst.Put(tctx, Entry{}); !errors.Is(err, ErrInvalidEntry) {
 		t.Errorf("Put invalid = %v, want ErrInvalidEntry", err)
 	}
 }
@@ -90,16 +93,16 @@ func TestInstancePutUpsert(t *testing.T) {
 func TestInstanceUpdateAddLocation(t *testing.T) {
 	inst := newTestInstance()
 	e := sampleEntry()
-	inst.Create(e)
+	inst.Create(tctx, e)
 	loc := Location{Site: 2, Node: 11}
-	updated, err := inst.AddLocation(e.Name, loc)
+	updated, err := inst.AddLocation(tctx, e.Name, loc)
 	if err != nil {
 		t.Fatalf("AddLocation: %v", err)
 	}
 	if !updated.HasLocation(loc) {
 		t.Error("location not added")
 	}
-	got, _ := inst.Get(e.Name)
+	got, _ := inst.Get(tctx, e.Name)
 	if !got.HasLocation(loc) {
 		t.Error("location not persisted")
 	}
@@ -107,7 +110,7 @@ func TestInstanceUpdateAddLocation(t *testing.T) {
 
 func TestInstanceUpdateMissing(t *testing.T) {
 	inst := newTestInstance()
-	_, err := inst.Update("absent", func(e Entry) Entry { return e })
+	_, err := inst.Update(tctx, "absent", func(e Entry) Entry { return e })
 	if !errors.Is(err, ErrNotFound) {
 		t.Errorf("Update missing = %v, want ErrNotFound", err)
 	}
@@ -116,8 +119,8 @@ func TestInstanceUpdateMissing(t *testing.T) {
 func TestInstanceUpdatePreservesName(t *testing.T) {
 	inst := newTestInstance()
 	e := sampleEntry()
-	inst.Create(e)
-	updated, err := inst.Update(e.Name, func(cur Entry) Entry {
+	inst.Create(tctx, e)
+	updated, err := inst.Update(tctx, e.Name, func(cur Entry) Entry {
 		cur.Name = "attempted-rename"
 		return cur
 	})
@@ -132,7 +135,7 @@ func TestInstanceUpdatePreservesName(t *testing.T) {
 func TestInstanceUpdateConcurrent(t *testing.T) {
 	inst := NewInstance(0, memcache.New(memcache.Config{}), WithCASRetries(64))
 	e := sampleEntry()
-	inst.Create(e)
+	inst.Create(tctx, e)
 	const writers = 12
 	var wg sync.WaitGroup
 	for i := 0; i < writers; i++ {
@@ -140,13 +143,13 @@ func TestInstanceUpdateConcurrent(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			loc := Location{Site: cloud.SiteID(i % 4), Node: cloud.NodeID(100 + i)}
-			if _, err := inst.AddLocation(e.Name, loc); err != nil {
+			if _, err := inst.AddLocation(tctx, e.Name, loc); err != nil {
 				t.Errorf("AddLocation %d: %v", i, err)
 			}
 		}(i)
 	}
 	wg.Wait()
-	got, _ := inst.Get(e.Name)
+	got, _ := inst.Get(tctx, e.Name)
 	// initial location + one per writer
 	if len(got.Locations) != writers+1 {
 		t.Errorf("Locations = %d, want %d", len(got.Locations), writers+1)
@@ -156,14 +159,14 @@ func TestInstanceUpdateConcurrent(t *testing.T) {
 func TestInstanceDelete(t *testing.T) {
 	inst := newTestInstance()
 	e := sampleEntry()
-	inst.Create(e)
-	if err := inst.Delete(e.Name); err != nil {
+	inst.Create(tctx, e)
+	if err := inst.Delete(tctx, e.Name); err != nil {
 		t.Fatalf("Delete: %v", err)
 	}
-	if err := inst.Delete(e.Name); !errors.Is(err, ErrNotFound) {
+	if err := inst.Delete(tctx, e.Name); !errors.Is(err, ErrNotFound) {
 		t.Errorf("second Delete = %v, want ErrNotFound", err)
 	}
-	if inst.Len() != 0 {
+	if inst.Len(tctx) != 0 {
 		t.Error("instance should be empty after delete")
 	}
 }
@@ -172,14 +175,14 @@ func TestInstanceEntriesAndNames(t *testing.T) {
 	inst := newTestInstance()
 	for i := 0; i < 5; i++ {
 		e := NewEntry(fmt.Sprintf("file-%d", i), int64(i), "t", Location{Site: 0, Node: cloud.NodeID(i)})
-		if _, err := inst.Create(e); err != nil {
+		if _, err := inst.Create(tctx, e); err != nil {
 			t.Fatalf("Create %d: %v", i, err)
 		}
 	}
-	if len(inst.Names()) != 5 {
-		t.Errorf("Names = %d, want 5", len(inst.Names()))
+	if len(inst.Names(tctx)) != 5 {
+		t.Errorf("Names = %d, want 5", len(inst.Names(tctx)))
 	}
-	entries, err := inst.Entries()
+	entries, err := inst.Entries(tctx)
 	if err != nil {
 		t.Fatalf("Entries: %v", err)
 	}
@@ -198,29 +201,29 @@ func TestInstanceMerge(t *testing.T) {
 	dst := newTestInstance()
 	for i := 0; i < 3; i++ {
 		e := NewEntry(fmt.Sprintf("f%d", i), 10, "t", Location{Site: 0, Node: cloud.NodeID(i)})
-		src.Create(e)
+		src.Create(tctx, e)
 	}
 	// dst already has f0 with a different location: locations must be unioned.
-	dst.Create(NewEntry("f0", 10, "t", Location{Site: 1, Node: 99}))
+	dst.Create(tctx, NewEntry("f0", 10, "t", Location{Site: 1, Node: 99}))
 
-	entries, _ := src.Entries()
-	applied, err := dst.Merge(entries)
+	entries, _ := src.Entries(tctx)
+	applied, err := dst.Merge(tctx, entries)
 	if err != nil {
 		t.Fatalf("Merge: %v", err)
 	}
 	if applied != 3 {
 		t.Errorf("applied = %d, want 3", applied)
 	}
-	if dst.Len() != 3 {
-		t.Errorf("dst has %d entries, want 3", dst.Len())
+	if dst.Len(tctx) != 3 {
+		t.Errorf("dst has %d entries, want 3", dst.Len(tctx))
 	}
-	f0, _ := dst.Get("f0")
+	f0, _ := dst.Get(tctx, "f0")
 	if len(f0.Locations) != 2 {
 		t.Errorf("f0 locations = %d, want union of 2", len(f0.Locations))
 	}
 
 	// Merging the same batch again changes nothing.
-	applied, err = dst.Merge(entries)
+	applied, err = dst.Merge(tctx, entries)
 	if err != nil {
 		t.Fatalf("second Merge: %v", err)
 	}
@@ -231,7 +234,7 @@ func TestInstanceMerge(t *testing.T) {
 
 func TestInstanceMergeInvalid(t *testing.T) {
 	dst := newTestInstance()
-	if _, err := dst.Merge([]Entry{{}}); !errors.Is(err, ErrInvalidEntry) {
+	if _, err := dst.Merge(tctx, []Entry{{}}); !errors.Is(err, ErrInvalidEntry) {
 		t.Errorf("Merge invalid = %v, want ErrInvalidEntry", err)
 	}
 }
@@ -239,10 +242,10 @@ func TestInstanceMergeInvalid(t *testing.T) {
 func TestInstanceWithJSONCodec(t *testing.T) {
 	inst := NewInstance(1, memcache.New(memcache.Config{}), WithCodec(JSONCodec{}))
 	e := sampleEntry()
-	if _, err := inst.Create(e); err != nil {
+	if _, err := inst.Create(tctx, e); err != nil {
 		t.Fatalf("Create: %v", err)
 	}
-	got, err := inst.Get(e.Name)
+	got, err := inst.Get(tctx, e.Name)
 	if err != nil || !got.Equal(e) {
 		t.Errorf("JSON-backed instance round trip failed: %v", err)
 	}
@@ -252,11 +255,11 @@ func TestInstanceOnHACache(t *testing.T) {
 	ha := memcache.NewHA(func() *memcache.Cache { return memcache.New(memcache.Config{}) })
 	inst := NewInstance(2, ha)
 	e := sampleEntry()
-	if _, err := inst.Create(e); err != nil {
+	if _, err := inst.Create(tctx, e); err != nil {
 		t.Fatalf("Create on HA store: %v", err)
 	}
 	ha.FailPrimary()
-	got, err := inst.Get(e.Name)
+	got, err := inst.Get(tctx, e.Name)
 	if err != nil || !got.Equal(e) {
 		t.Errorf("entry lost across failover: %v", err)
 	}

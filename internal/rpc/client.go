@@ -1,6 +1,8 @@
 package rpc
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -23,6 +25,20 @@ const DefaultPoolSize = 4
 // a per-connection demultiplexer routes responses, which may arrive out of
 // order, back to their callers (pipelining). Connections are established
 // lazily and re-established transparently after transport errors.
+//
+// Every operation takes a context. The context's deadline (if any) is
+// propagated to the server in the frame header, so the server abandons work
+// whose client has given up. Cancelling the context of one in-flight call
+// retires just that call: its response channel is deregistered, the late
+// response is discarded by the demultiplexer, and the connection keeps
+// serving every other pipelined request. The configured transport timeout
+// (WithTimeout) remains as a backstop against a hung server: unlike a
+// context cancellation it tears the connection down, because an unanswered
+// request means the connection state can no longer be trusted.
+//
+// Transport-level failures (connect refused, broken connection, transport
+// timeout, closed client) are reported wrapping registry.ErrUnavailable, so
+// callers can distinguish "the site is unreachable" from per-entry errors.
 type Client struct {
 	addr    string
 	site    cloud.SiteID
@@ -43,7 +59,9 @@ var _ registry.API = (*Client)(nil)
 // ClientOption configures a Client.
 type ClientOption func(*Client)
 
-// WithTimeout bounds each remote call (connect + request + response).
+// WithTimeout bounds each remote call at the transport level (connect +
+// request + response) when the call's context carries no tighter deadline.
+// Unlike a context deadline, a transport timeout tears the connection down.
 // The default is 10 seconds.
 func WithTimeout(d time.Duration) ClientOption {
 	return func(c *Client) {
@@ -66,14 +84,15 @@ func WithPoolSize(n int) ClientOption {
 }
 
 // Dial connects to a registry server and verifies it is reachable. The
-// returned client reports the site ID advertised by the server.
-func Dial(addr string, opts ...ClientOption) (*Client, error) {
+// context bounds the initial connect-and-handshake exchange; the returned
+// client reports the site ID advertised by the server.
+func Dial(ctx context.Context, addr string, opts ...ClientOption) (*Client, error) {
 	c := &Client{addr: addr, timeout: 10 * time.Second, pool: DefaultPoolSize}
 	for _, o := range opts {
 		o(c)
 	}
 	c.conns = make([]*poolConn, c.pool)
-	resp, err := c.call(Request{Op: OpSite})
+	resp, err := c.call(ctx, Request{Op: OpSite})
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
 	}
@@ -88,15 +107,17 @@ func (c *Client) Addr() string { return c.addr }
 func (c *Client) PoolSize() int { return c.pool }
 
 // Site implements registry.API with the site ID advertised by the server.
+// It is resolved once, at dial time, and therefore takes no context.
 func (c *Client) Site() cloud.SiteID { return c.site }
 
 // Ping verifies the server is reachable.
-func (c *Client) Ping() error {
-	_, err := c.call(Request{Op: OpPing})
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.call(ctx, Request{Op: OpPing})
 	return err
 }
 
-// Close releases every pooled connection. Subsequent calls fail.
+// Close releases every pooled connection. Subsequent calls fail with an
+// error wrapping registry.ErrUnavailable.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	c.closed = true
@@ -105,32 +126,36 @@ func (c *Client) Close() error {
 	c.mu.Unlock()
 	for _, pc := range conns {
 		if pc != nil {
-			pc.fail(fmt.Errorf("rpc: client for %s is closed", c.addr))
+			pc.fail(c.errClosed())
 		}
 	}
 	return nil
 }
 
+func (c *Client) errClosed() error {
+	return fmt.Errorf("rpc: client for %s is closed: %w", c.addr, registry.ErrUnavailable)
+}
+
 // Create implements registry.API.
-func (c *Client) Create(e registry.Entry) (registry.Entry, error) {
-	return c.entryCall(Request{Op: OpCreate, Entry: e})
+func (c *Client) Create(ctx context.Context, e registry.Entry) (registry.Entry, error) {
+	return c.entryCall(ctx, Request{Op: OpCreate, Entry: e})
 }
 
 // Put implements registry.API.
-func (c *Client) Put(e registry.Entry) (registry.Entry, error) {
-	return c.entryCall(Request{Op: OpPut, Entry: e})
+func (c *Client) Put(ctx context.Context, e registry.Entry) (registry.Entry, error) {
+	return c.entryCall(ctx, Request{Op: OpPut, Entry: e})
 }
 
 // Get implements registry.API.
-func (c *Client) Get(name string) (registry.Entry, error) {
-	return c.entryCall(Request{Op: OpGet, Name: name})
+func (c *Client) Get(ctx context.Context, name string) (registry.Entry, error) {
+	return c.entryCall(ctx, Request{Op: OpGet, Name: name})
 }
 
-// Contains implements registry.API. Transport errors are reported as
-// "does not contain", matching the best-effort semantics of the in-process
-// Contains.
-func (c *Client) Contains(name string) bool {
-	resp, err := c.call(Request{Op: OpContains, Name: name})
+// Contains implements registry.API. Transport errors and cancelled contexts
+// are reported as "does not contain", matching the best-effort semantics of
+// the in-process Contains.
+func (c *Client) Contains(ctx context.Context, name string) bool {
+	resp, err := c.call(ctx, Request{Op: OpContains, Name: name})
 	if err != nil {
 		return false
 	}
@@ -138,13 +163,13 @@ func (c *Client) Contains(name string) bool {
 }
 
 // AddLocation implements registry.API.
-func (c *Client) AddLocation(name string, loc registry.Location) (registry.Entry, error) {
-	return c.entryCall(Request{Op: OpAddLoc, Name: name, Location: loc})
+func (c *Client) AddLocation(ctx context.Context, name string, loc registry.Location) (registry.Entry, error) {
+	return c.entryCall(ctx, Request{Op: OpAddLoc, Name: name, Location: loc})
 }
 
 // Delete implements registry.API.
-func (c *Client) Delete(name string) error {
-	resp, err := c.call(Request{Op: OpDelete, Name: name})
+func (c *Client) Delete(ctx context.Context, name string) error {
+	resp, err := c.call(ctx, Request{Op: OpDelete, Name: name})
 	if err != nil {
 		return err
 	}
@@ -152,8 +177,8 @@ func (c *Client) Delete(name string) error {
 }
 
 // Names implements registry.API. Transport errors yield an empty list.
-func (c *Client) Names() []string {
-	resp, err := c.call(Request{Op: OpNames})
+func (c *Client) Names(ctx context.Context) []string {
+	resp, err := c.call(ctx, Request{Op: OpNames})
 	if err != nil {
 		return nil
 	}
@@ -161,8 +186,8 @@ func (c *Client) Names() []string {
 }
 
 // Entries implements registry.API.
-func (c *Client) Entries() ([]registry.Entry, error) {
-	resp, err := c.call(Request{Op: OpEntries})
+func (c *Client) Entries(ctx context.Context) ([]registry.Entry, error) {
+	resp, err := c.call(ctx, Request{Op: OpEntries})
 	if err != nil {
 		return nil, err
 	}
@@ -173,8 +198,8 @@ func (c *Client) Entries() ([]registry.Entry, error) {
 }
 
 // GetMany implements registry.API. The whole name list travels in one frame.
-func (c *Client) GetMany(names []string) ([]registry.Entry, error) {
-	resp, err := c.call(Request{Op: OpGetMany, Names: names})
+func (c *Client) GetMany(ctx context.Context, names []string) ([]registry.Entry, error) {
+	resp, err := c.call(ctx, Request{Op: OpGetMany, Names: names})
 	if err != nil {
 		return nil, err
 	}
@@ -185,11 +210,11 @@ func (c *Client) GetMany(names []string) ([]registry.Entry, error) {
 }
 
 // PutMany implements registry.API. The whole batch travels in one frame.
-func (c *Client) PutMany(entries []registry.Entry) ([]registry.Entry, error) {
+func (c *Client) PutMany(ctx context.Context, entries []registry.Entry) ([]registry.Entry, error) {
 	if len(entries) == 0 {
 		return nil, nil
 	}
-	resp, err := c.call(Request{Op: OpPutMany, Entries: entries})
+	resp, err := c.call(ctx, Request{Op: OpPutMany, Entries: entries})
 	if err != nil {
 		return nil, err
 	}
@@ -201,11 +226,11 @@ func (c *Client) PutMany(entries []registry.Entry) ([]registry.Entry, error) {
 
 // DeleteMany implements registry.API. The whole name list travels in one
 // frame; it returns how many of the named entries were present and removed.
-func (c *Client) DeleteMany(names []string) (int, error) {
+func (c *Client) DeleteMany(ctx context.Context, names []string) (int, error) {
 	if len(names) == 0 {
 		return 0, nil
 	}
-	resp, err := c.call(Request{Op: OpDeleteMany, Names: names})
+	resp, err := c.call(ctx, Request{Op: OpDeleteMany, Names: names})
 	if err != nil {
 		return 0, err
 	}
@@ -216,8 +241,8 @@ func (c *Client) DeleteMany(names []string) (int, error) {
 }
 
 // Merge implements registry.API.
-func (c *Client) Merge(entries []registry.Entry) (int, error) {
-	resp, err := c.call(Request{Op: OpMerge, Entries: entries})
+func (c *Client) Merge(ctx context.Context, entries []registry.Entry) (int, error) {
+	resp, err := c.call(ctx, Request{Op: OpMerge, Entries: entries})
 	if err != nil {
 		return 0, err
 	}
@@ -228,8 +253,8 @@ func (c *Client) Merge(entries []registry.Entry) (int, error) {
 }
 
 // Len implements registry.API. Transport errors yield zero.
-func (c *Client) Len() int {
-	resp, err := c.call(Request{Op: OpLen})
+func (c *Client) Len(ctx context.Context) int {
+	resp, err := c.call(ctx, Request{Op: OpLen})
 	if err != nil {
 		return 0
 	}
@@ -240,13 +265,15 @@ func (c *Client) Len() int {
 // round trip, returning one Response per operation in order. The server
 // executes the operations sequentially, so a batch is equivalent to issuing
 // them back-to-back on a dedicated connection — at a fraction of the framing
-// and round-trip cost. Per-operation failures are reported in the individual
-// Responses; the returned error covers transport problems only.
-func (c *Client) Batch(ops []Request) ([]Response, error) {
+// and round-trip cost. The context's deadline bounds the whole batch; the
+// server stops executing between operations once it passes. Per-operation
+// failures are reported in the individual Responses; the returned error
+// covers transport problems and cancellation only.
+func (c *Client) Batch(ctx context.Context, ops []Request) ([]Response, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
-	rf, err := c.roundTrip(RequestFrame{
+	rf, err := c.roundTrip(ctx, RequestFrame{
 		Header: Header{Version: ProtocolVersion, Kind: FrameBatch},
 		Batch:  BatchRequest{Ops: ops},
 	})
@@ -259,8 +286,8 @@ func (c *Client) Batch(ops []Request) ([]Response, error) {
 	return rf.Batch.Ops, nil
 }
 
-func (c *Client) entryCall(req Request) (registry.Entry, error) {
-	resp, err := c.call(req)
+func (c *Client) entryCall(ctx context.Context, req Request) (registry.Entry, error) {
+	resp, err := c.call(ctx, req)
 	if err != nil {
 		return registry.Entry{}, err
 	}
@@ -271,8 +298,8 @@ func (c *Client) entryCall(req Request) (registry.Entry, error) {
 }
 
 // call performs one request/response exchange.
-func (c *Client) call(req Request) (Response, error) {
-	rf, err := c.roundTrip(RequestFrame{
+func (c *Client) call(ctx context.Context, req Request) (Response, error) {
+	rf, err := c.roundTrip(ctx, RequestFrame{
 		Header: Header{Version: ProtocolVersion, Kind: FrameSingle},
 		Req:    req,
 	})
@@ -282,37 +309,53 @@ func (c *Client) call(req Request) (Response, error) {
 	return rf.Resp, nil
 }
 
-// roundTrip tags the frame with a fresh ID, sends it over a pooled
-// connection and waits for the matching response. A transport error is
-// retried once on a fresh connection (the server may have dropped an idle
-// connection between calls).
-func (c *Client) roundTrip(f RequestFrame) (ResponseFrame, error) {
+// roundTrip tags the frame with a fresh ID and the context's deadline, sends
+// it over a pooled connection and waits for the matching response. A
+// transport error is retried once on a fresh connection (the server may have
+// dropped an idle connection between calls); a context error is never
+// retried — the caller has given up.
+func (c *Client) roundTrip(ctx context.Context, f RequestFrame) (ResponseFrame, error) {
+	if err := ctx.Err(); err != nil {
+		return ResponseFrame{}, fmt.Errorf("rpc: %s: %w", c.addr, err)
+	}
 	f.Header.ID = c.nextID.Add(1)
-	pc, err := c.grabConn()
+	f.Header.TimeoutNs = headerTimeout(ctx)
+	pc, err := c.grabConn(ctx)
 	if err != nil {
 		return ResponseFrame{}, err
 	}
-	resp, err := pc.do(f, c.timeout)
+	resp, err := pc.do(ctx, f, c.timeout)
 	if err == nil {
 		return resp, nil
 	}
-	pc, err2 := c.grabConn()
+	if cerr := ctx.Err(); cerr != nil {
+		// The caller's context is done. If the transport timer happened to
+		// fire first (a context deadline close to the transport timeout),
+		// report the context error anyway: "the deadline passed" is the
+		// truth the caller can act on, not the connection teardown it
+		// triggered.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return ResponseFrame{}, err
+		}
+		return ResponseFrame{}, fmt.Errorf("rpc: %s: %v: %w", c.addr, err, cerr)
+	}
+	pc, err2 := c.grabConn(ctx)
 	if err2 != nil {
 		return ResponseFrame{}, err2
 	}
-	return pc.do(f, c.timeout)
+	return pc.do(ctx, f, c.timeout)
 }
 
 // grabConn returns the next pooled connection in round-robin order, dialing
 // a replacement if that slot is empty or its connection has died. The dial
 // happens outside the client lock so a slow or failing connect never stalls
 // calls headed for the other, healthy pool slots.
-func (c *Client) grabConn() (*poolConn, error) {
+func (c *Client) grabConn(ctx context.Context) (*poolConn, error) {
 	idx := int(c.nextConn.Add(1)-1) % c.pool
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, fmt.Errorf("rpc: client for %s is closed", c.addr)
+		return nil, c.errClosed()
 	}
 	if pc := c.conns[idx]; pc != nil && !pc.dead() {
 		c.mu.Unlock()
@@ -320,22 +363,26 @@ func (c *Client) grabConn() (*poolConn, error) {
 	}
 	c.mu.Unlock()
 
-	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	dialer := net.Dialer{Timeout: c.timeout}
+	conn, err := dialer.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
-		return nil, fmt.Errorf("rpc: connect %s: %w", c.addr, err)
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("rpc: connect %s: %w", c.addr, ctx.Err())
+		}
+		return nil, fmt.Errorf("rpc: connect %s: %v: %w", c.addr, err, registry.ErrUnavailable)
 	}
 	pc := newPoolConn(conn)
 
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		pc.fail(fmt.Errorf("rpc: client for %s is closed", c.addr))
-		return nil, fmt.Errorf("rpc: client for %s is closed", c.addr)
+		pc.fail(c.errClosed())
+		return nil, c.errClosed()
 	}
 	if cur := c.conns[idx]; cur != nil && !cur.dead() {
 		// A concurrent caller repaired the slot first; use theirs.
 		c.mu.Unlock()
-		pc.fail(fmt.Errorf("rpc: superseded connection"))
+		pc.fail(fmt.Errorf("rpc: superseded connection: %w", registry.ErrUnavailable))
 		return cur, nil
 	}
 	c.conns[idx] = pc
@@ -368,9 +415,16 @@ func (pc *poolConn) dead() bool {
 }
 
 // do registers the frame's ID, writes the frame, and waits for the demuxed
-// response or the timeout. A timed-out connection is torn down: its
-// demultiplexer could otherwise deliver a response for a retired ID.
-func (pc *poolConn) do(f RequestFrame, timeout time.Duration) (ResponseFrame, error) {
+// response, the context, or the transport timeout. The three exits differ:
+//
+//   - response: delivered, the call succeeded at the transport level;
+//   - context done: only this call is retired — its pending ID is
+//     deregistered so the demultiplexer discards the late response, and the
+//     connection keeps serving other in-flight calls;
+//   - transport timeout: the connection is torn down — an unanswered request
+//     means its state can no longer be trusted, and its demultiplexer could
+//     otherwise deliver a response for a retired ID.
+func (pc *poolConn) do(ctx context.Context, f RequestFrame, timeout time.Duration) (ResponseFrame, error) {
 	ch := make(chan ResponseFrame, 1)
 	pc.mu.Lock()
 	if pc.err != nil {
@@ -383,9 +437,7 @@ func (pc *poolConn) do(f RequestFrame, timeout time.Duration) (ResponseFrame, er
 
 	frame, err := encodeFrame(f)
 	if err != nil {
-		pc.mu.Lock()
-		delete(pc.pending, f.Header.ID)
-		pc.mu.Unlock()
+		pc.forget(f.Header.ID)
 		return ResponseFrame{}, err
 	}
 	pc.wmu.Lock()
@@ -393,7 +445,8 @@ func (pc *poolConn) do(f RequestFrame, timeout time.Duration) (ResponseFrame, er
 	_, err = pc.conn.Write(frame)
 	pc.wmu.Unlock()
 	if err != nil {
-		pc.fail(fmt.Errorf("rpc: write frame: %w", err))
+		err = fmt.Errorf("rpc: write frame: %v: %w", err, registry.ErrUnavailable)
+		pc.fail(err)
 		return ResponseFrame{}, err
 	}
 
@@ -408,20 +461,31 @@ func (pc *poolConn) do(f RequestFrame, timeout time.Duration) (ResponseFrame, er
 			return ResponseFrame{}, fmt.Errorf("rpc: read response: %w", err)
 		}
 		return resp, nil
+	case <-ctx.Done():
+		pc.forget(f.Header.ID)
+		return ResponseFrame{}, fmt.Errorf("rpc: call abandoned: %w", ctx.Err())
 	case <-timer.C:
-		err := fmt.Errorf("rpc: no response within %v", timeout)
+		err := fmt.Errorf("rpc: no response within %v: %w", timeout, registry.ErrUnavailable)
 		pc.fail(err)
 		return ResponseFrame{}, err
 	}
 }
 
+// forget retires one in-flight request ID; a response that later arrives for
+// it is discarded by the demultiplexer.
+func (pc *poolConn) forget(id uint64) {
+	pc.mu.Lock()
+	delete(pc.pending, id)
+	pc.mu.Unlock()
+}
+
 // readLoop demultiplexes response frames by header ID until the connection
-// dies.
+// dies. Frames for retired IDs (abandoned calls) are discarded.
 func (pc *poolConn) readLoop() {
 	for {
 		var rf ResponseFrame
 		if err := readFrame(pc.conn, &rf); err != nil {
-			pc.fail(err)
+			pc.fail(fmt.Errorf("%v: %w", err, registry.ErrUnavailable))
 			return
 		}
 		pc.mu.Lock()

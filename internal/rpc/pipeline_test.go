@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -21,11 +22,15 @@ type slowAPI struct {
 	delay time.Duration
 }
 
-func (s slowAPI) Get(name string) (registry.Entry, error) {
+func (s slowAPI) Get(ctx context.Context, name string) (registry.Entry, error) {
 	if strings.HasPrefix(name, "slow") {
-		time.Sleep(s.delay)
+		select {
+		case <-time.After(s.delay):
+		case <-ctx.Done():
+			return registry.Entry{}, ctx.Err()
+		}
 	}
-	return s.API.Get(name)
+	return s.API.Get(ctx, name)
 }
 
 func startSlowServer(t *testing.T, delay time.Duration, opts ...ClientOption) *Client {
@@ -37,7 +42,7 @@ func startSlowServer(t *testing.T, delay time.Duration, opts ...ClientOption) *C
 		t.Fatalf("start server: %v", err)
 	}
 	t.Cleanup(func() { srv.Close() })
-	client, err := Dial(addr, append([]ClientOption{WithTimeout(5 * time.Second)}, opts...)...)
+	client, err := Dial(tctx, addr, append([]ClientOption{WithTimeout(5 * time.Second)}, opts...)...)
 	if err != nil {
 		t.Fatalf("dial: %v", err)
 	}
@@ -51,22 +56,22 @@ func startSlowServer(t *testing.T, delay time.Duration, opts ...ClientOption) *C
 func TestPipelinedOutOfOrder(t *testing.T) {
 	const delay = 400 * time.Millisecond
 	client := startSlowServer(t, delay, WithPoolSize(1))
-	if _, err := client.Create(wireEntry("slow-1")); err != nil {
+	if _, err := client.Create(tctx, wireEntry("slow-1")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Create(wireEntry("fast-1")); err != nil {
+	if _, err := client.Create(tctx, wireEntry("fast-1")); err != nil {
 		t.Fatal(err)
 	}
 
 	slowDone := make(chan error, 1)
 	go func() {
-		_, err := client.Get("slow-1")
+		_, err := client.Get(tctx, "slow-1")
 		slowDone <- err
 	}()
 	time.Sleep(50 * time.Millisecond) // let the slow request hit the wire first
 
 	start := time.Now()
-	if _, err := client.Get("fast-1"); err != nil {
+	if _, err := client.Get(tctx, "fast-1"); err != nil {
 		t.Fatalf("fast Get: %v", err)
 	}
 	if elapsed := time.Since(start); elapsed >= delay {
@@ -84,7 +89,7 @@ func TestReconnectMidPipeline(t *testing.T) {
 	client := startSlowServer(t, 300*time.Millisecond, WithPoolSize(1))
 	const inflight = 8
 	for i := 0; i < inflight; i++ {
-		if _, err := client.Create(wireEntry(fmt.Sprintf("slow-%d", i))); err != nil {
+		if _, err := client.Create(tctx, wireEntry(fmt.Sprintf("slow-%d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -95,7 +100,7 @@ func TestReconnectMidPipeline(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if _, err := client.Get(fmt.Sprintf("slow-%d", i)); err != nil {
+			if _, err := client.Get(tctx, fmt.Sprintf("slow-%d", i)); err != nil {
 				errs <- err
 			}
 		}(i)
@@ -114,7 +119,7 @@ func TestReconnectMidPipeline(t *testing.T) {
 		t.Errorf("pipelined call did not survive the reconnect: %v", err)
 	}
 	// The pool must be usable afterwards.
-	if _, err := client.Get("slow-0"); err != nil {
+	if _, err := client.Get(tctx, "slow-0"); err != nil {
 		t.Errorf("Get after recovery: %v", err)
 	}
 }
@@ -138,13 +143,13 @@ func TestBatchEquivalence(t *testing.T) {
 		Request{Op: OpLen},
 	)
 
-	batchResps, err := batched.Batch(ops)
+	batchResps, err := batched.Batch(tctx, ops)
 	if err != nil {
 		t.Fatalf("Batch: %v", err)
 	}
 	var singleResps []Response
 	for _, op := range ops {
-		resp, err := perOp.call(op)
+		resp, err := perOp.call(tctx, op)
 		if err != nil {
 			t.Fatalf("per-op %s: %v", op.Op, err)
 		}
@@ -160,7 +165,7 @@ func TestBatchEquivalence(t *testing.T) {
 			t.Errorf("op %d (%s): batch=%+v per-op=%+v", i, ops[i].Op, b, s)
 		}
 	}
-	if got, want := batched.Len(), perOp.Len(); got != want {
+	if got, want := batched.Len(tctx), perOp.Len(tctx); got != want {
 		t.Errorf("final Len: batch server %d, per-op server %d", got, want)
 	}
 }
@@ -173,7 +178,7 @@ func TestPutManyDeleteManyOverWire(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		batch = append(batch, wireEntry(fmt.Sprintf("pm%d", i)))
 	}
-	stored, err := client.PutMany(batch)
+	stored, err := client.PutMany(tctx, batch)
 	if err != nil {
 		t.Fatalf("PutMany: %v", err)
 	}
@@ -185,26 +190,26 @@ func TestPutManyDeleteManyOverWire(t *testing.T) {
 			t.Errorf("stored[%d] has no version", i)
 		}
 	}
-	if client.Len() != 6 {
-		t.Errorf("Len = %d, want 6", client.Len())
+	if client.Len(tctx) != 6 {
+		t.Errorf("Len = %d, want 6", client.Len(tctx))
 	}
-	n, err := client.DeleteMany([]string{"pm0", "pm1", "absent", "pm2"})
+	n, err := client.DeleteMany(tctx, []string{"pm0", "pm1", "absent", "pm2"})
 	if err != nil {
 		t.Fatalf("DeleteMany: %v", err)
 	}
 	if n != 3 {
 		t.Errorf("DeleteMany removed %d, want 3 (absent names are skipped)", n)
 	}
-	if client.Len() != 3 {
-		t.Errorf("Len after DeleteMany = %d, want 3", client.Len())
+	if client.Len(tctx) != 3 {
+		t.Errorf("Len after DeleteMany = %d, want 3", client.Len(tctx))
 	}
-	if _, err := client.PutMany(nil); err != nil {
+	if _, err := client.PutMany(tctx, nil); err != nil {
 		t.Errorf("empty PutMany: %v", err)
 	}
-	if _, err := client.DeleteMany(nil); err != nil {
+	if _, err := client.DeleteMany(tctx, nil); err != nil {
 		t.Errorf("empty DeleteMany: %v", err)
 	}
-	if _, err := client.PutMany([]registry.Entry{{}}); !errors.Is(err, registry.ErrInvalidEntry) {
+	if _, err := client.PutMany(tctx, []registry.Entry{{}}); !errors.Is(err, registry.ErrInvalidEntry) {
 		t.Errorf("PutMany with invalid entry = %v, want ErrInvalidEntry", err)
 	}
 }
@@ -251,12 +256,12 @@ func TestLegacyV1ClientAgainstV2Server(t *testing.T) {
 	}
 
 	// A version-2 client sharing the server (even the registry state) works.
-	v2, err := Dial(addr)
+	v2, err := Dial(tctx, addr)
 	if err != nil {
 		t.Fatalf("v2 dial: %v", err)
 	}
 	defer v2.Close()
-	if _, err := v2.Get("legacy-1"); err != nil {
+	if _, err := v2.Get(tctx, "legacy-1"); err != nil {
 		t.Errorf("v2 Get of legacy-created entry: %v", err)
 	}
 }

@@ -27,6 +27,42 @@
 // operation, so a batch is semantically equivalent to issuing the operations
 // back-to-back on a dedicated connection.
 //
+// # Deadline propagation
+//
+// The Header optionally carries the client's remaining time budget
+// (Header.TimeoutNs, nanoseconds until the context deadline, measured when
+// the frame is built; 0 means no deadline). The budget is relative rather
+// than an absolute timestamp on purpose: the server re-anchors it on its own
+// clock, so client/server clock skew cannot shift — or instantly expire —
+// every propagated deadline (the price is that network transit time extends
+// the effective deadline by a round-trip's worth, which is the standard
+// trade-off). The server derives the context it runs the dispatched handler
+// under from this budget, so work whose client has given up is abandoned
+// rather than executed: a request arriving with a non-positive budget is
+// answered with ErrDeadline without touching the registry, and a batch stops
+// between operations once the budget runs out. Cancellation is client-side
+// only — an abandoned request's ID is simply retired, and the late response
+// (if the server still sends one) is discarded by the demultiplexer while
+// the connection keeps serving the other in-flight requests.
+//
+// # Error codes
+//
+// A failed operation travels as a structured error frame: Response.Err is a
+// machine-readable classification and Response.Detail the human-readable
+// message. Client maps codes back to the sentinel errors, so errors.Is works
+// across the wire:
+//
+//	code                sentinel the client surfaces
+//	----                ---------------------------------
+//	not-found           registry.ErrNotFound
+//	exists              registry.ErrExists
+//	conflict            registry.ErrConflict
+//	invalid             registry.ErrInvalidEntry
+//	unavailable         registry.ErrUnavailable
+//	deadline-exceeded   context.DeadlineExceeded
+//	canceled            context.Canceled
+//	bad-op, internal    (no sentinel; opaque remote error)
+//
 // # Compatibility with the version-1 un-tagged protocol
 //
 // Version 1 framed a bare gob-encoded Request/Response with no header;
@@ -42,11 +78,13 @@ package rpc
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"geomds/internal/cloud"
 	"geomds/internal/registry"
@@ -80,6 +118,44 @@ type Header struct {
 	ID uint64
 	// Kind selects between a single operation and a batch.
 	Kind FrameKind
+	// TimeoutNs is the client's remaining time budget in nanoseconds —
+	// time.Until the call context's deadline, measured when the frame is
+	// built; 0 means no deadline, a negative value an already-expired one.
+	// It is deliberately relative, not an absolute timestamp, so the server
+	// can anchor it on its own clock and client/server clock skew cannot
+	// distort the propagated deadline (see the package documentation). The
+	// field is new within protocol version 2; gob tolerates its absence, so
+	// frames from clients predating it simply carry no deadline.
+	TimeoutNs int64
+}
+
+// headerTimeout converts a context's deadline into the wire representation:
+// the remaining budget relative to now. An already-expired deadline yields a
+// negative budget (never 0, which would read as "no deadline").
+func headerTimeout(ctx context.Context) int64 {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	ns := int64(time.Until(dl))
+	if ns == 0 {
+		ns = -1
+	}
+	return ns
+}
+
+// deadlineContext derives the server-side context for a request from the
+// propagated time budget, re-anchored on the server's clock: base itself
+// when the header carries none, a deadline-bounded child otherwise. The
+// returned cancel func must be called once the request is answered.
+func deadlineContext(base context.Context, timeoutNs int64) (context.Context, context.CancelFunc) {
+	if timeoutNs == 0 {
+		// No deadline: run directly under base (cancelled on server close).
+		// Skipping the child context keeps the deadline-free hot path free
+		// of per-request allocations and parent-lock contention.
+		return base, func() {}
+	}
+	return context.WithDeadline(base, time.Now().Add(time.Duration(timeoutNs)))
 }
 
 // BatchRequest carries many registry operations in one round trip.
@@ -175,7 +251,8 @@ type Response struct {
 // the registry sentinel errors.
 type ErrCode string
 
-// Error classifications.
+// Error classifications. See the package documentation for the full
+// code-to-sentinel table.
 const (
 	ErrNone     ErrCode = ""
 	ErrNotFound ErrCode = "not-found"
@@ -184,17 +261,32 @@ const (
 	ErrInvalid  ErrCode = "invalid"
 	ErrInternal ErrCode = "internal"
 	ErrBadOp    ErrCode = "bad-op"
+	// ErrUnavailable reports that the registry behind the server could not
+	// be reached (relevant when the server proxies a further hop).
+	ErrUnavailable ErrCode = "unavailable"
+	// ErrDeadline reports that the operation's propagated deadline passed
+	// before (or while) the server executed it.
+	ErrDeadline ErrCode = "deadline-exceeded"
+	// ErrCanceled reports that the operation's server-side context was
+	// cancelled (e.g. the server is shutting down).
+	ErrCanceled ErrCode = "canceled"
 )
 
 // MaxMessageSize bounds a single framed message (16 MiB), protecting both
 // ends from corrupt length prefixes.
 const MaxMessageSize = 16 << 20
 
-// encodeErr converts a server-side error into a wire classification.
+// encodeErr converts a server-side error into a wire classification. Context
+// errors are checked first: a deadline-exceeded create must round-trip as
+// deadline-exceeded, not as whatever registry error it got wrapped into.
 func encodeErr(err error) (ErrCode, string) {
 	switch {
 	case err == nil:
 		return ErrNone, ""
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrDeadline, err.Error()
+	case errors.Is(err, context.Canceled):
+		return ErrCanceled, err.Error()
 	case errors.Is(err, registry.ErrNotFound):
 		return ErrNotFound, err.Error()
 	case errors.Is(err, registry.ErrExists):
@@ -203,24 +295,45 @@ func encodeErr(err error) (ErrCode, string) {
 		return ErrConflict, err.Error()
 	case errors.Is(err, registry.ErrInvalidEntry):
 		return ErrInvalid, err.Error()
+	case errors.Is(err, registry.ErrUnavailable):
+		return ErrUnavailable, err.Error()
 	default:
 		return ErrInternal, err.Error()
 	}
 }
 
-// decodeErr converts a wire classification back into a registry error.
+// wireError is a decoded remote failure: its message is the server's detail
+// string verbatim (which already names the sentinel once) and it unwraps to
+// the matching sentinel, so errors.Is works on the client exactly as it does
+// in-process without duplicating the cause in the text.
+type wireError struct {
+	detail string
+	cause  error
+}
+
+func (e *wireError) Error() string { return e.detail }
+func (e *wireError) Unwrap() error { return e.cause }
+
+// decodeErr converts a wire classification back into an error matching the
+// corresponding sentinel under errors.Is.
 func decodeErr(code ErrCode, detail string) error {
 	switch code {
 	case ErrNone:
 		return nil
 	case ErrNotFound:
-		return fmt.Errorf("%s: %w", detail, registry.ErrNotFound)
+		return &wireError{detail: detail, cause: registry.ErrNotFound}
 	case ErrExists:
-		return fmt.Errorf("%s: %w", detail, registry.ErrExists)
+		return &wireError{detail: detail, cause: registry.ErrExists}
 	case ErrConflict:
-		return fmt.Errorf("%s: %w", detail, registry.ErrConflict)
+		return &wireError{detail: detail, cause: registry.ErrConflict}
 	case ErrInvalid:
-		return fmt.Errorf("%s: %w", detail, registry.ErrInvalidEntry)
+		return &wireError{detail: detail, cause: registry.ErrInvalidEntry}
+	case ErrUnavailable:
+		return &wireError{detail: detail, cause: registry.ErrUnavailable}
+	case ErrDeadline:
+		return &wireError{detail: "rpc: remote: " + detail, cause: context.DeadlineExceeded}
+	case ErrCanceled:
+		return &wireError{detail: "rpc: remote: " + detail, cause: context.Canceled}
 	default:
 		return fmt.Errorf("rpc: remote error: %s", detail)
 	}

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -11,6 +12,8 @@ import (
 	"geomds/internal/memcache"
 	"geomds/internal/registry"
 )
+
+var tctx = context.Background()
 
 // startTestServer brings up a server on a random localhost port and returns a
 // connected client. Both are torn down when the test finishes.
@@ -23,7 +26,7 @@ func startTestServer(t *testing.T, site cloud.SiteID) (*Server, *Client) {
 		t.Fatalf("start server: %v", err)
 	}
 	t.Cleanup(func() { srv.Close() })
-	client, err := Dial(addr, WithTimeout(5*time.Second))
+	client, err := Dial(tctx, addr, WithTimeout(5*time.Second))
 	if err != nil {
 		t.Fatalf("dial: %v", err)
 	}
@@ -40,7 +43,7 @@ func TestClientSiteAndPing(t *testing.T) {
 	if client.Site() != 3 {
 		t.Errorf("Site = %d, want 3", client.Site())
 	}
-	if err := client.Ping(); err != nil {
+	if err := client.Ping(tctx); err != nil {
 		t.Errorf("Ping: %v", err)
 	}
 	if client.Addr() == "" {
@@ -51,47 +54,47 @@ func TestClientSiteAndPing(t *testing.T) {
 func TestCreateGetOverWire(t *testing.T) {
 	_, client := startTestServer(t, 0)
 	e := wireEntry("wire-1")
-	stored, err := client.Create(e)
+	stored, err := client.Create(tctx, e)
 	if err != nil {
 		t.Fatalf("Create: %v", err)
 	}
 	if stored.Version == 0 {
 		t.Error("Create should return the stored version")
 	}
-	got, err := client.Get("wire-1")
+	got, err := client.Get(tctx, "wire-1")
 	if err != nil {
 		t.Fatalf("Get: %v", err)
 	}
 	if !got.Equal(e) {
 		t.Errorf("Get = %+v, want %+v", got, e)
 	}
-	if !client.Contains("wire-1") || client.Contains("nope") {
+	if !client.Contains(tctx, "wire-1") || client.Contains(tctx, "nope") {
 		t.Error("Contains misbehaves")
 	}
-	if client.Len() != 1 {
-		t.Errorf("Len = %d, want 1", client.Len())
+	if client.Len(tctx) != 1 {
+		t.Errorf("Len = %d, want 1", client.Len(tctx))
 	}
 }
 
 func TestErrorsCrossTheWire(t *testing.T) {
 	_, client := startTestServer(t, 0)
 	e := wireEntry("dup")
-	if _, err := client.Create(e); err != nil {
+	if _, err := client.Create(tctx, e); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Create(e); !errors.Is(err, registry.ErrExists) {
+	if _, err := client.Create(tctx, e); !errors.Is(err, registry.ErrExists) {
 		t.Errorf("duplicate Create = %v, want ErrExists", err)
 	}
-	if _, err := client.Get("missing"); !errors.Is(err, registry.ErrNotFound) {
+	if _, err := client.Get(tctx, "missing"); !errors.Is(err, registry.ErrNotFound) {
 		t.Errorf("Get missing = %v, want ErrNotFound", err)
 	}
-	if err := client.Delete("missing"); !errors.Is(err, registry.ErrNotFound) {
+	if err := client.Delete(tctx, "missing"); !errors.Is(err, registry.ErrNotFound) {
 		t.Errorf("Delete missing = %v, want ErrNotFound", err)
 	}
-	if _, err := client.Create(registry.Entry{}); !errors.Is(err, registry.ErrInvalidEntry) {
+	if _, err := client.Create(tctx, registry.Entry{}); !errors.Is(err, registry.ErrInvalidEntry) {
 		t.Errorf("Create invalid = %v, want ErrInvalidEntry", err)
 	}
-	if _, err := client.AddLocation("missing", registry.Location{}); !errors.Is(err, registry.ErrNotFound) {
+	if _, err := client.AddLocation(tctx, "missing", registry.Location{}); !errors.Is(err, registry.ErrNotFound) {
 		t.Errorf("AddLocation missing = %v, want ErrNotFound", err)
 	}
 }
@@ -99,19 +102,19 @@ func TestErrorsCrossTheWire(t *testing.T) {
 func TestUpdateDeleteOverWire(t *testing.T) {
 	_, client := startTestServer(t, 0)
 	e := wireEntry("upd")
-	client.Create(e)
+	client.Create(tctx, e)
 	loc := registry.Location{Site: 2, Node: 9}
-	updated, err := client.AddLocation("upd", loc)
+	updated, err := client.AddLocation(tctx, "upd", loc)
 	if err != nil {
 		t.Fatalf("AddLocation: %v", err)
 	}
 	if !updated.HasLocation(loc) {
 		t.Error("location not added")
 	}
-	if err := client.Delete("upd"); err != nil {
+	if err := client.Delete(tctx, "upd"); err != nil {
 		t.Fatalf("Delete: %v", err)
 	}
-	if client.Contains("upd") {
+	if client.Contains(tctx, "upd") {
 		t.Error("entry still present after delete")
 	}
 }
@@ -122,21 +125,21 @@ func TestPutNamesEntriesMergeOverWire(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		batch = append(batch, wireEntry(fmt.Sprintf("m%d", i)))
 	}
-	n, err := client.Merge(batch)
+	n, err := client.Merge(tctx, batch)
 	if err != nil {
 		t.Fatalf("Merge: %v", err)
 	}
 	if n != 5 {
 		t.Errorf("Merge applied %d, want 5", n)
 	}
-	if _, err := client.Put(wireEntry("m0")); err != nil {
+	if _, err := client.Put(tctx, wireEntry("m0")); err != nil {
 		t.Errorf("Put: %v", err)
 	}
-	names := client.Names()
+	names := client.Names(tctx)
 	if len(names) != 5 {
 		t.Errorf("Names = %d, want 5", len(names))
 	}
-	entries, err := client.Entries()
+	entries, err := client.Entries(tctx)
 	if err != nil || len(entries) != 5 {
 		t.Errorf("Entries = %d, %v; want 5", len(entries), err)
 	}
@@ -153,7 +156,7 @@ func TestConcurrentClients(t *testing.T) {
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			c, err := Dial(addr)
+			c, err := Dial(tctx, addr)
 			if err != nil {
 				errs <- err
 				return
@@ -161,11 +164,11 @@ func TestConcurrentClients(t *testing.T) {
 			defer c.Close()
 			for i := 0; i < perClient; i++ {
 				name := fmt.Sprintf("c%d-f%d", ci, i)
-				if _, err := c.Create(wireEntry(name)); err != nil {
+				if _, err := c.Create(tctx, wireEntry(name)); err != nil {
 					errs <- fmt.Errorf("create %s: %w", name, err)
 					return
 				}
-				if _, err := c.Get(name); err != nil {
+				if _, err := c.Get(tctx, name); err != nil {
 					errs <- fmt.Errorf("get %s: %w", name, err)
 					return
 				}
@@ -177,8 +180,8 @@ func TestConcurrentClients(t *testing.T) {
 	for err := range errs {
 		t.Error(err)
 	}
-	if first.Len() != clients*perClient {
-		t.Errorf("server holds %d entries, want %d", first.Len(), clients*perClient)
+	if first.Len(tctx) != clients*perClient {
+		t.Errorf("server holds %d entries, want %d", first.Len(tctx), clients*perClient)
 	}
 	if srv.Requests() == 0 {
 		t.Error("server request counter did not advance")
@@ -187,7 +190,7 @@ func TestConcurrentClients(t *testing.T) {
 
 func TestClientReconnects(t *testing.T) {
 	_, client := startTestServer(t, 0)
-	if _, err := client.Create(wireEntry("before")); err != nil {
+	if _, err := client.Create(tctx, wireEntry("before")); err != nil {
 		t.Fatal(err)
 	}
 	// Force every pooled connection to go stale; the next call must recover.
@@ -198,7 +201,7 @@ func TestClientReconnects(t *testing.T) {
 		}
 	}
 	client.mu.Unlock()
-	if _, err := client.Get("before"); err != nil {
+	if _, err := client.Get(tctx, "before"); err != nil {
 		t.Errorf("Get after dropped connection: %v", err)
 	}
 }
@@ -206,7 +209,7 @@ func TestClientReconnects(t *testing.T) {
 func TestClientClosed(t *testing.T) {
 	_, client := startTestServer(t, 0)
 	client.Close()
-	if _, err := client.Get("x"); err == nil {
+	if _, err := client.Get(tctx, "x"); err == nil {
 		t.Error("calls on a closed client should fail")
 	}
 	if err := client.Close(); err != nil {
@@ -215,7 +218,7 @@ func TestClientClosed(t *testing.T) {
 }
 
 func TestDialUnreachable(t *testing.T) {
-	if _, err := Dial("127.0.0.1:1", WithTimeout(200*time.Millisecond)); err == nil {
+	if _, err := Dial(tctx, "127.0.0.1:1", WithTimeout(200*time.Millisecond)); err == nil {
 		t.Error("Dial to a closed port should fail")
 	}
 }
@@ -227,7 +230,7 @@ func TestServerClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, err := Dial(addr)
+	client, err := Dial(tctx, addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +242,7 @@ func TestServerClose(t *testing.T) {
 	}
 	// The client should fail (possibly after its one retry) once the server
 	// is gone.
-	if err := client.Ping(); err == nil {
+	if err := client.Ping(tctx); err == nil {
 		t.Error("Ping should fail after server shutdown")
 	}
 	client.Close()
@@ -250,7 +253,7 @@ func TestServerClose(t *testing.T) {
 
 func TestBadOpRejected(t *testing.T) {
 	_, client := startTestServer(t, 0)
-	resp, err := client.call(Request{Op: Op("bogus")})
+	resp, err := client.call(tctx, Request{Op: Op("bogus")})
 	if err != nil {
 		t.Fatalf("call: %v", err)
 	}
@@ -274,7 +277,7 @@ func TestCoreFabricOverRPC(t *testing.T) {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { srv.Close() })
-		client, err := Dial(addr)
+		client, err := Dial(tctx, addr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -282,10 +285,10 @@ func TestCoreFabricOverRPC(t *testing.T) {
 		proxies[s] = client
 	}
 	e := wireEntry("fabric-over-rpc")
-	if _, err := proxies[2].Create(e); err != nil {
+	if _, err := proxies[2].Create(tctx, e); err != nil {
 		t.Fatalf("Create via proxy: %v", err)
 	}
-	got, err := proxies[2].Get("fabric-over-rpc")
+	got, err := proxies[2].Get(tctx, "fabric-over-rpc")
 	if err != nil || !got.Equal(e) {
 		t.Errorf("Get via proxy: %v", err)
 	}

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -24,18 +25,31 @@ const DefaultMaxInflight = 64
 // as they complete, tagged with the request ID, possibly out of order.
 // Legacy version-1 connections are served synchronously in order (see the
 // package documentation for the compatibility rules).
+//
+// Each dispatched request runs under a context derived from the deadline the
+// client propagated in the frame header: a request whose deadline has
+// already passed on arrival is answered with an ErrDeadline error frame
+// without touching the registry, a batch stops executing between operations
+// once the deadline passes, and the registry operation itself observes the
+// context. Closing the server cancels the base context, aborting whatever
+// the in-flight handlers are blocked on.
 type Server struct {
 	reg         registry.API
 	listener    net.Listener
 	logger      *log.Logger
 	maxInflight int
 
+	// baseCtx is the root of every request context; cancelled on Close.
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
 
-	requests atomic.Int64
+	requests  atomic.Int64
+	abandoned atomic.Int64
 }
 
 // ServerOption configures a Server.
@@ -58,10 +72,13 @@ func NewServer(reg registry.API, logger *log.Logger, opts ...ServerOption) *Serv
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
+	baseCtx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		reg:         reg,
 		logger:      logger,
 		maxInflight: DefaultMaxInflight,
+		baseCtx:     baseCtx,
+		cancelAll:   cancel,
 		conns:       make(map[net.Conn]struct{}),
 	}
 	for _, o := range opts {
@@ -146,6 +163,12 @@ func (s *Server) Addr() string {
 // of a batch frame counts individually).
 func (s *Server) Requests() int64 { return s.requests.Load() }
 
+// Abandoned returns the number of operations the server refused to execute
+// because their propagated deadline had already passed on arrival (or passed
+// between the operations of a batch). Requests cut short by server shutdown
+// are not counted: no client deadline passed for them.
+func (s *Server) Abandoned() int64 { return s.abandoned.Load() }
+
 func (s *Server) isClosed() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -166,6 +189,10 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.mu.Unlock()
+	// Cancel every in-flight request context so handlers blocked inside the
+	// registry (or a modelled latency sleep) abort instead of being waited
+	// for.
+	s.cancelAll()
 	var err error
 	if ln != nil {
 		err = ln.Close()
@@ -213,7 +240,7 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			s.requests.Add(1)
-			resp := s.dispatch(req)
+			resp := s.dispatch(s.baseCtx, req)
 			// Take the write lock: pipelined version-2 responses may still
 			// be in flight on this connection.
 			wmu.Lock()
@@ -240,17 +267,21 @@ func (s *Server) handle(conn net.Conn) {
 				ID:      rf.Header.ID,
 				Kind:    rf.Header.Kind,
 			}}
+			// Run the request under the deadline its client propagated in
+			// the header; work whose client has given up is abandoned.
+			ctx, cancel := deadlineContext(s.baseCtx, rf.Header.TimeoutNs)
 			switch rf.Header.Kind {
 			case FrameBatch:
 				s.requests.Add(int64(len(rf.Batch.Ops)))
 				out.Batch.Ops = make([]Response, len(rf.Batch.Ops))
 				for i, req := range rf.Batch.Ops {
-					out.Batch.Ops[i] = s.dispatch(req)
+					out.Batch.Ops[i] = s.dispatch(ctx, req)
 				}
 			default:
 				s.requests.Add(1)
-				out.Resp = s.dispatch(rf.Req)
+				out.Resp = s.dispatch(ctx, rf.Req)
 			}
+			cancel()
 			frame, err := encodeFrame(out)
 			if err == nil {
 				wmu.Lock()
@@ -267,65 +298,78 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-func (s *Server) dispatch(req Request) Response {
+// dispatch executes one registry operation under the request context. A
+// context that is already done — the propagated deadline passed, or the
+// server is shutting down — short-circuits into an error frame without
+// touching the registry: the client has given up, so the work would be
+// wasted.
+func (s *Server) dispatch(ctx context.Context, req Request) Response {
+	if err := ctx.Err(); err != nil {
+		// Only deadline expiries count as abandoned work; a Canceled base
+		// context means the server itself is shutting down.
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.abandoned.Add(1)
+		}
+		return failure(fmt.Errorf("abandoned %s: %w", req.Op, err))
+	}
 	switch req.Op {
 	case OpPing:
 		return Response{OK: true}
 	case OpSite:
 		return Response{OK: true, N: int(s.reg.Site())}
 	case OpCreate:
-		e, err := s.reg.Create(req.Entry)
+		e, err := s.reg.Create(ctx, req.Entry)
 		return result(e, err)
 	case OpPut:
-		e, err := s.reg.Put(req.Entry)
+		e, err := s.reg.Put(ctx, req.Entry)
 		return result(e, err)
 	case OpGet:
-		e, err := s.reg.Get(req.Name)
+		e, err := s.reg.Get(ctx, req.Name)
 		return result(e, err)
 	case OpContains:
-		return Response{OK: true, Bool: s.reg.Contains(req.Name)}
+		return Response{OK: true, Bool: s.reg.Contains(ctx, req.Name)}
 	case OpAddLoc:
-		e, err := s.reg.AddLocation(req.Name, req.Location)
+		e, err := s.reg.AddLocation(ctx, req.Name, req.Location)
 		return result(e, err)
 	case OpDelete:
-		if err := s.reg.Delete(req.Name); err != nil {
+		if err := s.reg.Delete(ctx, req.Name); err != nil {
 			return failure(err)
 		}
 		return Response{OK: true}
 	case OpNames:
-		return Response{OK: true, Names: s.reg.Names()}
+		return Response{OK: true, Names: s.reg.Names(ctx)}
 	case OpEntries:
-		entries, err := s.reg.Entries()
+		entries, err := s.reg.Entries(ctx)
 		if err != nil {
 			return failure(err)
 		}
 		return Response{OK: true, Entries: entries}
 	case OpGetMany:
-		entries, err := s.reg.GetMany(req.Names)
+		entries, err := s.reg.GetMany(ctx, req.Names)
 		if err != nil {
 			return failure(err)
 		}
 		return Response{OK: true, Entries: entries}
 	case OpPutMany:
-		entries, err := s.reg.PutMany(req.Entries)
+		entries, err := s.reg.PutMany(ctx, req.Entries)
 		if err != nil {
 			return failure(err)
 		}
 		return Response{OK: true, Entries: entries}
 	case OpDeleteMany:
-		n, err := s.reg.DeleteMany(req.Names)
+		n, err := s.reg.DeleteMany(ctx, req.Names)
 		if err != nil {
 			return failure(err)
 		}
 		return Response{OK: true, N: n}
 	case OpMerge:
-		n, err := s.reg.Merge(req.Entries)
+		n, err := s.reg.Merge(ctx, req.Entries)
 		if err != nil {
 			return failure(err)
 		}
 		return Response{OK: true, N: n}
 	case OpLen:
-		return Response{OK: true, N: s.reg.Len()}
+		return Response{OK: true, N: s.reg.Len(ctx)}
 	default:
 		return Response{OK: false, Err: ErrBadOp, Detail: fmt.Sprintf("unknown op %q", req.Op)}
 	}

@@ -1,6 +1,7 @@
 package workflow
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -92,8 +93,12 @@ func (r Result) MetadataOps() int { return r.Reads + r.Writes }
 
 // Run executes the workflow under the given schedule and returns the
 // execution summary. The workflow must validate and the schedule must cover
-// it.
-func (e *Engine) Run(w *Workflow, sched Schedule) (Result, error) {
+// it. The context bounds the whole run: once it is cancelled (or its
+// deadline passes) every in-flight task aborts at its next metadata
+// operation, retry wait, or simulated-compute sleep, and Run returns with
+// the first error recorded — typically one wrapping context.Canceled or
+// context.DeadlineExceeded.
+func (e *Engine) Run(ctx context.Context, w *Workflow, sched Schedule) (Result, error) {
 	if err := w.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -110,7 +115,7 @@ func (e *Engine) Run(w *Workflow, sched Schedule) (Result, error) {
 	start := time.Now()
 
 	if !e.cfg.SkipStageIn {
-		n, err := e.stageIn(w)
+		n, err := e.stageIn(ctx, w)
 		res.StageInWrites = n
 		if err != nil {
 			return res, err
@@ -189,7 +194,7 @@ func (e *Engine) Run(w *Workflow, sched Schedule) (Result, error) {
 					return
 				case t := <-queue:
 					taskStart := time.Now()
-					reads, writes, retries, err := e.runTask(node, t)
+					reads, writes, retries, err := e.runTask(ctx, node, t)
 					elapsed := e.lat.ToSimulated(time.Since(taskStart))
 					mu.Lock()
 					res.Reads += reads
@@ -231,13 +236,13 @@ func (e *Engine) Run(w *Workflow, sched Schedule) (Result, error) {
 
 // stageIn publishes metadata entries for the workflow's external inputs,
 // spreading their locations round-robin across the deployment's sites.
-func (e *Engine) stageIn(w *Workflow) (int, error) {
+func (e *Engine) stageIn(ctx context.Context, w *Workflow) (int, error) {
 	sites := e.dep.Topology().Sites()
 	writes := 0
 	for i, f := range w.ExternalInputs {
 		site := sites[i%len(sites)].ID
 		entry := registry.NewEntry(f.Name, f.Size, "stage-in", registry.Location{Site: site, Node: registry.NoNode})
-		if _, err := e.svc.Create(site, entry); err != nil && !errors.Is(err, core.ErrExists) {
+		if _, err := e.svc.Create(ctx, site, entry); err != nil && !errors.Is(err, core.ErrExists) {
 			return writes, fmt.Errorf("stage-in %q: %w", f.Name, err)
 		}
 		writes++
@@ -247,10 +252,10 @@ func (e *Engine) stageIn(w *Workflow) (int, error) {
 
 // runTask executes one task on one node: resolve inputs, compute, publish
 // outputs.
-func (e *Engine) runTask(node cloud.Node, t *Task) (reads, writes, retries int, err error) {
+func (e *Engine) runTask(ctx context.Context, node cloud.Node, t *Task) (reads, writes, retries int, err error) {
 	// Resolve every input's metadata, polling while it is not yet visible.
 	for _, in := range t.Inputs {
-		r, rr, lookupErr := e.lookupWithRetry(node, in)
+		r, rr, lookupErr := e.lookupWithRetry(ctx, node, in)
 		reads += r
 		retries += rr
 		if lookupErr != nil {
@@ -260,17 +265,19 @@ func (e *Engine) runTask(node cloud.Node, t *Task) (reads, writes, retries int, 
 
 	// Simulate the task's computation.
 	if t.Compute > 0 {
-		e.lat.InjectDuration(t.Compute)
+		if err := e.lat.InjectDuration(ctx, t.Compute); err != nil {
+			return reads, writes, retries, err
+		}
 	}
 
 	// Publish the produced files.
 	for _, out := range t.Outputs {
 		entry := registry.NewEntry(out.Name, out.Size, t.ID, registry.Location{Site: node.Site, Node: node.ID})
-		if _, createErr := e.svc.Create(node.Site, entry); createErr != nil {
+		if _, createErr := e.svc.Create(ctx, node.Site, entry); createErr != nil {
 			if errors.Is(createErr, core.ErrExists) {
 				// Another attempt already published it (idempotent restart);
 				// record the copy we now hold instead.
-				if _, locErr := e.svc.AddLocation(node.Site, out.Name, registry.Location{Site: node.Site, Node: node.ID}); locErr != nil {
+				if _, locErr := e.svc.AddLocation(ctx, node.Site, out.Name, registry.Location{Site: node.Site, Node: node.ID}); locErr != nil {
 					return reads, writes, retries, locErr
 				}
 			} else {
@@ -287,10 +294,10 @@ func (e *Engine) runTask(node cloud.Node, t *Task) (reads, writes, retries int, 
 
 // lookupWithRetry polls the metadata service until the entry is visible from
 // the node's site or the retry budget is exhausted.
-func (e *Engine) lookupWithRetry(node cloud.Node, name string) (reads, retries int, err error) {
+func (e *Engine) lookupWithRetry(ctx context.Context, node cloud.Node, name string) (reads, retries int, err error) {
 	for attempt := 0; attempt <= e.cfg.MaxRetries; attempt++ {
 		reads++
-		_, lookupErr := e.svc.Lookup(node.Site, name)
+		_, lookupErr := e.svc.Lookup(ctx, node.Site, name)
 		if lookupErr == nil {
 			if e.cfg.Progress != nil {
 				e.cfg.Progress.Done()
@@ -301,7 +308,9 @@ func (e *Engine) lookupWithRetry(node cloud.Node, name string) (reads, retries i
 			return reads, retries, lookupErr
 		}
 		retries++
-		e.lat.InjectDuration(e.cfg.RetryInterval)
+		if err := e.lat.InjectDuration(ctx, e.cfg.RetryInterval); err != nil {
+			return reads, retries, err
+		}
 	}
 	return reads, retries, fmt.Errorf("workflow: input %q never became visible from %s after %d polls: %w",
 		name, node.Name, e.cfg.MaxRetries, core.ErrNotFound)

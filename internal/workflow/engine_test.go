@@ -1,6 +1,8 @@
 package workflow
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -31,7 +33,7 @@ func TestEngineRunsDiamond(t *testing.T) {
 	eng, svc, dep, _ := newEngineFixture(t, core.Centralized, 8, EngineConfig{})
 	w := diamond()
 	sched, _ := (RoundRobinScheduler{}).Schedule(w, dep)
-	res, err := eng.Run(w, sched)
+	res, err := eng.Run(context.Background(), w, sched)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -50,7 +52,7 @@ func TestEngineRunsDiamond(t *testing.T) {
 	}
 	// Every produced file must now be resolvable.
 	for _, f := range []string{"a.out", "b.out", "c.out", "d.out"} {
-		if _, err := svc.Lookup(0, f); err != nil {
+		if _, err := svc.Lookup(context.Background(), 0, f); err != nil {
 			t.Errorf("output %q not published: %v", f, err)
 		}
 	}
@@ -69,7 +71,7 @@ func TestEngineAllStrategies(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := eng.Run(w, sched)
+			res, err := eng.Run(context.Background(), w, sched)
 			if err != nil {
 				t.Fatalf("Run: %v", err)
 			}
@@ -88,7 +90,7 @@ func TestEngineWithProgress(t *testing.T) {
 	prog := metrics.NewProgress(stats.MetadataOps)
 	eng, _, dep, _ := newEngineFixture(t, core.Decentralized, 8, EngineConfig{Progress: prog})
 	sched, _ := (RoundRobinScheduler{}).Schedule(w, dep)
-	if _, err := eng.Run(w, sched); err != nil {
+	if _, err := eng.Run(context.Background(), w, sched); err != nil {
 		t.Fatal(err)
 	}
 	if prog.Completed() < stats.MetadataOps {
@@ -102,16 +104,16 @@ func TestEngineSkipStageIn(t *testing.T) {
 	sched, _ := (RoundRobinScheduler{}).Schedule(w, dep)
 	// Without stage-in and without pre-registered inputs, task "a" can never
 	// resolve "in" and the run must fail cleanly.
-	if _, err := eng.Run(w, sched); err == nil {
+	if _, err := eng.Run(context.Background(), w, sched); err == nil {
 		t.Error("expected failure when external inputs are missing")
 	}
 	// Pre-register the input and re-run on a fresh workflow state.
 	client := core.NewClient(svc, dep.Node(0))
-	if _, err := client.PublishFile("in", 100, "external"); err != nil {
+	if _, err := client.PublishFile(context.Background(), "in", 100, "external"); err != nil {
 		t.Fatal(err)
 	}
 	w2 := diamond()
-	res, err := eng.Run(w2, sched)
+	res, err := eng.Run(context.Background(), w2, sched)
 	if err == nil {
 		if res.StageInWrites != 0 {
 			t.Errorf("StageInWrites = %d, want 0", res.StageInWrites)
@@ -128,12 +130,12 @@ func TestEngineRejectsInvalidWorkflow(t *testing.T) {
 	bad := New("bad")
 	bad.MustAddTask(Task{ID: "t", Inputs: []string{"ghost"}})
 	sched := Schedule{"t": 0}
-	if _, err := eng.Run(bad, sched); err == nil {
+	if _, err := eng.Run(context.Background(), bad, sched); err == nil {
 		t.Error("invalid workflow should not run")
 	}
 	// Valid workflow, incomplete schedule.
 	w := diamond()
-	if _, err := eng.Run(w, Schedule{"a": 0}); err == nil {
+	if _, err := eng.Run(context.Background(), w, Schedule{"a": 0}); err == nil {
 		t.Error("incomplete schedule should not run")
 	}
 	_ = dep
@@ -156,7 +158,7 @@ func TestEngineMakespanReflectsCompute(t *testing.T) {
 
 	w := Pipeline(PatternConfig{Prefix: "mk-", Compute: 100 * time.Millisecond}, 4)
 	sched, _ := (LocalityScheduler{}).Schedule(w, dep)
-	res, err := eng.Run(w, sched)
+	res, err := eng.Run(context.Background(), w, sched)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,11 +195,29 @@ func TestEngineEventualConsistencyRetries(t *testing.T) {
 	// Force producer/consumer onto different sites with a round-robin
 	// schedule over a spread deployment.
 	sched, _ := (RoundRobinScheduler{}).Schedule(w, dep)
-	res, err := eng.Run(w, sched)
+	res, err := eng.Run(context.Background(), w, sched)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	if res.Retries == 0 {
 		t.Log("no retries observed (agent was fast enough); acceptable but unusual")
+	}
+}
+
+// TestEngineRunHonoursCancelledContext asserts a cancelled run context aborts
+// the workflow: tasks fail at their next metadata operation instead of
+// executing to completion, and the error surfaces context.Canceled.
+func TestEngineRunHonoursCancelledContext(t *testing.T) {
+	eng, _, dep, _ := newEngineFixture(t, core.Centralized, 8, EngineConfig{})
+	w := diamond()
+	sched, _ := (RoundRobinScheduler{}).Schedule(w, dep)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := eng.Run(ctx, w, sched)
+	if err == nil {
+		t.Fatal("Run under a cancelled context should fail")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Run = %v, want context.Canceled", err)
 	}
 }

@@ -5,6 +5,7 @@
 package workloads
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -90,8 +91,10 @@ type SyntheticResult struct {
 // RunSynthetic executes the synthetic benchmark: the deployment's nodes are
 // split into writers (even IDs) and readers (odd IDs); writers post
 // consecutive entries while readers get random ones, mirroring §VI-B. The
-// optional progress tracker receives one event per completed operation.
-func RunSynthetic(svc core.MetadataService, dep *cloud.Deployment, lat *latency.Model,
+// optional progress tracker receives one event per completed operation. The
+// context bounds the whole run: cancellation aborts every node's loop at its
+// next metadata operation or simulated wait.
+func RunSynthetic(ctx context.Context, svc core.MetadataService, dep *cloud.Deployment, lat *latency.Model,
 	cfg SyntheticConfig, progress *metrics.Progress) (SyntheticResult, error) {
 
 	cfg = cfg.withDefaults()
@@ -146,7 +149,7 @@ func RunSynthetic(svc core.MetadataService, dep *cloud.Deployment, lat *latency.
 				name := entryName(cfg.Prefix, wi, i)
 				entry := registry.NewEntry(name, cfg.EntrySize, fmt.Sprintf("writer-%d", wi),
 					registry.Location{Site: node.Site, Node: node.ID})
-				if _, cerr := svc.Create(node.Site, entry); cerr != nil && !errors.Is(cerr, core.ErrExists) {
+				if _, cerr := svc.Create(ctx, node.Site, entry); cerr != nil && !errors.Is(cerr, core.ErrExists) {
 					err = fmt.Errorf("writer %d op %d: %w", wi, i, cerr)
 					break
 				}
@@ -155,7 +158,9 @@ func RunSynthetic(svc core.MetadataService, dep *cloud.Deployment, lat *latency.
 					progress.Done()
 				}
 				if cfg.ThinkTime > 0 {
-					lat.InjectDuration(cfg.ThinkTime)
+					if err = lat.InjectDuration(ctx, cfg.ThinkTime); err != nil {
+						break
+					}
 				}
 			}
 			record(node.ID, lat.ToSimulated(time.Since(nodeStart)), ops, 0, 0, err)
@@ -187,7 +192,7 @@ func RunSynthetic(svc core.MetadataService, dep *cloud.Deployment, lat *latency.
 				name := entryName(cfg.Prefix, w, idx)
 				found := false
 				for attempt := 0; attempt <= cfg.MaxReadRetries; attempt++ {
-					_, lerr := svc.Lookup(node.Site, name)
+					_, lerr := svc.Lookup(ctx, node.Site, name)
 					if lerr == nil {
 						found = true
 						break
@@ -197,7 +202,9 @@ func RunSynthetic(svc core.MetadataService, dep *cloud.Deployment, lat *latency.
 						break
 					}
 					retries++
-					lat.InjectDuration(cfg.ReadRetryInterval)
+					if err = lat.InjectDuration(ctx, cfg.ReadRetryInterval); err != nil {
+						break
+					}
 				}
 				if err != nil {
 					break
@@ -210,7 +217,9 @@ func RunSynthetic(svc core.MetadataService, dep *cloud.Deployment, lat *latency.
 					progress.Done()
 				}
 				if cfg.ThinkTime > 0 {
-					lat.InjectDuration(cfg.ThinkTime)
+					if err = lat.InjectDuration(ctx, cfg.ThinkTime); err != nil {
+						break
+					}
 				}
 			}
 			record(node.ID, lat.ToSimulated(time.Since(nodeStart)), ops, retries, misses, err)

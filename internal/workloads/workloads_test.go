@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 	"time"
@@ -37,7 +38,7 @@ func TestSyntheticConfigDefaults(t *testing.T) {
 func TestRunSyntheticCentralized(t *testing.T) {
 	svc, dep, lat := newWorkloadFixture(t, core.Centralized, 8)
 	prog := metrics.NewProgress(ExpectedTotalOps(8, 20))
-	res, err := RunSynthetic(svc, dep, lat, SyntheticConfig{OpsPerNode: 20, Seed: 1, Prefix: "t1"}, prog)
+	res, err := RunSynthetic(context.Background(), svc, dep, lat, SyntheticConfig{OpsPerNode: 20, Seed: 1, Prefix: "t1"}, prog)
 	if err != nil {
 		t.Fatalf("RunSynthetic: %v", err)
 	}
@@ -74,7 +75,7 @@ func TestRunSyntheticAllStrategies(t *testing.T) {
 		t.Run(kind.String(), func(t *testing.T) {
 			t.Parallel()
 			svc, dep, lat := newWorkloadFixture(t, kind, 8)
-			res, err := RunSynthetic(svc, dep, lat,
+			res, err := RunSynthetic(context.Background(), svc, dep, lat,
 				SyntheticConfig{OpsPerNode: 15, Seed: 2, Prefix: "t-" + kind.Short(), ReadRetryInterval: time.Millisecond}, nil)
 			if err != nil {
 				t.Fatalf("RunSynthetic: %v", err)
@@ -93,7 +94,7 @@ func TestRunSyntheticNeedsTwoNodes(t *testing.T) {
 	svc, _, lat := newWorkloadFixture(t, core.Centralized, 4)
 	small := cloud.NewDeployment(cloud.Azure4DC())
 	small.AddNode(0)
-	if _, err := RunSynthetic(svc, small, lat, SyntheticConfig{}, nil); err == nil {
+	if _, err := RunSynthetic(context.Background(), svc, small, lat, SyntheticConfig{}, nil); err == nil {
 		t.Error("expected error with fewer than 2 nodes")
 	}
 }
@@ -231,7 +232,7 @@ func TestWorkflowsRunThroughEngine(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := workflow.NewEngine(dep, svc, lat, workflow.EngineConfig{RetryInterval: time.Millisecond})
-	res, err := eng.Run(w, sched)
+	res, err := eng.Run(context.Background(), w, sched)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}

@@ -110,7 +110,7 @@ func runTransportBench(b *testing.B, client *rpc.Client, perWriter func(writer i
 // version-1 wire behavior the paper's middleware bottlenecks on.
 func BenchmarkTransportSingleConn(b *testing.B) {
 	addr := startBenchServer(b)
-	client, err := rpc.Dial(addr, rpc.WithPoolSize(1))
+	client, err := rpc.Dial(bctx, addr, rpc.WithPoolSize(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -121,9 +121,9 @@ func BenchmarkTransportSingleConn(b *testing.B) {
 		n := 0
 		for i := 0; i < benchOpsPerWriter/2; i++ {
 			serial.Lock()
-			_, err := client.Put(benchEntry(w, i))
+			_, err := client.Put(bctx, benchEntry(w, i))
 			if err == nil {
-				_, err = client.Get(benchEntry(w, i).Name)
+				_, err = client.Get(bctx, benchEntry(w, i).Name)
 			}
 			serial.Unlock()
 			if err != nil {
@@ -140,17 +140,17 @@ func BenchmarkTransportSingleConn(b *testing.B) {
 // concurrently and responses demultiplex by ID.
 func BenchmarkTransportPooledPipelined(b *testing.B) {
 	addr := startBenchServer(b)
-	client, err := rpc.Dial(addr, rpc.WithPoolSize(rpc.DefaultPoolSize))
+	client, err := rpc.Dial(bctx, addr, rpc.WithPoolSize(rpc.DefaultPoolSize))
 	if err != nil {
 		b.Fatal(err)
 	}
 	runTransportBench(b, client, func(w int) (int, error) {
 		n := 0
 		for i := 0; i < benchOpsPerWriter/2; i++ {
-			if _, err := client.Put(benchEntry(w, i)); err != nil {
+			if _, err := client.Put(bctx, benchEntry(w, i)); err != nil {
 				return n, err
 			}
-			if _, err := client.Get(benchEntry(w, i).Name); err != nil {
+			if _, err := client.Get(bctx, benchEntry(w, i).Name); err != nil {
 				return n, err
 			}
 			n += 2
@@ -163,7 +163,7 @@ func BenchmarkTransportPooledPipelined(b *testing.B) {
 // BatchRequest frames, benchBatchSize registry ops per round trip.
 func BenchmarkTransportBatched(b *testing.B) {
 	addr := startBenchServer(b)
-	client, err := rpc.Dial(addr, rpc.WithPoolSize(rpc.DefaultPoolSize))
+	client, err := rpc.Dial(bctx, addr, rpc.WithPoolSize(rpc.DefaultPoolSize))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func BenchmarkTransportBatched(b *testing.B) {
 			if len(ops) == 0 {
 				return nil
 			}
-			resps, err := client.Batch(ops)
+			resps, err := client.Batch(bctx, ops)
 			if err != nil {
 				return err
 			}
