@@ -9,24 +9,35 @@
 //	metactl -addr 127.0.0.1:7070 del  <name> [name...]
 //	metactl -addr 127.0.0.1:7070 ls
 //	metactl -addr 127.0.0.1:7070 stat
+//	metactl -metrics-addr 127.0.0.1:9090 stats
 //
 // The -timeout flag is a real per-operation deadline: it bounds the dial and
 // each command's context, and the deadline is propagated over the wire so
 // the server abandons work metactl has given up on. Exit codes distinguish
 // the outcome: 0 success, 1 generic failure, 2 usage error, 3 entry not
 // found, 4 deadline exceeded / cancelled.
+//
+// The stats command renders a running metaserver's live metrics — counters,
+// gauges, latency histograms and the most recent per-operation trace events
+// — by scraping the JSON endpoints the server exposes behind its
+// -metrics-addr flag. It talks HTTP, not the registry RPC protocol, so it
+// works (and exits with the usual codes) even when the registry port is
+// saturated.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"time"
 
 	"geomds/internal/cloud"
+	"geomds/internal/metrics"
 	"geomds/internal/registry"
 	"geomds/internal/rpc"
 )
@@ -42,6 +53,8 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "registry server address")
 	pool := flag.Int("pool", rpc.DefaultPoolSize, "connection-pool size towards the server")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-operation deadline, propagated to the server")
+	metricsAddr := flag.String("metrics-addr", "127.0.0.1:9090", "metaserver metrics endpoint (for the stats command)")
+	traceN := flag.Int("trace", 15, "number of recent trace events the stats command renders (0 = none)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -53,6 +66,17 @@ func main() {
 	// dial does not eat into the budget of the command that follows it.
 	opCtx := func() (context.Context, context.CancelFunc) {
 		return context.WithTimeout(context.Background(), *timeout)
+	}
+
+	// stats talks HTTP to the metrics endpoint, not RPC to the registry; it
+	// neither needs nor attempts the dial below.
+	if args[0] == "stats" {
+		ctx, cancel := opCtx()
+		defer cancel()
+		if err := renderStats(ctx, *metricsAddr, *traceN); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	// The context deadline is the per-operation bound; the transport timeout
@@ -161,6 +185,41 @@ func main() {
 	}
 }
 
+// renderStats scrapes the metaserver's metrics endpoint and renders the
+// snapshot plus the most recent trace events.
+func renderStats(ctx context.Context, metricsAddr string, traceN int) error {
+	base := "http://" + metricsAddr
+	var snap metrics.Snapshot
+	if err := getJSON(ctx, base+"/metrics.json", &snap); err != nil {
+		return fmt.Errorf("scrape %s: %w (is metaserver running with -metrics-addr?)", base, err)
+	}
+	var events []metrics.TraceEvent
+	if traceN > 0 {
+		if err := getJSON(ctx, fmt.Sprintf("%s/trace.json?n=%d", base, traceN), &events); err != nil {
+			return fmt.Errorf("scrape %s/trace.json: %w", base, err)
+		}
+	}
+	fmt.Printf("metrics from %s:\n%s", base, metrics.RenderReport(snap, events))
+	return nil
+}
+
+// getJSON fetches one endpoint and decodes its JSON body into v.
+func getJSON(ctx context.Context, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: metactl [-addr host:port] [-pool n] [-timeout d] <command>
 
@@ -170,6 +229,9 @@ commands:
   del <name> [name...]              delete entries (many names go as one batch)
   ls                                list entry names
   stat                              print server statistics
+  stats                             render live metrics from -metrics-addr
+                                    (requires metaserver -metrics-addr; see
+                                    also -trace to bound the event listing)
 
 exit codes: 0 ok, 1 error, 2 usage, 3 not found, 4 deadline exceeded`)
 }

@@ -5,9 +5,18 @@
 // Usage:
 //
 //	metaserver -addr :7070 -site 1 -name "West Europe"
+//	metaserver -addr :7070 -site 1 -metrics-addr :9090
 //
 // Clients (cmd/metactl, cmd/wfrun, or the core strategies via rpc.Dial)
 // connect to the printed address.
+//
+// With -metrics-addr the server additionally exposes its live metrics over
+// HTTP: GET /metrics serves the Prometheus text format, GET /metrics.json a
+// JSON snapshot, and GET /trace.json the most recent per-operation trace
+// events. The exported series cover the RPC server (dispatched, abandoned,
+// per-code error counts, in-flight requests) and the cache tier behind the
+// registry (hit rate, occupancy, worker-slot wait). `metactl stats
+// -metrics-addr` renders the same data in the terminal.
 package main
 
 import (
@@ -15,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -22,6 +33,7 @@ import (
 
 	"geomds/internal/cloud"
 	"geomds/internal/memcache"
+	"geomds/internal/metrics"
 	"geomds/internal/registry"
 	"geomds/internal/rpc"
 )
@@ -35,15 +47,21 @@ func main() {
 		concurrency = flag.Int("concurrency", 0, "bound on concurrently served cache operations (0 = unbounded)")
 		ha          = flag.Bool("ha", false, "back the registry with a primary/replica cache pair")
 		inflight    = flag.Int("inflight", rpc.DefaultMaxInflight, "max pipelined requests one connection may execute concurrently")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus (/metrics) and JSON (/metrics.json, /trace.json) metrics on this address; empty disables")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "metaserver: ", log.LstdFlags)
 
+	// The server process owns its registry of live instruments; the RPC
+	// server and the cache tier report to it, and -metrics-addr exposes it.
+	reg := metrics.NewRegistry()
+
 	newCache := func() *memcache.Cache {
 		return memcache.New(memcache.Config{
 			ServiceTime: *serviceTime,
 			Concurrency: *concurrency,
+			Metrics:     reg,
 		})
 	}
 	var store registry.Store
@@ -53,7 +71,7 @@ func main() {
 		store = newCache()
 	}
 	inst := registry.NewInstance(cloud.SiteID(*site), store)
-	srv := rpc.NewServer(inst, logger, rpc.WithMaxInflight(*inflight))
+	srv := rpc.NewServer(inst, logger, rpc.WithMaxInflight(*inflight), rpc.WithServerMetrics(reg))
 
 	bound, err := srv.Start(*addr)
 	if err != nil {
@@ -64,6 +82,21 @@ func main() {
 		label = fmt.Sprintf("site-%d", *site)
 	}
 	fmt.Printf("metadata registry for %s (site %d) listening on %s\n", label, *site, bound)
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			logger.Fatalf("metrics listen: %v", err)
+		}
+		metricsSrv = &http.Server{Handler: metrics.Handler(reg)}
+		go func() {
+			if err := metricsSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				logger.Printf("metrics server stopped: %v", err)
+			}
+		}()
+		fmt.Printf("metrics on http://%s/metrics (Prometheus), /metrics.json, /trace.json\n", ln.Addr())
+	}
 
 	// Periodically report the instance's size so operators can watch growth.
 	ticker := time.NewTicker(30 * time.Second)
@@ -76,6 +109,11 @@ func main() {
 			logger.Printf("entries=%d requests=%d abandoned=%d", inst.Len(context.Background()), srv.Requests(), srv.Abandoned())
 		case s := <-sig:
 			logger.Printf("received %v, shutting down", s)
+			if metricsSrv != nil {
+				shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				metricsSrv.Shutdown(shutdownCtx) //nolint:errcheck // best effort during teardown
+				cancel()
+			}
 			if err := srv.Close(); err != nil {
 				logger.Printf("close: %v", err)
 			}

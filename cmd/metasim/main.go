@@ -9,16 +9,26 @@
 //	metasim -fig 10 -csv fig10.csv # also write the series as CSV
 //	metasim -ablations             # run the design-choice ablations
 //	metasim -all -quick            # everything, reduced size
+//	metasim -fig 7 -quick -stats   # with live statistics while it runs
+//
+// -stats renders live observability while the emulation serves load: a
+// statistics line on stderr every two seconds (operation counts and rates,
+// queue depths, task progress) sourced from the process-wide metrics
+// registry every instrumented component reports to, plus a full metrics
+// snapshot and the most recent per-operation trace events once the run
+// completes.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"geomds/internal/experiments"
+	"geomds/internal/metrics"
 	"geomds/internal/workloads"
 )
 
@@ -35,6 +45,7 @@ func main() {
 		csvPath   = flag.String("csv", "", "write the result series as CSV to this file")
 		seed      = flag.Int64("seed", 0, "override the random seed")
 		timeout   = flag.Duration("timeout", 0, "wall-clock deadline for the whole run; 0 means none")
+		stats     = flag.Bool("stats", false, "print live statistics during the run and a metrics dump at the end")
 	)
 	flag.Parse()
 
@@ -67,6 +78,15 @@ func main() {
 		defer cancel()
 	}
 
+	if *stats {
+		stopStats := startLiveStats(os.Stderr, 2*time.Second)
+		defer func() {
+			stopStats()
+			fmt.Printf("\n== live metrics ==\n%s",
+				metrics.RenderReport(metrics.Default.Snapshot(), metrics.Default.Trace().Events(15)))
+		}()
+	}
+
 	start := time.Now()
 	var csv string
 	var err error
@@ -95,6 +115,45 @@ func main() {
 	}
 	fmt.Printf("(completed in %v wall-clock, scale %.3g, size factor %.3g)\n",
 		time.Since(start).Round(time.Millisecond), cfg.Scale, cfg.SizeFactor)
+}
+
+// startLiveStats prints one statistics line per interval, sourced from the
+// process-wide metrics registry every instrumented component (fabric,
+// strategies, propagator, sync agent, workflow engine, memcache) reports to.
+// The returned func stops the reporter and waits for it to finish.
+func startLiveStats(w io.Writer, interval time.Duration) func() {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		var lastOps int64
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				snap := metrics.Default.Snapshot()
+				ops := snap.Counters["core_ops_total"]
+				rate := float64(ops-lastOps) / interval.Seconds()
+				lastOps = ops
+				fmt.Fprintf(w, "live: ops=%d (+%.0f/s) remote=%d lazy_queue=%d sync_queue=%d tasks=%d/%d cache_hits=%d/%d\n",
+					ops, rate,
+					snap.Counters["core_remote_ops_total"],
+					snap.Gauges["propagator_queue_depth"],
+					snap.Gauges["sync_queue_depth"],
+					snap.Counters["workflow_tasks_completed_total"],
+					snap.Counters["workflow_tasks_started_total"],
+					snap.Counters["memcache_hits_total"],
+					snap.Counters["memcache_gets_total"])
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
+	}
 }
 
 func runFigure(ctx context.Context, cfg experiments.Config, fig int) (csv string, err error) {

@@ -22,6 +22,7 @@ import (
 	"geomds/internal/core"
 	"geomds/internal/experiments"
 	"geomds/internal/latency"
+	"geomds/internal/metrics"
 	"geomds/internal/workflow"
 	"geomds/internal/workloads"
 )
@@ -40,6 +41,7 @@ func main() {
 		size      = flag.Float64("size", 1.0, "workload size factor (fraction of the scenario's ops per task)")
 		scheduler = flag.String("scheduler", "round-robin", "task scheduler: round-robin, locality or random")
 		timeout   = flag.Duration("timeout", 0, "wall-clock deadline for each run; 0 means none. On expiry every in-flight metadata operation is cancelled")
+		showStats = flag.Bool("stats", false, "print a live-metrics dump (counters, latency histograms, recent ops) after the runs")
 	)
 	flag.Parse()
 
@@ -110,6 +112,13 @@ func main() {
 		}
 		fmt.Printf("%-22s makespan %8.1fs   reads %7d  writes %7d  retries %6d  (wall %v)\n",
 			kind.String(), res.Makespan.Seconds(), res.Reads, res.Writes, res.Retries, res.Wall.Round(time.Millisecond))
+	}
+
+	if *showStats {
+		// Every run above reported to the process-wide registry (fabric,
+		// strategy, propagator/sync-agent, workflow engine and cache series).
+		fmt.Printf("\n== live metrics ==\n%s",
+			metrics.RenderReport(metrics.Default.Snapshot(), metrics.Default.Trace().Events(15)))
 	}
 }
 

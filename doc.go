@@ -8,10 +8,11 @@
 // (registry, dht), the paper's four metadata management strategies and their
 // supporting machinery (core), a TCP transport to run registry instances as
 // separate processes — with connection pooling, request pipelining and batch
-// frames that carry many registry operations per round trip (rpc) — a
-// workflow DAG model and execution engine
+// frames that carry many registry operations per round trip (rpc; the frame
+// spec lives in docs/WIRE.md) — a workflow DAG model and execution engine
 // (workflow), the paper's synthetic and real-life workloads (workloads), and
-// one harness per table and figure of the evaluation (experiments).
+// one harness per table and figure of the evaluation (experiments). The
+// package map and layer diagram live in docs/ARCHITECTURE.md.
 //
 // # Context-first API
 //
@@ -21,12 +22,28 @@
 // cancellation propagate through every layer — a cancelled caller unblocks
 // from the modelled WAN sleeps of the latency model, retires its pipelined
 // RPC without disturbing the other requests in flight on the same
-// connection, and (via the deadline carried in the rpc frame header) makes
-// the remote server abandon work the client has given up on. Failures are
-// typed: strategy operations return *core.OpError values wrapping sentinel
-// causes (core.ErrNotFound, core.ErrExists, core.ErrClosed,
-// core.ErrSiteUnreachable, context.DeadlineExceeded), so callers branch
-// with errors.Is and recover structured detail with errors.As.
+// connection, and (via the relative time budget carried in the rpc frame
+// header, Header.TimeoutNs) makes the remote server abandon work the client
+// has given up on. Failures are typed: strategy operations return
+// *core.OpError values wrapping sentinel causes (core.ErrNotFound,
+// core.ErrExists, core.ErrClosed, core.ErrSiteUnreachable,
+// context.DeadlineExceeded), so callers branch with errors.Is and recover
+// structured detail with errors.As; over the wire the causes round-trip as
+// structured code+message frames (docs/WIRE.md lists the code table), and
+// cmd/metactl folds them into exit codes (0 ok, 1 error, 2 usage, 3 not
+// found, 4 deadline exceeded).
+//
+// # Live observability
+//
+// Every hot path reports to a metrics.Registry of named counters, gauges
+// and streaming histograms plus a bounded trace ring of recent per-op
+// events: the rpc client and server, the cache tier, all four strategies
+// (via their shared fabric), the lazy propagator, the synchronization agent
+// and the workflow engine. cmd/metaserver exports the registry over HTTP
+// (-metrics-addr: Prometheus text at /metrics, JSON at /metrics.json and
+// /trace.json), cmd/metactl renders it in the terminal (the stats command),
+// and cmd/metasim / cmd/wfrun print live statistics with -stats. See
+// docs/ARCHITECTURE.md for the full series catalogue.
 //
 // Executables live under cmd/ (metasim, metaserver, metactl, wfrun), runnable
 // examples under examples/, and the benchmark suite that regenerates every

@@ -1,0 +1,117 @@
+package geomds
+
+// This file keeps the documentation honest: every relative markdown link in
+// README.md, CHANGES.md and docs/*.md must point at a file (or directory)
+// that exists, and in-document fragments must anchor a real heading. CI's
+// docs job runs it, so docs rot fails the build.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// markdownFiles returns every markdown file the link check covers.
+func markdownFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md", "CHANGES.md", "ROADMAP.md"}
+	docs, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, docs...)
+}
+
+// linkRe matches inline markdown links [text](target), skipping images.
+var linkRe = regexp.MustCompile(`[^!]\[[^\]]*\]\(([^)\s]+)\)`)
+
+// headingRe matches ATX headings, whose GitHub anchors fragments refer to.
+var headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*$`)
+
+// TestMarkdownLinks resolves every relative link target against the linking
+// file's directory and fails on dangling files or unknown heading anchors.
+func TestMarkdownLinks(t *testing.T) {
+	for _, file := range markdownFiles(t) {
+		body, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("read %s: %v", file, err)
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue // external; not checked offline
+			}
+			path, fragment, _ := strings.Cut(target, "#")
+			if path == "" {
+				// Pure fragment: must anchor a heading in this file.
+				if !hasAnchor(body, fragment) {
+					t.Errorf("%s: link %q: no heading anchors #%s", file, target, fragment)
+				}
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), path)
+			info, err := os.Stat(resolved)
+			if err != nil {
+				t.Errorf("%s: link %q: %s does not exist", file, target, resolved)
+				continue
+			}
+			if fragment != "" && !info.IsDir() && strings.HasSuffix(resolved, ".md") {
+				linked, err := os.ReadFile(resolved)
+				if err != nil {
+					t.Errorf("%s: link %q: %v", file, target, err)
+					continue
+				}
+				if !hasAnchor(linked, fragment) {
+					t.Errorf("%s: link %q: no heading in %s anchors #%s", file, target, resolved, fragment)
+				}
+			}
+		}
+	}
+}
+
+// hasAnchor reports whether any heading in body produces the given GitHub
+// anchor fragment.
+func hasAnchor(body []byte, fragment string) bool {
+	for _, h := range headingRe.FindAllStringSubmatch(string(body), -1) {
+		if githubAnchor(h[1]) == strings.ToLower(fragment) {
+			return true
+		}
+	}
+	return false
+}
+
+// githubAnchor approximates GitHub's heading-to-anchor rule: lowercase,
+// spaces to dashes, punctuation dropped.
+func githubAnchor(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ', r == '-':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// TestDocsDirReferenced makes sure the docs directory stays discoverable:
+// README.md must link both design documents.
+func TestDocsDirReferenced(t *testing.T) {
+	body, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"docs/ARCHITECTURE.md", "docs/WIRE.md"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("README.md does not reference %s", want)
+		}
+	}
+	if _, err := os.Stat("docs"); err != nil {
+		t.Fatal(fmt.Errorf("docs directory missing: %w", err))
+	}
+}

@@ -21,6 +21,9 @@ type CentralizedService struct {
 	home   cloud.SiteID
 	inst   registry.API
 	closed atomic.Bool
+	// ops counts every operation served by this strategy
+	// (core_strategy_c_ops_total); nil when instrumentation is off.
+	ops *metrics.Counter
 }
 
 // NewCentralized builds the centralized baseline with the registry placed in
@@ -30,7 +33,7 @@ func NewCentralized(fabric *Fabric, home cloud.SiteID) (*CentralizedService, err
 	if err != nil {
 		return nil, fmt.Errorf("centralized: %w", err)
 	}
-	return &CentralizedService{fabric: fabric, home: home, inst: inst}, nil
+	return &CentralizedService{fabric: fabric, home: home, inst: inst, ops: fabric.strategyOps(Centralized)}, nil
 }
 
 // Kind implements MetadataService.
@@ -46,6 +49,7 @@ func (s *CentralizedService) Create(ctx context.Context, from cloud.SiteID, e re
 	if s.closed.Load() {
 		return registry.Entry{}, opErr("create", from, e.Name, ErrClosed)
 	}
+	s.ops.Inc()
 	start := time.Now()
 	// One round trip to the central registry; the instance performs the
 	// look-up (existence check) and the write server-side, as the paper's
@@ -65,6 +69,7 @@ func (s *CentralizedService) Lookup(ctx context.Context, from cloud.SiteID, name
 	if s.closed.Load() {
 		return registry.Entry{}, opErr("lookup", from, name, ErrClosed)
 	}
+	s.ops.Inc()
 	start := time.Now()
 	e, err := s.inst.Get(ctx, name)
 	respBytes := s.fabric.ackBytes
@@ -84,6 +89,7 @@ func (s *CentralizedService) AddLocation(ctx context.Context, from cloud.SiteID,
 	if s.closed.Load() {
 		return registry.Entry{}, opErr("addlocation", from, name, ErrClosed)
 	}
+	s.ops.Inc()
 	start := time.Now()
 	remote, err := s.fabric.call(ctx, from, s.home, s.fabric.queryBytes, s.fabric.ackBytes)
 	if err != nil {
@@ -100,6 +106,7 @@ func (s *CentralizedService) Delete(ctx context.Context, from cloud.SiteID, name
 	if s.closed.Load() {
 		return opErr("delete", from, name, ErrClosed)
 	}
+	s.ops.Inc()
 	start := time.Now()
 	remote, err := s.fabric.call(ctx, from, s.home, s.fabric.queryBytes, s.fabric.ackBytes)
 	if err != nil {

@@ -24,6 +24,11 @@ type DecentralizedService struct {
 
 	localOps  atomic.Int64
 	remoteOps atomic.Int64
+
+	// Live instruments (nil when the fabric's instrumentation is off).
+	ops     *metrics.Counter // core_strategy_dn_ops_total
+	localC  *metrics.Counter // core_dn_local_ops_total
+	remoteC *metrics.Counter // core_dn_remote_ops_total
 }
 
 // NewDecentralized builds the non-replicated decentralized strategy. If
@@ -38,7 +43,13 @@ func NewDecentralized(fabric *Fabric, placer dht.Placer) (*DecentralizedService,
 			return nil, fmt.Errorf("decentralized: placer site %d: %w", s, ErrNoSuchSite)
 		}
 	}
-	return &DecentralizedService{fabric: fabric, placer: placer}, nil
+	return &DecentralizedService{
+		fabric:  fabric,
+		placer:  placer,
+		ops:     fabric.strategyOps(Decentralized),
+		localC:  fabric.Metrics().Counter("core_dn_local_ops_total"),
+		remoteC: fabric.Metrics().Counter("core_dn_remote_ops_total"),
+	}, nil
 }
 
 // Kind implements MetadataService.
@@ -54,10 +65,13 @@ func (s *DecentralizedService) LocalRemoteOps() (local, remote int64) {
 }
 
 func (s *DecentralizedService) countLocality(remote bool) {
+	s.ops.Inc()
 	if remote {
 		s.remoteOps.Add(1)
+		s.remoteC.Inc()
 	} else {
 		s.localOps.Add(1)
+		s.localC.Inc()
 	}
 }
 

@@ -35,6 +35,11 @@ type DecReplicatedService struct {
 
 	localHits   atomic.Int64
 	remoteReads atomic.Int64
+
+	// Live instruments (nil when the fabric's instrumentation is off).
+	ops      *metrics.Counter // core_strategy_dr_ops_total
+	hitsC    *metrics.Counter // core_dr_local_hits_total
+	remotesC *metrics.Counter // core_dr_remote_reads_total
 }
 
 // DecReplicatedOption configures a DecReplicatedService.
@@ -82,7 +87,14 @@ func NewDecReplicated(fabric *Fabric, opts ...DecReplicatedOption) (*DecReplicat
 			return nil, fmt.Errorf("decentralized-rep: placer site %d: %w", s, ErrNoSuchSite)
 		}
 	}
-	s := &DecReplicatedService{fabric: fabric, placer: cfg.placer, lazy: !cfg.eager}
+	s := &DecReplicatedService{
+		fabric:   fabric,
+		placer:   cfg.placer,
+		lazy:     !cfg.eager,
+		ops:      fabric.strategyOps(DecentralizedReplicated),
+		hitsC:    fabric.Metrics().Counter("core_dr_local_hits_total"),
+		remotesC: fabric.Metrics().Counter("core_dr_remote_reads_total"),
+	}
 	if s.lazy {
 		s.propagator = NewPropagator(fabric, cfg.flushInterval, cfg.maxBatch)
 	}
@@ -121,6 +133,7 @@ func (s *DecReplicatedService) Create(ctx context.Context, from cloud.SiteID, e 
 		return registry.Entry{}, opErr("create", from, e.Name, err)
 	}
 	home := s.placer.Home(e.Name)
+	s.ops.Inc()
 	start := time.Now()
 
 	// The entry is first stored in the local registry instance: one
@@ -181,6 +194,7 @@ func (s *DecReplicatedService) Lookup(ctx context.Context, from cloud.SiteID, na
 	if err != nil {
 		return registry.Entry{}, opErr("lookup", from, name, err)
 	}
+	s.ops.Inc()
 	start := time.Now()
 
 	// Step 1: local replica.
@@ -191,6 +205,7 @@ func (s *DecReplicatedService) Lookup(ctx context.Context, from cloud.SiteID, na
 		}
 		s.fabric.record(metrics.OpRead, start, false)
 		s.localHits.Add(1)
+		s.hitsC.Inc()
 		return e, nil
 	} else if ctx.Err() != nil {
 		s.fabric.record(metrics.OpRead, start, false)
@@ -207,6 +222,7 @@ func (s *DecReplicatedService) Lookup(ctx context.Context, from cloud.SiteID, na
 		// The local instance *is* the home: the entry does not exist (yet).
 		s.fabric.record(metrics.OpRead, start, false)
 		s.remoteReads.Add(1)
+		s.remotesC.Inc()
 		return registry.Entry{}, opErr("lookup", from, name, ErrNotFound)
 	}
 	homeInst, err := s.fabric.Instance(home)
@@ -221,6 +237,7 @@ func (s *DecReplicatedService) Lookup(ctx context.Context, from cloud.SiteID, na
 	_, callErr := s.fabric.call(ctx, from, home, s.fabric.queryBytes, respBytes)
 	s.fabric.record(metrics.OpRead, start, true)
 	s.remoteReads.Add(1)
+	s.remotesC.Inc()
 	if lerr := lookupErr(from, name, err, callErr); lerr != nil {
 		return registry.Entry{}, lerr
 	}
@@ -238,6 +255,7 @@ func (s *DecReplicatedService) AddLocation(ctx context.Context, from cloud.SiteI
 		return registry.Entry{}, opErr("addlocation", from, name, err)
 	}
 	home := s.placer.Home(name)
+	s.ops.Inc()
 	start := time.Now()
 
 	var updated registry.Entry
@@ -304,6 +322,7 @@ func (s *DecReplicatedService) Delete(ctx context.Context, from cloud.SiteID, na
 		return opErr("delete", from, name, err)
 	}
 	home := s.placer.Home(name)
+	s.ops.Inc()
 	start := time.Now()
 
 	if _, err := s.fabric.call(ctx, from, from, s.fabric.queryBytes, s.fabric.ackBytes); err != nil {

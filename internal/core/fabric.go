@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"geomds/internal/cloud"
@@ -23,6 +24,15 @@ type Fabric struct {
 	codec registry.Codec
 	rec   *metrics.Recorder
 
+	// metrics is the live-observability registry (nil = disabled); the
+	// instruments below are resolved once here so the per-op path never
+	// touches the registry's name map.
+	metrics   *metrics.Registry
+	opHists   [5]*metrics.Histogram // core_<kind>_latency_ns, indexed by OpKind
+	opsTotal  *metrics.Counter      // core_ops_total
+	remoteOps *metrics.Counter      // core_remote_ops_total
+	trace     *metrics.TraceRing
+
 	sites     []cloud.SiteID
 	instances map[cloud.SiteID]registry.API
 
@@ -39,6 +49,7 @@ type fabricConfig struct {
 	sites        []cloud.SiteID
 	codec        registry.Codec
 	rec          *metrics.Recorder
+	metricsReg   *metrics.Registry
 	cacheFactory func(cloud.SiteID) registry.Store
 	instances    map[cloud.SiteID]registry.API
 	ha           bool
@@ -69,6 +80,15 @@ func WithFabricCodec(codec registry.Codec) FabricOption {
 // through the fabric's strategies is recorded on it.
 func WithRecorder(rec *metrics.Recorder) FabricOption {
 	return func(c *fabricConfig) { c.rec = rec }
+}
+
+// WithMetricsRegistry selects the live-observability registry the fabric —
+// and every strategy, propagator and sync agent built over it — reports to:
+// per-kind latency histograms, operation counters, queue-depth gauges and
+// the per-op trace ring. The default is metrics.Default; pass nil to disable
+// instrumentation entirely.
+func WithMetricsRegistry(reg *metrics.Registry) FabricOption {
+	return func(c *fabricConfig) { c.metricsReg = reg }
 }
 
 // WithCacheFactory overrides how the per-site cache instances are built.
@@ -109,6 +129,7 @@ func NewFabric(topo *cloud.Topology, lat *latency.Model, opts ...FabricOption) *
 		codec:       registry.GobCodec{},
 		serviceTime: DefaultServiceTime,
 		concurrency: DefaultConcurrency,
+		metricsReg:  metrics.Default,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -126,6 +147,9 @@ func NewFabric(topo *cloud.Topology, lat *latency.Model, opts ...FabricOption) *
 				// Route the service-time sleep through the latency model so
 				// the experiment's time-compression factor applies uniformly.
 				Sleep: lat.Sleeper(),
+				// The per-site caches aggregate into the fabric's registry
+				// (hit rate, occupancy, slot wait).
+				Metrics: cfg.metricsReg,
 			})
 		}
 		if cfg.ha {
@@ -140,11 +164,18 @@ func NewFabric(topo *cloud.Topology, lat *latency.Model, opts ...FabricOption) *
 		lat:        lat,
 		codec:      cfg.codec,
 		rec:        cfg.rec,
+		metrics:    cfg.metricsReg,
 		sites:      append([]cloud.SiteID(nil), cfg.sites...),
 		instances:  make(map[cloud.SiteID]registry.API, len(cfg.sites)),
 		ackBytes:   64,
 		queryBytes: 128,
 	}
+	for _, kind := range []metrics.OpKind{metrics.OpRead, metrics.OpWrite, metrics.OpUpdate, metrics.OpDelete, metrics.OpSync} {
+		f.opHists[kind] = f.metrics.Histogram("core_" + kind.String() + "_latency_ns")
+	}
+	f.opsTotal = f.metrics.Counter("core_ops_total")
+	f.remoteOps = f.metrics.Counter("core_remote_ops_total")
+	f.trace = f.metrics.Trace()
 	for _, s := range cfg.sites {
 		if ext, ok := cfg.instances[s]; ok && ext != nil {
 			f.instances[s] = ext
@@ -214,18 +245,36 @@ func (f *Fabric) call(ctx context.Context, from, to cloud.SiteID, reqBytes, resp
 	return f.topo.DistanceClass(from, to).Remote(), err
 }
 
-// record stores an operation sample on the fabric's recorder, if any.
+// Metrics returns the fabric's live-observability registry (nil if
+// disabled). Strategies, the propagator and the sync agent resolve their
+// instruments here so everything built over one fabric reports to one place.
+func (f *Fabric) Metrics() *metrics.Registry { return f.metrics }
+
+// strategyOps returns the operation counter of one strategy
+// (core_strategy_<abbrev>_ops_total), nil when instrumentation is off.
+func (f *Fabric) strategyOps(k StrategyKind) *metrics.Counter {
+	return f.metrics.Counter("core_strategy_" + strings.ToLower(k.Short()) + "_ops_total")
+}
+
+// record stores an operation sample on the fabric's recorder (if any) and
+// feeds the live instruments: the per-kind latency histogram, the operation
+// counters and the trace ring.
 func (f *Fabric) record(kind metrics.OpKind, start time.Time, remote bool) {
-	if f.rec == nil {
-		return
-	}
-	f.rec.Record(kind, time.Since(start), remote)
+	f.recordAt(kind, time.Since(start), remote)
 }
 
 // recordAt is like record for callers that already measured the duration.
 func (f *Fabric) recordAt(kind metrics.OpKind, elapsed time.Duration, remote bool) {
-	if f.rec == nil {
+	if f.rec != nil {
+		f.rec.Record(kind, elapsed, remote)
+	}
+	if f.metrics == nil {
 		return
 	}
-	f.rec.Record(kind, elapsed, remote)
+	f.opHists[kind].ObserveDuration(elapsed)
+	f.opsTotal.Inc()
+	if remote {
+		f.remoteOps.Inc()
+	}
+	f.trace.Add("core."+kind.String(), "", elapsed, nil)
 }

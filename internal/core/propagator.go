@@ -49,6 +49,13 @@ type Propagator struct {
 
 	flushes    int64
 	propagated int64
+
+	// Live instruments (nil when the fabric's instrumentation is off).
+	queueDepth   *metrics.Gauge     // propagator_queue_depth: updates + deletions awaiting a flush
+	flushLatency *metrics.Histogram // propagator_flush_latency_ns
+	flushesC     *metrics.Counter   // propagator_flushes_total
+	propagatedC  *metrics.Counter   // propagator_propagated_total
+	requeuedC    *metrics.Counter   // propagator_requeued_total: entries put back by a cancelled flush
 }
 
 // destination identifies one pending propagation stream: updates produced at
@@ -85,6 +92,11 @@ func NewPropagator(fabric *Fabric, flushInterval time.Duration, maxBatch int) *P
 		deletes:       make(map[destination][]string),
 		stop:          make(chan struct{}),
 		done:          make(chan struct{}),
+		queueDepth:    fabric.Metrics().Gauge("propagator_queue_depth"),
+		flushLatency:  fabric.Metrics().Histogram("propagator_flush_latency_ns"),
+		flushesC:      fabric.Metrics().Counter("propagator_flushes_total"),
+		propagatedC:   fabric.Metrics().Counter("propagator_propagated_total"),
+		requeuedC:     fabric.Metrics().Counter("propagator_requeued_total"),
 	}
 	go p.loop()
 	return p
@@ -102,6 +114,7 @@ func (p *Propagator) Enqueue(from, to cloud.SiteID, e registry.Entry) {
 		return
 	}
 	d := destination{From: from, To: to}
+	delta := 1
 	if dels := p.deletes[d]; len(dels) > 0 {
 		kept := dels[:0]
 		for _, name := range dels {
@@ -109,11 +122,13 @@ func (p *Propagator) Enqueue(from, to cloud.SiteID, e registry.Entry) {
 				kept = append(kept, name)
 			}
 		}
+		delta -= len(dels) - len(kept)
 		p.deletes[d] = kept
 	}
 	p.batches[d] = append(p.batches[d], e)
 	full := len(p.batches[d])+len(p.deletes[d]) >= p.maxBatch
 	p.mu.Unlock()
+	p.queueDepth.Add(int64(delta))
 	if full {
 		go p.FlushNow(p.life) //nolint:errcheck // a cancelled flush re-queues its work
 	}
@@ -130,6 +145,7 @@ func (p *Propagator) EnqueueDelete(from, to cloud.SiteID, name string) {
 		return
 	}
 	d := destination{From: from, To: to}
+	delta := 1
 	if batch := p.batches[d]; len(batch) > 0 {
 		kept := batch[:0]
 		for _, e := range batch {
@@ -137,11 +153,13 @@ func (p *Propagator) EnqueueDelete(from, to cloud.SiteID, name string) {
 				kept = append(kept, e)
 			}
 		}
+		delta -= len(batch) - len(kept)
 		p.batches[d] = kept
 	}
 	p.deletes[d] = append(p.deletes[d], name)
 	full := len(p.batches[d])+len(p.deletes[d]) >= p.maxBatch
 	p.mu.Unlock()
+	p.queueDepth.Add(int64(delta))
 	if full {
 		go p.FlushNow(p.life) //nolint:errcheck // a cancelled flush re-queues its work
 	}
@@ -192,12 +210,23 @@ func (p *Propagator) FlushNow(ctx context.Context) error {
 		return err
 	}
 
+	flushStart := time.Now()
+
 	p.mu.Lock()
 	batches := p.batches
 	deletes := p.deletes
 	p.batches = make(map[destination][]registry.Entry)
 	p.deletes = make(map[destination][]string)
 	p.mu.Unlock()
+
+	drained := 0
+	for _, b := range batches {
+		drained += len(b)
+	}
+	for _, d := range deletes {
+		drained += len(d)
+	}
+	p.queueDepth.Add(-int64(drained))
 
 	dests := make(map[destination]struct{}, len(batches)+len(deletes))
 	for d := range batches {
@@ -255,6 +284,8 @@ func (p *Propagator) FlushNow(ctx context.Context) error {
 			p.deletes[d] = append(p.deletes[d], names...)
 		}
 		p.mu.Unlock()
+		p.queueDepth.Add(int64(drained))
+		p.requeuedC.Add(int64(drained))
 		return err
 	}
 
@@ -262,6 +293,9 @@ func (p *Propagator) FlushNow(ctx context.Context) error {
 	p.flushes++
 	p.propagated += applied.Load()
 	p.mu.Unlock()
+	p.flushesC.Inc()
+	p.propagatedC.Add(applied.Load())
+	p.flushLatency.ObserveDuration(time.Since(flushStart))
 	return nil
 }
 

@@ -55,6 +55,14 @@ type ReplicatedService struct {
 	rounds          int64
 	entriesSynced   int64
 	entriesObserved int64
+
+	// Live instruments (nil when the fabric's instrumentation is off).
+	ops          *metrics.Counter   // core_strategy_r_ops_total
+	queueDepth   *metrics.Gauge     // sync_queue_depth: updates awaiting the next round
+	roundLatency *metrics.Histogram // sync_round_latency_ns
+	roundsC      *metrics.Counter   // sync_rounds_total
+	syncedC      *metrics.Counter   // sync_entries_synced_total
+	requeuedC    *metrics.Counter   // sync_requeued_total: updates put back by a cancelled round
 }
 
 // ReplicatedOption configures a ReplicatedService.
@@ -87,6 +95,12 @@ func NewReplicated(fabric *Fabric, agentSite cloud.SiteID, opts ...ReplicatedOpt
 		pendingDeletes: make(map[cloud.SiteID][]string),
 		stop:           make(chan struct{}),
 		done:           make(chan struct{}),
+		ops:            fabric.strategyOps(Replicated),
+		queueDepth:     fabric.Metrics().Gauge("sync_queue_depth"),
+		roundLatency:   fabric.Metrics().Histogram("sync_round_latency_ns"),
+		roundsC:        fabric.Metrics().Counter("sync_rounds_total"),
+		syncedC:        fabric.Metrics().Counter("sync_entries_synced_total"),
+		requeuedC:      fabric.Metrics().Counter("sync_requeued_total"),
 	}
 	for _, o := range opts {
 		o(s)
@@ -136,6 +150,7 @@ func (s *ReplicatedService) Create(ctx context.Context, from cloud.SiteID, e reg
 	if err != nil {
 		return registry.Entry{}, opErr("create", from, e.Name, err)
 	}
+	s.ops.Inc()
 	start := time.Now()
 	// One intra-datacenter round trip; the registry instance performs the
 	// look-up (existence check) and the write server-side.
@@ -148,6 +163,7 @@ func (s *ReplicatedService) Create(ctx context.Context, from cloud.SiteID, e reg
 		s.mu.Lock()
 		s.pendingCreates[from] = append(s.pendingCreates[from], e.Name)
 		s.mu.Unlock()
+		s.queueDepth.Add(1)
 	}
 	s.fabric.record(metrics.OpWrite, start, false)
 	return stored, opErr("create", from, e.Name, err)
@@ -164,6 +180,7 @@ func (s *ReplicatedService) Lookup(ctx context.Context, from cloud.SiteID, name 
 	if err != nil {
 		return registry.Entry{}, opErr("lookup", from, name, err)
 	}
+	s.ops.Inc()
 	start := time.Now()
 	e, err := inst.Get(ctx, name)
 	respBytes := s.fabric.ackBytes
@@ -188,6 +205,7 @@ func (s *ReplicatedService) AddLocation(ctx context.Context, from cloud.SiteID, 
 	if err != nil {
 		return registry.Entry{}, opErr("addlocation", from, name, err)
 	}
+	s.ops.Inc()
 	start := time.Now()
 	if _, err := s.fabric.call(ctx, from, from, s.fabric.queryBytes, s.fabric.ackBytes); err != nil {
 		s.fabric.record(metrics.OpUpdate, start, false)
@@ -198,6 +216,7 @@ func (s *ReplicatedService) AddLocation(ctx context.Context, from cloud.SiteID, 
 		s.mu.Lock()
 		s.pendingCreates[from] = append(s.pendingCreates[from], name)
 		s.mu.Unlock()
+		s.queueDepth.Add(1)
 	}
 	s.fabric.record(metrics.OpUpdate, start, false)
 	return e, opErr("addlocation", from, name, err)
@@ -213,6 +232,7 @@ func (s *ReplicatedService) Delete(ctx context.Context, from cloud.SiteID, name 
 	if err != nil {
 		return opErr("delete", from, name, err)
 	}
+	s.ops.Inc()
 	start := time.Now()
 	if _, err := s.fabric.call(ctx, from, from, s.fabric.queryBytes, s.fabric.ackBytes); err != nil {
 		s.fabric.record(metrics.OpDelete, start, false)
@@ -223,6 +243,7 @@ func (s *ReplicatedService) Delete(ctx context.Context, from cloud.SiteID, name 
 		s.mu.Lock()
 		s.pendingDeletes[from] = append(s.pendingDeletes[from], name)
 		s.mu.Unlock()
+		s.queueDepth.Add(1)
 	}
 	s.fabric.record(metrics.OpDelete, start, false)
 	return opErr("delete", from, name, err)
@@ -297,6 +318,8 @@ func (s *ReplicatedService) syncRound(ctx context.Context) error {
 		return err
 	}
 
+	roundStart := time.Now()
+
 	// Drain the pending queues.
 	s.mu.Lock()
 	creates := s.pendingCreates
@@ -304,6 +327,15 @@ func (s *ReplicatedService) syncRound(ctx context.Context) error {
 	s.pendingCreates = make(map[cloud.SiteID][]string)
 	s.pendingDeletes = make(map[cloud.SiteID][]string)
 	s.mu.Unlock()
+
+	drained := 0
+	for _, names := range creates {
+		drained += len(names)
+	}
+	for _, names := range deletes {
+		drained += len(names)
+	}
+	s.queueDepth.Add(-int64(drained))
 
 	requeue := func() {
 		s.mu.Lock()
@@ -314,6 +346,8 @@ func (s *ReplicatedService) syncRound(ctx context.Context) error {
 			s.pendingDeletes[site] = append(s.pendingDeletes[site], names...)
 		}
 		s.mu.Unlock()
+		s.queueDepth.Add(int64(drained))
+		s.requeuedC.Add(int64(drained))
 	}
 
 	// Pull phase: the agent queries each instance that reported updates,
@@ -377,6 +411,8 @@ func (s *ReplicatedService) syncRound(ctx context.Context) error {
 		s.mu.Lock()
 		s.rounds++
 		s.mu.Unlock()
+		s.roundsC.Inc()
+		s.roundLatency.ObserveDuration(time.Since(roundStart))
 		return nil
 	}
 
@@ -422,6 +458,9 @@ func (s *ReplicatedService) syncRound(ctx context.Context) error {
 	s.entriesSynced += synced.Load()
 	s.entriesObserved += int64(totalEntries)
 	s.mu.Unlock()
+	s.roundsC.Inc()
+	s.syncedC.Add(synced.Load())
+	s.roundLatency.ObserveDuration(time.Since(roundStart))
 	return nil
 }
 

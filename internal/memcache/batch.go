@@ -25,7 +25,7 @@ func (c *Cache) GetBatch(keys []string) (found []Item, missing []string, err err
 
 	now := c.cfg.Now()
 	for _, key := range keys {
-		c.gets.Add(1)
+		c.countGet()
 		sh := c.shardFor(key)
 		sh.mu.RLock()
 		it, ok := sh.items[key]
@@ -34,11 +34,11 @@ func (c *Cache) GetBatch(keys []string) (found []Item, missing []string, err err
 			if ok {
 				c.removeExpired(key, it.Version)
 			}
-			c.misses.Add(1)
+			c.countMiss()
 			missing = append(missing, key)
 			continue
 		}
-		c.hits.Add(1)
+		c.countHit()
 		found = append(found, it)
 	}
 	return found, missing, nil
@@ -83,7 +83,7 @@ func (c *Cache) DeleteBatch(keys []string) (int, error) {
 		it, ok := sh.items[key]
 		if ok {
 			delete(sh.items, key)
-			c.items.Add(-1)
+			c.addItems(-1)
 			c.bytes.Add(-int64(len(it.Value)))
 			deleted++
 		}

@@ -26,6 +26,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"geomds/internal/metrics"
 )
 
 // Common errors returned by cache operations.
@@ -87,6 +89,10 @@ type Config struct {
 	Sleep func(time.Duration)
 	// Now is the clock used for TTL handling; nil means time.Now.
 	Now func() time.Time
+	// Metrics, when non-nil, receives live instrumentation: hit/miss/get
+	// counters, the occupancy gauge and the worker-slot wait histogram.
+	// Instances sharing one registry aggregate into shared series.
+	Metrics *metrics.Registry
 }
 
 const defaultShards = 16
@@ -120,6 +126,29 @@ type Cache struct {
 	conflicts, evictions atomic.Uint64
 	bytes                atomic.Int64
 	items                atomic.Int64
+
+	obs cacheObs
+}
+
+// cacheObs mirrors the cache's counters into a metrics.Registry so they can
+// be scraped live. All fields tolerate being nil (instrumentation disabled);
+// occupancy is maintained as deltas so caches sharing a registry aggregate.
+type cacheObs struct {
+	gets     *metrics.Counter   // memcache_gets_total
+	hits     *metrics.Counter   // memcache_hits_total
+	misses   *metrics.Counter   // memcache_misses_total
+	items    *metrics.Gauge     // memcache_items: live entries (occupancy)
+	slotWait *metrics.Histogram // memcache_slot_wait_ns: time spent queueing for a worker slot
+}
+
+func newCacheObs(reg *metrics.Registry) cacheObs {
+	return cacheObs{
+		gets:     reg.Counter("memcache_gets_total"),
+		hits:     reg.Counter("memcache_hits_total"),
+		misses:   reg.Counter("memcache_misses_total"),
+		items:    reg.Gauge("memcache_items"),
+		slotWait: reg.Histogram("memcache_slot_wait_ns"),
+	}
 }
 
 type shard struct {
@@ -141,7 +170,7 @@ func New(cfg Config) *Cache {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	c := &Cache{cfg: cfg}
+	c := &Cache{cfg: cfg, obs: newCacheObs(cfg.Metrics)}
 	c.shards = make([]*shard, cfg.Shards)
 	for i := range c.shards {
 		c.shards[i] = &shard{items: make(map[string]Item)}
@@ -177,10 +206,29 @@ func (c *Cache) enter() error {
 		return ErrStopped
 	}
 	if c.slots != nil {
-		c.slots <- struct{}{}
+		if c.obs.slotWait != nil {
+			start := time.Now()
+			c.slots <- struct{}{}
+			c.obs.slotWait.ObserveDuration(time.Since(start))
+		} else {
+			c.slots <- struct{}{}
+		}
 	}
 	return nil
 }
+
+// addItems tracks the live-entry count, mirroring it into the occupancy
+// gauge when instrumentation is on.
+func (c *Cache) addItems(delta int64) {
+	c.items.Add(delta)
+	c.obs.items.Add(delta)
+}
+
+// countGet / countHit / countMiss keep the cache's own statistics and the
+// exported live series in lockstep.
+func (c *Cache) countGet()  { c.gets.Add(1); c.obs.gets.Inc() }
+func (c *Cache) countHit()  { c.hits.Add(1); c.obs.hits.Inc() }
+func (c *Cache) countMiss() { c.misses.Add(1); c.obs.misses.Inc() }
 
 func (c *Cache) leave() {
 	if c.cfg.ServiceTime > 0 {
@@ -204,7 +252,7 @@ func (c *Cache) Get(key string) (Item, error) {
 		return Item{}, err
 	}
 	defer c.leave()
-	c.gets.Add(1)
+	c.countGet()
 
 	sh := c.shardFor(key)
 	sh.mu.RLock()
@@ -214,10 +262,10 @@ func (c *Cache) Get(key string) (Item, error) {
 		if ok {
 			c.removeExpired(key, it.Version)
 		}
-		c.misses.Add(1)
+		c.countMiss()
 		return Item{}, fmt.Errorf("get %q: %w", key, ErrNotFound)
 	}
-	c.hits.Add(1)
+	c.countHit()
 	return it, nil
 }
 
@@ -267,7 +315,7 @@ func (c *Cache) store(key string, value []byte, ttl time.Duration, expected *uin
 	cur, exists := sh.items[key]
 	if exists && cur.Expired(now) {
 		delete(sh.items, key)
-		c.items.Add(-1)
+		c.addItems(-1)
 		c.bytes.Add(-int64(len(cur.Value)))
 		c.evictions.Add(1)
 		exists = false
@@ -295,7 +343,7 @@ func (c *Cache) store(key string, value []byte, ttl time.Duration, expected *uin
 	if exists {
 		c.bytes.Add(int64(len(value)) - int64(len(cur.Value)))
 	} else {
-		c.items.Add(1)
+		c.addItems(1)
 		c.bytes.Add(int64(len(value)))
 	}
 	return it, nil
@@ -317,7 +365,7 @@ func (c *Cache) Delete(key string) error {
 		return fmt.Errorf("delete %q: %w", key, ErrNotFound)
 	}
 	delete(sh.items, key)
-	c.items.Add(-1)
+	c.addItems(-1)
 	c.bytes.Add(-int64(len(it.Value)))
 	return nil
 }
@@ -330,7 +378,7 @@ func (c *Cache) removeExpired(key string, version uint64) {
 	defer sh.mu.Unlock()
 	if it, ok := sh.items[key]; ok && it.Version == version {
 		delete(sh.items, key)
-		c.items.Add(-1)
+		c.addItems(-1)
 		c.bytes.Add(-int64(len(it.Value)))
 		c.evictions.Add(1)
 	}

@@ -1,0 +1,48 @@
+package metrics_test
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"geomds/internal/metrics"
+)
+
+// ExampleRegistry shows the live-observability side of the package: named
+// counters, gauges and streaming histograms that independent components
+// share by name, scraped as Prometheus text or a JSON snapshot.
+func ExampleRegistry() {
+	reg := metrics.NewRegistry()
+
+	// Instruments are created on first use; the same name always returns the
+	// same instrument, so components aggregate into shared series.
+	for i := 0; i < 128; i++ {
+		reg.Counter("rpc_client_calls_total").Inc()
+		reg.Histogram("rpc_client_latency_ns").ObserveDuration(time.Millisecond)
+	}
+	reg.Gauge("rpc_client_inflight").Set(3)
+
+	snap := reg.Snapshot()
+	fmt.Println("calls:", snap.Counters["rpc_client_calls_total"])
+	fmt.Println("inflight:", snap.Gauges["rpc_client_inflight"])
+	fmt.Println("latencies recorded:", snap.Histograms["rpc_client_latency_ns"].Count)
+
+	// The same state renders as Prometheus text for a /metrics scrape.
+	if err := reg.WritePrometheus(os.Stdout); err != nil {
+		fmt.Println("write:", err)
+	}
+
+	// Output:
+	// calls: 128
+	// inflight: 3
+	// latencies recorded: 128
+	// # TYPE rpc_client_calls_total counter
+	// rpc_client_calls_total 128
+	// # TYPE rpc_client_inflight gauge
+	// rpc_client_inflight 3
+	// # TYPE rpc_client_latency_ns histogram
+	// rpc_client_latency_ns_bucket{le="1048575"} 128
+	// rpc_client_latency_ns_bucket{le="+Inf"} 128
+	// rpc_client_latency_ns_sum 128000000
+	// rpc_client_latency_ns_count 128
+}

@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler exposes a registry over HTTP, the way cmd/metaserver's
+// -metrics-addr flag does:
+//
+//	GET /metrics        Prometheus text exposition format
+//	GET /metrics.json   Snapshot as JSON
+//	GET /trace.json     recent TraceEvents as a JSON array (?n=50 bounds it)
+//
+// Scrapes are read-only and safe while the instrumented system serves load.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w) //nolint:errcheck // a broken scrape connection is the scraper's problem
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(r.Snapshot()) //nolint:errcheck // ditto
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		max := 0
+		if q := req.URL.Query().Get("n"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			max = n
+		}
+		events := r.Trace().Events(max)
+		if events == nil {
+			events = []TraceEvent{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(events) //nolint:errcheck // ditto
+	})
+	return mux
+}

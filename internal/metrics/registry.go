@@ -1,0 +1,490 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a concurrent collection of named live instruments — counters,
+// gauges and streaming histograms — plus a bounded trace ring of recent
+// per-operation events. It is the observability companion to Recorder: where
+// a Recorder accumulates every sample of a finished experiment for offline
+// summarization, a Registry exposes cheap, always-on aggregates that can be
+// scraped while the system serves load (Prometheus text via WritePrometheus,
+// JSON via Snapshot, human-readable via Snapshot.Render).
+//
+// Instruments are created on first use and live for the registry's lifetime;
+// asking for the same name twice returns the same instrument, so independent
+// components sharing a registry aggregate into shared series. Every method —
+// including those of the returned instruments — is safe for concurrent use,
+// and all of them tolerate a nil receiver (they become no-ops), so optional
+// instrumentation needs no branching at the call sites.
+//
+// Default is the process-wide registry that instrumented components fall
+// back to when none is configured explicitly.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	trace      *TraceRing
+}
+
+// Default is the process-wide registry. Components that support metrics but
+// are not handed an explicit Registry report here, so cmd/metasim and
+// cmd/wfrun can render live statistics without threading a registry through
+// every constructor.
+var Default = NewRegistry()
+
+// DefaultTraceCapacity is the number of recent per-op events a registry's
+// trace ring retains.
+const DefaultTraceCapacity = 512
+
+// NewRegistry returns an empty registry with a trace ring of
+// DefaultTraceCapacity events.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		trace:      NewTraceRing(DefaultTraceCapacity),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil registry
+// returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use. A nil
+// registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Trace returns the registry's ring of recent per-op events. A nil registry
+// returns a nil (no-op) ring.
+func (r *Registry) Trace() *TraceRing {
+	if r == nil {
+		return nil
+	}
+	return r.trace
+}
+
+// Counter is a monotonically increasing integer instrument. The zero value
+// is ready to use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (which must be non-negative to keep the counter monotonic;
+// negative deltas are ignored).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instrument for values that go up and down (queue depths,
+// in-flight requests, occupancy). The zero value is ready to use; a nil
+// *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add applies a delta (positive or negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histogramBuckets is the number of power-of-two buckets a Histogram keeps:
+// bucket i counts observations v with bits.Len64(v) == i, i.e. v in
+// [2^(i-1), 2^i). 65 buckets cover every non-negative int64.
+const histogramBuckets = 65
+
+// Histogram is a streaming histogram over non-negative int64 observations
+// (typically latencies in nanoseconds, or batch sizes). Observations land in
+// power-of-two buckets, so recording is a single atomic add plus min/max
+// maintenance — cheap enough for hot paths — while quantiles are estimated
+// from the bucket counts (HistogramSnapshot.Quantile). The zero value is
+// ready to use; a nil *Histogram is a no-op.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // stored as observed+1 so zero means "none yet"
+	max     atomic.Int64
+	buckets [histogramBuckets]atomic.Int64
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	for {
+		cur := h.min.Load()
+		if cur != 0 && cur <= v+1 {
+			break
+		}
+		if h.min.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur {
+			break
+		}
+		if h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns how many observations have been recorded.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Snapshot returns a point-in-time copy of the histogram's state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if m := h.min.Load(); m > 0 {
+		s.Min = m - 1
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		upper := int64(-1) // sentinel for +Inf (2^63-1 and beyond)
+		if i == 0 {
+			upper = 0
+		} else if i < 63 {
+			upper = int64(1)<<i - 1
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{UpperBound: upper, Count: n})
+	}
+	return s
+}
+
+// HistogramBucket is one populated bucket of a histogram snapshot.
+type HistogramBucket struct {
+	// UpperBound is the bucket's inclusive upper bound; -1 means unbounded
+	// (the overflow bucket).
+	UpperBound int64 `json:"upper_bound"`
+	// Count is the number of observations in this bucket (non-cumulative).
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum"`
+	Min     int64             `json:"min"`
+	Max     int64             `json:"max"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (s HistogramSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// Quantile estimates the q-th quantile (0-100, mirroring Percentile) from
+// the bucket counts, interpolating linearly inside the selected bucket and
+// clamping to the exact observed min and max.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 100 {
+		return s.Max
+	}
+	rank := q / 100 * float64(s.Count)
+	var seen int64
+	for _, b := range s.Buckets {
+		if float64(seen+b.Count) < rank {
+			seen += b.Count
+			continue
+		}
+		lower := int64(0)
+		if b.UpperBound > 0 {
+			lower = b.UpperBound/2 + 1
+		}
+		upper := b.UpperBound
+		if upper < 0 || upper > s.Max {
+			upper = s.Max
+		}
+		if lower < s.Min {
+			lower = s.Min
+		}
+		if upper <= lower {
+			return lower
+		}
+		frac := (rank - float64(seen)) / float64(b.Count)
+		return lower + int64(frac*float64(upper-lower))
+	}
+	return s.Max
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry,
+// JSON-serializable for the /metrics.json endpoint.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the current value of every instrument. A nil registry
+// yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Render formats the snapshot for a terminal: counters and gauges sorted by
+// name, histograms with count, mean and tail quantiles. Histogram values are
+// rendered as durations when the metric name ends in "_ns".
+func (s Snapshot) Render() string {
+	var b strings.Builder
+	writeSorted := func(title string, m map[string]int64) {
+		if len(m) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "%s:\n", title)
+		for _, name := range sortedKeys(m) {
+			fmt.Fprintf(&b, "  %-42s %d\n", name, m[name])
+		}
+	}
+	writeSorted("counters", s.Counters)
+	writeSorted("gauges", s.Gauges)
+	if len(s.Histograms) > 0 {
+		fmt.Fprintf(&b, "histograms:\n")
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			format := func(v int64) string { return fmt.Sprintf("%d", v) }
+			if strings.HasSuffix(name, "_ns") {
+				format = func(v int64) string { return time.Duration(v).Round(time.Microsecond).String() }
+			}
+			fmt.Fprintf(&b, "  %-42s count %-8d mean %-10s p50 %-10s p95 %-10s p99 %-10s max %s\n",
+				name, h.Count, format(h.Mean()),
+				format(h.Quantile(50)), format(h.Quantile(95)), format(h.Quantile(99)), format(h.Max))
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every instrument in the Prometheus text exposition
+// format (version 0.0.4): counters as "<name> <value>", gauges likewise, and
+// histograms as the conventional _bucket/_sum/_count triple with cumulative
+// "le" bucket labels. Metric names are sanitized to the Prometheus charset.
+// A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	s := r.Snapshot()
+	for _, name := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", promName(name), promName(name), s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", promName(name), promName(name), s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if b.UpperBound < 0 {
+				continue // folded into the +Inf bucket below
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, b.UpperBound, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			pn, h.Count, pn, h.Sum, pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a metric name onto the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*, replacing every other rune with '_'.
+func promName(name string) string {
+	ok := func(r rune, first bool) bool {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			return true
+		case r >= '0' && r <= '9':
+			return !first
+		default:
+			return false
+		}
+	}
+	var b strings.Builder
+	for i, r := range name {
+		if ok(r, i == 0) {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

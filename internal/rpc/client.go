@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"geomds/internal/cloud"
+	"geomds/internal/metrics"
 	"geomds/internal/registry"
 )
 
@@ -44,6 +45,7 @@ type Client struct {
 	site    cloud.SiteID
 	timeout time.Duration
 	pool    int
+	obs     clientObs
 
 	nextConn atomic.Uint64 // round-robin cursor over the pool
 	nextID   atomic.Uint64 // request ID source, unique per client
@@ -51,6 +53,33 @@ type Client struct {
 	mu     sync.Mutex
 	conns  []*poolConn
 	closed bool
+}
+
+// clientObs holds the client's observability instruments, resolved once at
+// dial time so the hot path never touches the registry's name map. All
+// fields tolerate being nil (instrumentation disabled).
+type clientObs struct {
+	inflight *metrics.Gauge     // rpc_client_inflight: calls currently waiting on the wire
+	calls    *metrics.Counter   // rpc_client_calls_total: round trips attempted
+	errors   *metrics.Counter   // rpc_client_errors_total: round trips that failed
+	retired  *metrics.Counter   // rpc_client_retired_total: calls abandoned because their context ended
+	dials    *metrics.Counter   // rpc_client_dials_total: TCP connections established
+	batchOps *metrics.Histogram // rpc_client_batch_ops: operations carried per batch frame
+	latency  *metrics.Histogram // rpc_client_latency_ns: round-trip latency
+	trace    *metrics.TraceRing // recent per-call events
+}
+
+func newClientObs(reg *metrics.Registry) clientObs {
+	return clientObs{
+		inflight: reg.Gauge("rpc_client_inflight"),
+		calls:    reg.Counter("rpc_client_calls_total"),
+		errors:   reg.Counter("rpc_client_errors_total"),
+		retired:  reg.Counter("rpc_client_retired_total"),
+		dials:    reg.Counter("rpc_client_dials_total"),
+		batchOps: reg.Histogram("rpc_client_batch_ops"),
+		latency:  reg.Histogram("rpc_client_latency_ns"),
+		trace:    reg.Trace(),
+	}
 }
 
 // Client implements the registry API.
@@ -83,11 +112,19 @@ func WithPoolSize(n int) ClientOption {
 	}
 }
 
+// WithMetrics selects the registry the client's instruments report to:
+// in-flight requests, calls/errors/retired-on-cancel counts, dials, batch
+// sizes and round-trip latencies, plus one trace event per call. The default
+// is metrics.Default; pass nil to disable instrumentation entirely.
+func WithMetrics(reg *metrics.Registry) ClientOption {
+	return func(c *Client) { c.obs = newClientObs(reg) }
+}
+
 // Dial connects to a registry server and verifies it is reachable. The
 // context bounds the initial connect-and-handshake exchange; the returned
 // client reports the site ID advertised by the server.
 func Dial(ctx context.Context, addr string, opts ...ClientOption) (*Client, error) {
-	c := &Client{addr: addr, timeout: 10 * time.Second, pool: DefaultPoolSize}
+	c := &Client{addr: addr, timeout: 10 * time.Second, pool: DefaultPoolSize, obs: newClientObs(metrics.Default)}
 	for _, o := range opts {
 		o(c)
 	}
@@ -273,6 +310,7 @@ func (c *Client) Batch(ctx context.Context, ops []Request) ([]Response, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
+	c.obs.batchOps.Observe(int64(len(ops)))
 	rf, err := c.roundTrip(ctx, RequestFrame{
 		Header: Header{Version: ProtocolVersion, Kind: FrameBatch},
 		Batch:  BatchRequest{Ops: ops},
@@ -309,12 +347,42 @@ func (c *Client) call(ctx context.Context, req Request) (Response, error) {
 	return rf.Resp, nil
 }
 
-// roundTrip tags the frame with a fresh ID and the context's deadline, sends
+// roundTrip instruments one exchange: it tracks the in-flight gauge, counts
+// the call and its outcome (an error with a done context counts as retired
+// on cancel), observes the latency and records one trace event, delegating
+// the wire work to transact.
+func (c *Client) roundTrip(ctx context.Context, f RequestFrame) (ResponseFrame, error) {
+	start := time.Now()
+	c.obs.inflight.Add(1)
+	rf, err := c.transact(ctx, f)
+	c.obs.inflight.Add(-1)
+	elapsed := time.Since(start)
+	c.obs.calls.Inc()
+	c.obs.latency.ObserveDuration(elapsed)
+	if err != nil {
+		c.obs.errors.Inc()
+		if ctx.Err() != nil {
+			c.obs.retired.Inc()
+		}
+	}
+	if c.obs.trace != nil {
+		op := "rpc." + string(f.Req.Op)
+		detail := f.Req.Name
+		if f.Header.Kind == FrameBatch {
+			op = "rpc.batch"
+			detail = fmt.Sprintf("%d ops", len(f.Batch.Ops))
+		}
+		c.obs.trace.Add(op, detail, elapsed, err)
+	}
+	return rf, err
+}
+
+// transact tags the frame with a fresh ID and the context's deadline, sends
 // it over a pooled connection and waits for the matching response. A
 // transport error is retried once on a fresh connection (the server may have
 // dropped an idle connection between calls); a context error is never
 // retried — the caller has given up.
-func (c *Client) roundTrip(ctx context.Context, f RequestFrame) (ResponseFrame, error) {
+func (c *Client) transact(ctx context.Context, f RequestFrame) (ResponseFrame, error) {
 	if err := ctx.Err(); err != nil {
 		return ResponseFrame{}, fmt.Errorf("rpc: %s: %w", c.addr, err)
 	}
@@ -343,6 +411,10 @@ func (c *Client) roundTrip(ctx context.Context, f RequestFrame) (ResponseFrame, 
 	if err2 != nil {
 		return ResponseFrame{}, err2
 	}
+	// Re-measure the remaining budget: the first attempt consumed part of it
+	// (possibly the whole transport timeout), and re-sending the stale value
+	// would let the server's re-anchored deadline extend past the client's.
+	f.Header.TimeoutNs = headerTimeout(ctx)
 	return pc.do(ctx, f, c.timeout)
 }
 
@@ -363,6 +435,7 @@ func (c *Client) grabConn(ctx context.Context) (*poolConn, error) {
 	}
 	c.mu.Unlock()
 
+	c.obs.dials.Inc()
 	dialer := net.Dialer{Timeout: c.timeout}
 	conn, err := dialer.DialContext(ctx, "tcp", c.addr)
 	if err != nil {

@@ -1,0 +1,60 @@
+package rpc_test
+
+import (
+	"context"
+	"fmt"
+
+	"geomds/internal/cloud"
+	"geomds/internal/memcache"
+	"geomds/internal/registry"
+	"geomds/internal/rpc"
+)
+
+// ExampleClient_Batch shows many registry operations travelling in a single
+// frame and round trip: the server executes them in order and returns one
+// Response per operation, with per-operation failures reported in the
+// individual responses rather than as a call error.
+func ExampleClient_Batch() {
+	// A registry instance served over TCP, the way cmd/metaserver runs one.
+	inst := registry.NewInstance(cloud.SiteID(1), memcache.New(memcache.Config{}))
+	srv := rpc.NewServer(inst, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		fmt.Println("start:", err)
+		return
+	}
+	defer srv.Close()
+
+	ctx := context.Background()
+	client, err := rpc.Dial(ctx, addr)
+	if err != nil {
+		fmt.Println("dial:", err)
+		return
+	}
+	defer client.Close()
+
+	// Two puts, a get and a lookup of a missing entry — one round trip.
+	responses, err := client.Batch(ctx, []rpc.Request{
+		{Op: rpc.OpPut, Entry: registry.NewEntry("batch/a", 1024, "task-1", registry.Location{Site: 1})},
+		{Op: rpc.OpPut, Entry: registry.NewEntry("batch/b", 2048, "task-1", registry.Location{Site: 1})},
+		{Op: rpc.OpGet, Name: "batch/a"},
+		{Op: rpc.OpGet, Name: "batch/missing"},
+	})
+	if err != nil {
+		fmt.Println("batch:", err)
+		return
+	}
+	for i, resp := range responses {
+		if resp.OK {
+			fmt.Printf("op %d: ok %s (%d bytes)\n", i, resp.Entry.Name, resp.Entry.Size)
+		} else {
+			fmt.Printf("op %d: %s\n", i, resp.Err)
+		}
+	}
+
+	// Output:
+	// op 0: ok batch/a (1024 bytes)
+	// op 1: ok batch/b (2048 bytes)
+	// op 2: ok batch/a (1024 bytes)
+	// op 3: not-found
+}

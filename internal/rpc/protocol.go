@@ -1,6 +1,11 @@
 // Package rpc lets a metadata registry instance run as a stand-alone server
 // process and be driven remotely over TCP.
 //
+// The normative wire-protocol specification — framing, header fields,
+// deadline propagation, batch semantics, error codes and version-1
+// compatibility — lives in docs/WIRE.md at the repository root; the
+// sections below summarize it next to the code.
+//
 // The paper's prototype deploys one managed-cache-backed registry instance
 // per datacenter; the strategy logic lives in a client-side middleware that
 // knows every instance's endpoint and decides, per operation, which instance

@@ -7,9 +7,12 @@ import (
 	"io"
 	"log"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"geomds/internal/metrics"
 	"geomds/internal/registry"
 )
 
@@ -38,6 +41,7 @@ type Server struct {
 	listener    net.Listener
 	logger      *log.Logger
 	maxInflight int
+	obs         serverObs
 
 	// baseCtx is the root of every request context; cancelled on Close.
 	baseCtx   context.Context
@@ -52,8 +56,62 @@ type Server struct {
 	abandoned atomic.Int64
 }
 
+// serverObs holds the server's observability instruments, resolved once at
+// construction so dispatch never touches the registry's name map. All fields
+// tolerate being nil (instrumentation disabled).
+type serverObs struct {
+	dispatched  *metrics.Counter             // rpc_server_dispatched_total: registry ops executed
+	abandoned   *metrics.Counter             // rpc_server_abandoned_total: ops refused because the propagated deadline had passed
+	conns       *metrics.Gauge               // rpc_server_conns: connections currently served
+	inflight    *metrics.Gauge               // rpc_server_inflight: pipelined frames currently executing
+	errsByCode  map[ErrCode]*metrics.Counter // rpc_server_errors_total per wire code
+	unknownErrs *metrics.Counter             // fallback for codes outside the known table
+	latency     *metrics.Histogram           // rpc_server_latency_ns: per-op execution time
+	trace       *metrics.TraceRing           // recent per-op events
+}
+
+func newServerObs(reg *metrics.Registry) serverObs {
+	obs := serverObs{
+		dispatched:  reg.Counter("rpc_server_dispatched_total"),
+		abandoned:   reg.Counter("rpc_server_abandoned_total"),
+		conns:       reg.Gauge("rpc_server_conns"),
+		inflight:    reg.Gauge("rpc_server_inflight"),
+		unknownErrs: reg.Counter("rpc_server_errors_unknown_total"),
+		latency:     reg.Histogram("rpc_server_latency_ns"),
+		trace:       reg.Trace(),
+	}
+	if reg != nil {
+		obs.errsByCode = make(map[ErrCode]*metrics.Counter)
+		for _, code := range []ErrCode{
+			ErrNotFound, ErrExists, ErrConflict, ErrInvalid, ErrInternal,
+			ErrBadOp, ErrUnavailable, ErrDeadline, ErrCanceled,
+		} {
+			obs.errsByCode[code] = reg.Counter("rpc_server_errors_" + strings.ReplaceAll(string(code), "-", "_") + "_total")
+		}
+	}
+	return obs
+}
+
+// countErr attributes one failed response to its wire code. The code map is
+// read-only after construction, so no locking is needed.
+func (o serverObs) countErr(code ErrCode) {
+	if c, ok := o.errsByCode[code]; ok {
+		c.Inc()
+		return
+	}
+	o.unknownErrs.Inc()
+}
+
 // ServerOption configures a Server.
 type ServerOption func(*Server)
+
+// WithServerMetrics selects the registry the server's instruments report to:
+// dispatched and abandoned operation counts, per-error-code failure counts,
+// live connection and in-flight gauges. The default is metrics.Default; pass
+// nil to disable instrumentation entirely.
+func WithServerMetrics(reg *metrics.Registry) ServerOption {
+	return func(s *Server) { s.obs = newServerObs(reg) }
+}
 
 // WithMaxInflight bounds how many pipelined requests one connection may have
 // executing concurrently (default DefaultMaxInflight). Excess requests wait
@@ -77,6 +135,7 @@ func NewServer(reg registry.API, logger *log.Logger, opts ...ServerOption) *Serv
 		reg:         reg,
 		logger:      logger,
 		maxInflight: DefaultMaxInflight,
+		obs:         newServerObs(metrics.Default),
 		baseCtx:     baseCtx,
 		cancelAll:   cancel,
 		conns:       make(map[net.Conn]struct{}),
@@ -211,6 +270,8 @@ func (s *Server) handle(conn net.Conn) {
 		wg    sync.WaitGroup
 		slots = make(chan struct{}, s.maxInflight)
 	)
+	s.obs.conns.Add(1)
+	defer s.obs.conns.Add(-1)
 	defer func() {
 		// Close before waiting: a response writer stuck on a stalled client
 		// is only unblocked by the close.
@@ -258,7 +319,9 @@ func (s *Server) handle(conn net.Conn) {
 		slots <- struct{}{}
 		wg.Add(1)
 		go func(rf RequestFrame) {
+			s.obs.inflight.Add(1)
 			defer func() {
+				s.obs.inflight.Add(-1)
 				<-slots
 				wg.Done()
 			}()
@@ -304,11 +367,39 @@ func (s *Server) handle(conn net.Conn) {
 // touching the registry: the client has given up, so the work would be
 // wasted.
 func (s *Server) dispatch(ctx context.Context, req Request) Response {
+	// An already-done context short-circuits in execute without touching the
+	// registry; counting it as dispatched (or recording its near-zero
+	// latency) would make an overload look like a throughput spike with
+	// collapsing latencies. Abandoned work has its own counter.
+	abandoned := ctx.Err() != nil
+	start := time.Now()
+	resp := s.execute(ctx, req)
+	elapsed := time.Since(start)
+	if !abandoned {
+		s.obs.dispatched.Inc()
+		s.obs.latency.ObserveDuration(elapsed)
+	}
+	if !resp.OK {
+		s.obs.countErr(resp.Err)
+	}
+	if s.obs.trace != nil {
+		var err error
+		if !resp.OK {
+			err = fmt.Errorf("%s: %s", resp.Err, resp.Detail)
+		}
+		s.obs.trace.Add("rpc."+string(req.Op), req.Name, elapsed, err)
+	}
+	return resp
+}
+
+// execute runs one registry operation; dispatch wraps it with accounting.
+func (s *Server) execute(ctx context.Context, req Request) Response {
 	if err := ctx.Err(); err != nil {
 		// Only deadline expiries count as abandoned work; a Canceled base
 		// context means the server itself is shutting down.
 		if errors.Is(err, context.DeadlineExceeded) {
 			s.abandoned.Add(1)
+			s.obs.abandoned.Inc()
 		}
 		return failure(fmt.Errorf("abandoned %s: %w", req.Op, err))
 	}

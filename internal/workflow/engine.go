@@ -30,6 +30,27 @@ type Engine struct {
 	svc core.MetadataService
 	lat *latency.Model
 	cfg EngineConfig
+	obs engineObs
+}
+
+// engineObs holds the engine's observability instruments, resolved once at
+// construction. All fields tolerate being nil (instrumentation disabled).
+type engineObs struct {
+	started   *metrics.Counter   // workflow_tasks_started_total
+	completed *metrics.Counter   // workflow_tasks_completed_total
+	failed    *metrics.Counter   // workflow_tasks_failed_total
+	retries   *metrics.Counter   // workflow_retries_total: polls that found an input not yet visible
+	taskTime  *metrics.Histogram // workflow_task_latency_ns (wall-clock)
+}
+
+func newEngineObs(reg *metrics.Registry) engineObs {
+	return engineObs{
+		started:   reg.Counter("workflow_tasks_started_total"),
+		completed: reg.Counter("workflow_tasks_completed_total"),
+		failed:    reg.Counter("workflow_tasks_failed_total"),
+		retries:   reg.Counter("workflow_retries_total"),
+		taskTime:  reg.Histogram("workflow_task_latency_ns"),
+	}
 }
 
 // EngineConfig tunes the execution engine.
@@ -45,6 +66,12 @@ type EngineConfig struct {
 	// SkipStageIn skips publishing metadata for the workflow's external
 	// inputs; use it when the caller has already registered them.
 	SkipStageIn bool
+	// Metrics selects the live-observability registry the engine reports
+	// tasks started/completed/failed, retry counts and task latencies to.
+	// nil means metrics.Default; DisableMetrics turns instrumentation off.
+	Metrics *metrics.Registry
+	// DisableMetrics disables live instrumentation even when Metrics is nil.
+	DisableMetrics bool
 }
 
 // DefaultRetryInterval is the default simulated metadata-poll interval.
@@ -63,7 +90,11 @@ func NewEngine(dep *cloud.Deployment, svc core.MetadataService, lat *latency.Mod
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = DefaultMaxRetries
 	}
-	return &Engine{dep: dep, svc: svc, lat: lat, cfg: cfg}
+	reg := cfg.Metrics
+	if reg == nil && !cfg.DisableMetrics {
+		reg = metrics.Default
+	}
+	return &Engine{dep: dep, svc: svc, lat: lat, cfg: cfg, obs: newEngineObs(reg)}
 }
 
 // Result summarizes one workflow execution.
@@ -193,9 +224,18 @@ func (e *Engine) Run(ctx context.Context, w *Workflow, sched Schedule) (Result, 
 				case <-stop:
 					return
 				case t := <-queue:
+					e.obs.started.Inc()
 					taskStart := time.Now()
 					reads, writes, retries, err := e.runTask(ctx, node, t)
-					elapsed := e.lat.ToSimulated(time.Since(taskStart))
+					wall := time.Since(taskStart)
+					if err == nil {
+						e.obs.completed.Inc()
+					} else {
+						e.obs.failed.Inc()
+					}
+					e.obs.retries.Add(int64(retries))
+					e.obs.taskTime.ObserveDuration(wall)
+					elapsed := e.lat.ToSimulated(wall)
 					mu.Lock()
 					res.Reads += reads
 					res.Writes += writes
