@@ -10,6 +10,15 @@
 //	metactl -addr 127.0.0.1:7070 ls
 //	metactl -addr 127.0.0.1:7070 stat
 //	metactl -metrics-addr 127.0.0.1:9090 stats
+//	metactl -shard-addrs 127.0.0.1:7071,127.0.0.1:7072 ls
+//
+// With -shard-addrs, metactl targets a sharded site directly: it builds the
+// same client-side routing tier a metaserver -shard-addrs process would, so
+// every command works against the shard servers without a routing process in
+// between (single-key commands go to the owning shard, del with many names
+// and ls fan out as one sub-batch per shard). Placement is derived from the
+// listing order, so pass the addresses in the same order the site's routing
+// tier uses — otherwise single-key commands consult the wrong shard.
 //
 // The -timeout flag is a real per-operation deadline: it bounds the dial and
 // each command's context, and the deadline is propagated over the wire so
@@ -34,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"geomds/internal/cloud"
@@ -51,6 +61,7 @@ const (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "registry server address")
+	shardAddrs := flag.String("shard-addrs", "", "comma-separated shard server addresses; commands run against a client-side routing tier instead of -addr")
 	pool := flag.Int("pool", rpc.DefaultPoolSize, "connection-pool size towards the server")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-operation deadline, propagated to the server")
 	metricsAddr := flag.String("metrics-addr", "127.0.0.1:9090", "metaserver metrics endpoint (for the stats command)")
@@ -87,13 +98,51 @@ func main() {
 	if backstop < 10*time.Second {
 		backstop = 10 * time.Second
 	}
-	dialCtx, cancel := opCtx()
-	client, err := rpc.Dial(dialCtx, *addr, rpc.WithPoolSize(*pool), rpc.WithTimeout(backstop))
-	cancel()
-	if err != nil {
-		fatal(err)
+	dial := func(a string) *rpc.Client {
+		dialCtx, cancel := opCtx()
+		defer cancel()
+		client, err := rpc.Dial(dialCtx, a, rpc.WithPoolSize(*pool), rpc.WithTimeout(backstop))
+		if err != nil {
+			fatal(err)
+		}
+		return client
 	}
-	defer client.Close()
+
+	// The commands below run against one registry.API: a single server's
+	// client, or — with -shard-addrs — a client-side router over the site's
+	// shard servers.
+	var (
+		api     registry.API
+		clients []*rpc.Client
+		target  string
+	)
+	if *shardAddrs != "" {
+		for _, a := range strings.Split(*shardAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				clients = append(clients, dial(a))
+			}
+		}
+		if len(clients) == 0 {
+			fmt.Fprintln(os.Stderr, "metactl: -shard-addrs contains no usable addresses")
+			os.Exit(exitUsage)
+		}
+		router, err := registry.NewRouter(clients[0].Site(), apisOf(clients))
+		if err != nil {
+			fatal(err)
+		}
+		api = router
+		target = fmt.Sprintf("%s (%d shards)", *shardAddrs, len(clients))
+	} else {
+		client := dial(*addr)
+		clients = []*rpc.Client{client}
+		api = client
+		target = client.Addr()
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
 
 	ctx, cancel := opCtx()
 	defer cancel()
@@ -120,7 +169,7 @@ func main() {
 		}
 		e := registry.NewEntry(args[1], size, "metactl",
 			registry.Location{Site: cloud.SiteID(site), Node: cloud.NodeID(node)})
-		stored, err := client.Create(ctx, e)
+		stored, err := api.Create(ctx, e)
 		if err != nil {
 			fatal(err)
 		}
@@ -131,7 +180,7 @@ func main() {
 			usage()
 			os.Exit(exitUsage)
 		}
-		e, err := client.Get(ctx, args[1])
+		e, err := api.Get(ctx, args[1])
 		if err != nil {
 			fatal(err)
 		}
@@ -147,14 +196,15 @@ func main() {
 			os.Exit(exitUsage)
 		}
 		if names := args[1:]; len(names) > 1 {
-			// Many names travel as one DeleteMany frame.
-			n, err := client.DeleteMany(ctx, names)
+			// Many names travel as one DeleteMany frame (one sub-batch per
+			// shard when targeting a sharded site).
+			n, err := api.DeleteMany(ctx, names)
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Printf("deleted %d of %d entries\n", n, len(names))
 		} else {
-			if err := client.Delete(ctx, names[0]); err != nil {
+			if err := api.Delete(ctx, names[0]); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("deleted %q\n", names[0])
@@ -163,7 +213,7 @@ func main() {
 	case "ls":
 		// Entries (not the best-effort Names) so a timeout or dead server is
 		// an error with the right exit code, not an empty listing.
-		entries, err := client.Entries(ctx)
+		entries, err := api.Entries(ctx)
 		if err != nil {
 			fatal(err)
 		}
@@ -173,16 +223,34 @@ func main() {
 
 	case "stat":
 		// Ping first: Len is best-effort and reads 0 on failure, which must
-		// not masquerade as an empty registry.
-		if err := client.Ping(ctx); err != nil {
-			fatal(err)
+		// not masquerade as an empty registry. Against a sharded site every
+		// shard server is pinged and reported.
+		for _, c := range clients {
+			if err := c.Ping(ctx); err != nil {
+				fatal(err)
+			}
 		}
-		fmt.Printf("address: %s\nsite:    %d\nentries: %d\n", client.Addr(), client.Site(), client.Len(ctx))
+		fmt.Printf("address: %s\nsite:    %d\nentries: %d\n", target, api.Site(), api.Len(ctx))
+		if len(clients) > 1 {
+			for _, c := range clients {
+				fmt.Printf("  shard %s: %d entries\n", c.Addr(), c.Len(ctx))
+			}
+		}
 
 	default:
 		usage()
 		os.Exit(exitUsage)
 	}
+}
+
+// apisOf widens the dialed shard clients to the registry API the router
+// composes over.
+func apisOf(clients []*rpc.Client) []registry.API {
+	apis := make([]registry.API, len(clients))
+	for i, c := range clients {
+		apis[i] = c
+	}
+	return apis
 }
 
 // renderStats scrapes the metaserver's metrics endpoint and renders the
@@ -221,7 +289,7 @@ func getJSON(ctx context.Context, url string, v any) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: metactl [-addr host:port] [-pool n] [-timeout d] <command>
+	fmt.Fprintln(os.Stderr, `usage: metactl [-addr host:port | -shard-addrs a,b,c] [-pool n] [-timeout d] <command>
 
 commands:
   put <name> <size> <site> [node]   publish a metadata entry

@@ -1,14 +1,26 @@
-// Command metaserver runs one metadata registry instance as a stand-alone
-// TCP server — the per-datacenter registry deployment of the paper, as a
-// separate process.
+// Command metaserver runs one metadata registry deployment as a stand-alone
+// TCP server — the per-datacenter registry of the paper, as a separate
+// process. The deployment behind the served API is configurable:
+//
+//   - the default is a single registry instance on one cache;
+//   - -shards N serves a horizontally sharded tier: N instances, each on its
+//     own capacity-bounded cache, behind a consistent-hash router (single-key
+//     operations route to the owning shard, bulk operations split into one
+//     concurrent sub-batch per shard);
+//   - -shard-addrs a,b,c serves a pure routing tier: the shards are other
+//     metaserver processes (typically plain single-instance ones) reached
+//     over RPC, so one site scales across machines.
 //
 // Usage:
 //
 //	metaserver -addr :7070 -site 1 -name "West Europe"
+//	metaserver -addr :7070 -site 1 -shards 4
+//	metaserver -addr :7070 -site 1 -shard-addrs 10.0.0.1:7071,10.0.0.2:7071
 //	metaserver -addr :7070 -site 1 -metrics-addr :9090
 //
 // Clients (cmd/metactl, cmd/wfrun, or the core strategies via rpc.Dial)
-// connect to the printed address.
+// connect to the printed address and cannot tell the three deployments
+// apart.
 //
 // With -metrics-addr the server additionally exposes its live metrics over
 // HTTP: GET /metrics serves the Prometheus text format, GET /metrics.json a
@@ -28,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,6 +59,8 @@ func main() {
 		serviceTime = flag.Duration("service-time", 0, "simulated per-operation service time of the cache instance")
 		concurrency = flag.Int("concurrency", 0, "bound on concurrently served cache operations (0 = unbounded)")
 		ha          = flag.Bool("ha", false, "back the registry with a primary/replica cache pair")
+		shards      = flag.Int("shards", 1, "serve a sharded tier of this many in-process registry instances behind a router (1 = single instance)")
+		shardAddrs  = flag.String("shard-addrs", "", "serve a routing tier over these comma-separated remote shard servers instead of local instances")
 		inflight    = flag.Int("inflight", rpc.DefaultMaxInflight, "max pipelined requests one connection may execute concurrently")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus (/metrics) and JSON (/metrics.json, /trace.json) metrics on this address; empty disables")
 	)
@@ -54,7 +69,8 @@ func main() {
 	logger := log.New(os.Stderr, "metaserver: ", log.LstdFlags)
 
 	// The server process owns its registry of live instruments; the RPC
-	// server and the cache tier report to it, and -metrics-addr exposes it.
+	// server, the router and the cache tier report to it, and -metrics-addr
+	// exposes it.
 	reg := metrics.NewRegistry()
 
 	newCache := func() *memcache.Cache {
@@ -64,14 +80,63 @@ func main() {
 			Metrics:     reg,
 		})
 	}
-	var store registry.Store
-	if *ha {
-		store = memcache.NewHA(newCache)
-	} else {
-		store = newCache()
+	newStore := func() registry.Store {
+		if *ha {
+			return memcache.NewHA(newCache)
+		}
+		return newCache()
 	}
-	inst := registry.NewInstance(cloud.SiteID(*site), store)
-	srv := rpc.NewServer(inst, logger, rpc.WithMaxInflight(*inflight), rpc.WithServerMetrics(reg))
+
+	var (
+		api        registry.API
+		deployment string
+	)
+	switch {
+	case *shardAddrs != "":
+		if *shards > 1 {
+			logger.Fatal("-shards and -shard-addrs are mutually exclusive")
+		}
+		addrs := strings.Split(*shardAddrs, ",")
+		proxies := make([]registry.API, 0, len(addrs))
+		for _, a := range addrs {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				continue
+			}
+			// A fresh context per dial: a tier of many (or slow) shards must
+			// not fail startup because earlier dials consumed one shared
+			// budget.
+			dialCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			client, err := rpc.Dial(dialCtx, a, rpc.WithMetrics(reg))
+			cancel()
+			if err != nil {
+				logger.Fatalf("dial shard %s: %v", a, err)
+			}
+			defer client.Close()
+			proxies = append(proxies, client)
+		}
+		router, err := registry.NewRouter(cloud.SiteID(*site), proxies, registry.WithRouterMetrics(reg))
+		if err != nil {
+			logger.Fatalf("shard router: %v", err)
+		}
+		api = router
+		deployment = fmt.Sprintf("routing tier over %d remote shards", len(proxies))
+	case *shards > 1:
+		insts := make([]registry.API, *shards)
+		for i := range insts {
+			insts[i] = registry.NewInstance(cloud.SiteID(*site), newStore())
+		}
+		router, err := registry.NewRouter(cloud.SiteID(*site), insts, registry.WithRouterMetrics(reg))
+		if err != nil {
+			logger.Fatalf("shard router: %v", err)
+		}
+		api = router
+		deployment = fmt.Sprintf("sharded tier of %d instances", *shards)
+	default:
+		api = registry.NewInstance(cloud.SiteID(*site), newStore())
+		deployment = "single instance"
+	}
+	srv := rpc.NewServer(api, logger, rpc.WithMaxInflight(*inflight), rpc.WithServerMetrics(reg))
 
 	bound, err := srv.Start(*addr)
 	if err != nil {
@@ -81,7 +146,7 @@ func main() {
 	if label == "" {
 		label = fmt.Sprintf("site-%d", *site)
 	}
-	fmt.Printf("metadata registry for %s (site %d) listening on %s\n", label, *site, bound)
+	fmt.Printf("metadata registry for %s (site %d, %s) listening on %s\n", label, *site, deployment, bound)
 
 	var metricsSrv *http.Server
 	if *metricsAddr != "" {
@@ -106,7 +171,7 @@ func main() {
 	for {
 		select {
 		case <-ticker.C:
-			logger.Printf("entries=%d requests=%d abandoned=%d", inst.Len(context.Background()), srv.Requests(), srv.Abandoned())
+			logger.Printf("entries=%d requests=%d abandoned=%d", api.Len(context.Background()), srv.Requests(), srv.Abandoned())
 		case s := <-sig:
 			logger.Printf("received %v, shutting down", s)
 			if metricsSrv != nil {

@@ -42,6 +42,7 @@ func main() {
 		scale     = flag.Float64("scale", 0, "override the time-compression factor (e.g. 0.01)")
 		size      = flag.Float64("size", 0, "override the workload size factor (1.0 = paper scale)")
 		nodes     = flag.Int("nodes", 0, "override the node count for fixed-size experiments")
+		shards    = flag.Int("shards", 0, "back every site's registry with this many shard instances behind a router (0/1 = single instance)")
 		csvPath   = flag.String("csv", "", "write the result series as CSV to this file")
 		seed      = flag.Int64("seed", 0, "override the random seed")
 		timeout   = flag.Duration("timeout", 0, "wall-clock deadline for the whole run; 0 means none")
@@ -64,6 +65,9 @@ func main() {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *shards > 1 {
+		cfg.ShardsPerSite = *shards
 	}
 
 	if !*all && *fig == 0 && *table == 0 && !*ablations {

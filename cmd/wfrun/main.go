@@ -36,6 +36,7 @@ func main() {
 		strategy  = flag.String("strategy", "dr", "metadata strategy: c, r, dn or dr")
 		compare   = flag.Bool("compare", false, "run the workflow under all four strategies")
 		nodes     = flag.Int("nodes", 32, "number of execution nodes")
+		shards    = flag.Int("shards", 0, "back every site's registry with this many shard instances behind a router (0/1 = single instance)")
 		tasks     = flag.Int("tasks", 32, "task count for the pattern workflows (pipeline, scatter, ...)")
 		scale     = flag.Float64("scale", 0.01, "time-compression factor for injected latencies")
 		size      = flag.Float64("size", 1.0, "workload size factor (fraction of the scenario's ops per task)")
@@ -95,6 +96,9 @@ func main() {
 	cfg := experiments.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Nodes = *nodes
+	if *shards > 1 {
+		cfg.ShardsPerSite = *shards
+	}
 
 	for _, kind := range kinds {
 		ctx := context.Background()
@@ -128,7 +132,9 @@ func main() {
 func runOnce(ctx context.Context, cfg experiments.Config, wf *workflow.Workflow, kind core.StrategyKind, sched workflow.Scheduler) (workflow.Result, error) {
 	topo := cloud.Azure4DC()
 	lat := latency.New(topo, latency.WithScale(cfg.Scale), latency.WithSeed(cfg.Seed))
-	fabric := core.NewFabric(topo, lat, core.WithCacheCapacity(cfg.ServiceTime, cfg.Concurrency))
+	fabric := core.NewFabric(topo, lat,
+		core.WithCacheCapacity(cfg.ServiceTime, cfg.Concurrency),
+		core.WithShardsPerSite(cfg.ShardsPerSite))
 	ctrl := core.NewController(fabric,
 		core.WithControllerSyncInterval(cfg.SyncInterval),
 		core.WithControllerLazy(cfg.FlushInterval, core.DefaultMaxBatch))

@@ -14,6 +14,18 @@
 // one harness per table and figure of the evaluation (experiments). The
 // package map and layer diagram live in docs/ARCHITECTURE.md.
 //
+// # Sharded per-site registry tier
+//
+// A site's registry deployment is not limited to one instance: registry.Router
+// implements registry.API over N shard instances — in-process or remote rpc
+// proxies — routing single-key operations to the shard owning the key and
+// splitting bulk operations into one concurrent sub-batch per shard, with
+// online shard add/remove and background entry migration. core.WithShardsPerSite
+// shards every fabric site, metaserver -shards / -shard-addrs serve a sharded
+// tier over TCP, and shard_bench_test.go measures the tier's throughput
+// scaling against the single-instance baseline (docs/ARCHITECTURE.md, "The
+// shard-router layer").
+//
 // # Context-first API
 //
 // The metadata stack is context-first end to end: every operation on

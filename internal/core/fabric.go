@@ -14,9 +14,13 @@ import (
 )
 
 // Fabric is the substrate every strategy builds on: one metadata registry
-// instance per participating datacenter (backed by the in-memory cache tier)
-// plus the latency model of the multi-site cloud. The same fabric can back
-// any strategy, which is what lets the ArchitectureController switch between
+// deployment per participating datacenter (backed by the in-memory cache
+// tier) plus the latency model of the multi-site cloud. A site's deployment
+// is a single instance by default, a registry.Router over several shard
+// instances under WithShardsPerSite, or an externally provided registry.API
+// (an rpc.Client proxy, or a Router over proxies) under WithInstances — the
+// strategies cannot tell the difference. The same fabric can back any
+// strategy, which is what lets the ArchitectureController switch between
 // them without redeploying anything.
 type Fabric struct {
 	topo  *cloud.Topology
@@ -33,8 +37,9 @@ type Fabric struct {
 	remoteOps *metrics.Counter      // core_remote_ops_total
 	trace     *metrics.TraceRing
 
-	sites     []cloud.SiteID
-	instances map[cloud.SiteID]registry.API
+	sites         []cloud.SiteID
+	instances     map[cloud.SiteID]registry.API
+	shardsPerSite int
 
 	// ackBytes is the modelled size of a small acknowledgement message.
 	ackBytes int
@@ -46,15 +51,16 @@ type Fabric struct {
 type FabricOption func(*fabricConfig)
 
 type fabricConfig struct {
-	sites        []cloud.SiteID
-	codec        registry.Codec
-	rec          *metrics.Recorder
-	metricsReg   *metrics.Registry
-	cacheFactory func(cloud.SiteID) registry.Store
-	instances    map[cloud.SiteID]registry.API
-	ha           bool
-	serviceTime  time.Duration
-	concurrency  int
+	sites         []cloud.SiteID
+	codec         registry.Codec
+	rec           *metrics.Recorder
+	metricsReg    *metrics.Registry
+	cacheFactory  func(cloud.SiteID) registry.Store
+	instances     map[cloud.SiteID]registry.API
+	ha            bool
+	serviceTime   time.Duration
+	concurrency   int
+	shardsPerSite int
 }
 
 // WithInstances backs specific sites with externally provided registry
@@ -100,6 +106,24 @@ func WithCacheFactory(f func(cloud.SiteID) registry.Store) FabricOption {
 // instead of a single cache, as the paper's managed cache tier does.
 func WithHACaches() FabricOption {
 	return func(c *fabricConfig) { c.ha = true }
+}
+
+// WithShardsPerSite backs every in-process site with a registry.Router over n
+// shard instances instead of a single instance: single-key operations route
+// to the shard owning the key and bulk operations split into one concurrent
+// sub-batch per shard, so a site's metadata throughput scales with n instead
+// of saturating at one cache instance's capacity. Each shard gets its own
+// cache built by the cache factory; the shards report to the fabric's metrics
+// registry, so cache occupancy and hit-rate series aggregate across the whole
+// sharded tier. Sites provided externally via WithInstances are not wrapped —
+// pass a Router there to shard a remote site. n <= 1 keeps the single-instance
+// layout.
+func WithShardsPerSite(n int) FabricOption {
+	return func(c *fabricConfig) {
+		if n > 1 {
+			c.shardsPerSite = n
+		}
+	}
 }
 
 // WithCacheCapacity tunes the modelled capacity of each per-site cache
@@ -176,14 +200,37 @@ func NewFabric(topo *cloud.Topology, lat *latency.Model, opts ...FabricOption) *
 	f.opsTotal = f.metrics.Counter("core_ops_total")
 	f.remoteOps = f.metrics.Counter("core_remote_ops_total")
 	f.trace = f.metrics.Trace()
+	f.shardsPerSite = cfg.shardsPerSite
 	for _, s := range cfg.sites {
 		if ext, ok := cfg.instances[s]; ok && ext != nil {
 			f.instances[s] = ext
 			continue
 		}
+		if cfg.shardsPerSite > 1 {
+			shards := make([]registry.API, cfg.shardsPerSite)
+			for i := range shards {
+				shards[i] = registry.NewInstance(s, cfg.cacheFactory(s), registry.WithCodec(cfg.codec))
+			}
+			router, err := registry.NewRouter(s, shards, registry.WithRouterMetrics(cfg.metricsReg))
+			if err != nil {
+				// Unreachable: shardsPerSite > 1 guarantees a non-empty tier.
+				panic(fmt.Sprintf("core: building shard router for site %d: %v", s, err))
+			}
+			f.instances[s] = router
+			continue
+		}
 		f.instances[s] = registry.NewInstance(s, cfg.cacheFactory(s), registry.WithCodec(cfg.codec))
 	}
 	return f
+}
+
+// ShardsPerSite returns how many registry shards back each in-process site
+// (1 = the classic single-instance layout).
+func (f *Fabric) ShardsPerSite() int {
+	if f.shardsPerSite > 1 {
+		return f.shardsPerSite
+	}
+	return 1
 }
 
 // Topology returns the cloud topology of the fabric.

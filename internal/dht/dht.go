@@ -145,14 +145,18 @@ func NewRingPlacer(sites []cloud.SiteID, virtualNodes int) *RingPlacer {
 	return p
 }
 
-// Home implements Placer.
+// Home implements Placer. The key hash runs through the same mix64
+// finalizer as the virtual-node labels: raw FNV-1a values of keys sharing a
+// prefix with short varying suffixes (file names in one directory, shard
+// keys "bulk/0".."bulk/255") cluster in a narrow band of the 64-bit space
+// and would all land on the same few arcs of the ring.
 func (p *RingPlacer) Home(key string) cloud.SiteID {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if len(p.ring) == 0 {
 		return cloud.NoSite
 	}
-	h := Hash64(key)
+	h := mix64(Hash64(key))
 	i := sort.Search(len(p.ring), func(i int) bool { return p.ring[i].hash >= h })
 	if i == len(p.ring) {
 		i = 0

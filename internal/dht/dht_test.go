@@ -154,6 +154,55 @@ func TestRingChurnMovesFewKeys(t *testing.T) {
 	}
 }
 
+// TestRingMembershipChangeBounds pins down the §VIII "server volatility"
+// claim the shard router relies on: when a member joins a consistent-hash
+// ring, only the keys the newcomer now owns move — survivors never shuffle
+// keys among themselves — and the moved fraction stays near the ideal 1/(n+1).
+// Symmetrically, when a member leaves, exactly the keys it owned move.
+func TestRingMembershipChangeBounds(t *testing.T) {
+	keys := sampleKeys(20000)
+	for _, n := range []int{2, 4, 8} {
+		before := NewRingPlacer(sites(n), 128)
+		after := NewRingPlacer(sites(n), 128)
+		joiner := cloud.SiteID(n)
+		after.Add(joiner)
+
+		moved, frac := Moved(before, after, keys)
+		ideal := 1.0 / float64(n+1)
+		if frac < ideal/2 || frac > 2*ideal {
+			t.Errorf("n=%d: join moved %.1f%% of keys; want within [%.1f%%, %.1f%%] of the ideal %.1f%%",
+				n, frac*100, ideal*50, ideal*200, ideal*100)
+		}
+		// Every moved key must have moved *to* the joiner.
+		shuffled := 0
+		for _, k := range keys {
+			if b, a := before.Home(k), after.Home(k); b != a && a != joiner {
+				shuffled++
+			}
+		}
+		if shuffled != 0 {
+			t.Errorf("n=%d: join shuffled %d of %d moved keys between surviving members", n, shuffled, moved)
+		}
+
+		// Leave: the joiner withdraws again; exactly its keys move back and
+		// the survivors recover the original placement.
+		after.Remove(joiner)
+		if backMoved, backFrac := Moved(before, after, keys); backMoved != 0 {
+			t.Errorf("n=%d: leave did not restore the original placement (%.1f%% still moved)", n, backFrac*100)
+		}
+
+		// Leave from the original ring: only the leaver's keys move.
+		leaver := cloud.SiteID(0)
+		owned := Distribution(before, keys)[leaver]
+		shrunk := NewRingPlacer(sites(n), 128)
+		shrunk.Remove(leaver)
+		leaveMoved, _ := Moved(before, shrunk, keys)
+		if leaveMoved != owned {
+			t.Errorf("n=%d: leave moved %d keys, want exactly the %d the leaver owned", n, leaveMoved, owned)
+		}
+	}
+}
+
 func TestMovedEmptyKeys(t *testing.T) {
 	p := NewModuloPlacer(sites(2))
 	n, frac := Moved(p, p, nil)

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// BenchResult is the machine-readable outcome of one benchmark run. Writing
+// one BENCH_<name>.json per run (see WriteJSON) gives the repository a
+// perf trajectory that scripts and CI can diff across commits, instead of
+// numbers that only ever existed in a terminal scrollback.
+type BenchResult struct {
+	// Name identifies the benchmark configuration (e.g.
+	// "sharded_registry_tier_4shards").
+	Name string `json:"name"`
+	// Ops is the number of operations the run performed.
+	Ops int `json:"ops"`
+	// OpsPerSec is the sustained throughput over the measured window.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// LatencyNs holds per-operation latency quantiles in nanoseconds.
+	LatencyNs BenchLatency `json:"latency_ns"`
+}
+
+// BenchLatency is the latency quantile block of a BenchResult.
+type BenchLatency struct {
+	P50 int64 `json:"p50"`
+	P90 int64 `json:"p90"`
+	P99 int64 `json:"p99"`
+	Max int64 `json:"max"`
+}
+
+// BenchRecorder collects per-operation latencies for one benchmark run and
+// turns them into a BenchResult. It is safe for concurrent Observe calls, so
+// parallel benchmark workers can share one recorder.
+type BenchRecorder struct {
+	name string
+	mu   sync.Mutex
+	durs []time.Duration
+}
+
+// NewBenchRecorder returns an empty recorder for the named benchmark.
+func NewBenchRecorder(name string) *BenchRecorder {
+	return &BenchRecorder{name: name}
+}
+
+// Observe records one operation's latency.
+func (r *BenchRecorder) Observe(d time.Duration) {
+	r.mu.Lock()
+	r.durs = append(r.durs, d)
+	r.mu.Unlock()
+}
+
+// Result summarizes the recorded operations into a BenchResult, deriving the
+// throughput from the given measured wall-clock window.
+func (r *BenchRecorder) Result(elapsed time.Duration) BenchResult {
+	r.mu.Lock()
+	durs := append([]time.Duration(nil), r.durs...)
+	r.mu.Unlock()
+	res := BenchResult{Name: r.name, Ops: len(durs)}
+	if elapsed > 0 {
+		res.OpsPerSec = float64(len(durs)) / elapsed.Seconds()
+	}
+	if len(durs) == 0 {
+		return res
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	q := func(p float64) int64 {
+		i := int(p * float64(len(durs)-1))
+		return int64(durs[i])
+	}
+	res.LatencyNs = BenchLatency{P50: q(0.50), P90: q(0.90), P99: q(0.99), Max: int64(durs[len(durs)-1])}
+	return res
+}
+
+// WriteJSON writes the result as BENCH_<name>.json in dir ("" or "." for the
+// working directory), returning the written path. The name is sanitized to a
+// filesystem-safe slug.
+func (res BenchResult) WriteJSON(dir string) (string, error) {
+	slug := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, res.Name)
+	if slug == "" {
+		return "", fmt.Errorf("experiments: benchmark result has no usable name (%q)", res.Name)
+	}
+	if dir == "" {
+		dir = "."
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+slug+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBenchRecorderQuantilesAndJSON(t *testing.T) {
+	rec := NewBenchRecorder("unit test/run #1")
+	// 1..100ms recorded from concurrent workers, like a parallel benchmark.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w + 1; i <= 100; i += 4 {
+				rec.Observe(time.Duration(i) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := rec.Result(2 * time.Second)
+	if res.Ops != 100 {
+		t.Fatalf("ops = %d, want 100", res.Ops)
+	}
+	if res.OpsPerSec != 50 {
+		t.Fatalf("ops/s = %v, want 50", res.OpsPerSec)
+	}
+	if got := time.Duration(res.LatencyNs.P50); got < 45*time.Millisecond || got > 55*time.Millisecond {
+		t.Errorf("p50 = %v, want ~50ms", got)
+	}
+	if got := time.Duration(res.LatencyNs.P99); got < 95*time.Millisecond {
+		t.Errorf("p99 = %v, want >= 95ms", got)
+	}
+	if got := time.Duration(res.LatencyNs.Max); got != 100*time.Millisecond {
+		t.Errorf("max = %v, want 100ms", got)
+	}
+	if res.LatencyNs.P50 > res.LatencyNs.P90 || res.LatencyNs.P90 > res.LatencyNs.P99 || res.LatencyNs.P99 > res.LatencyNs.Max {
+		t.Errorf("quantiles not monotonic: %+v", res.LatencyNs)
+	}
+
+	dir := t.TempDir()
+	path, err := res.WriteJSON(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_unit_test_run__1.json"); path != want {
+		t.Errorf("path = %q, want %q (name must be sanitized)", path, want)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("written file is not valid JSON: %v", err)
+	}
+	if back != res {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, res)
+	}
+}
+
+func TestBenchRecorderEmpty(t *testing.T) {
+	res := NewBenchRecorder("empty").Result(time.Second)
+	if res.Ops != 0 || res.OpsPerSec != 0 || res.LatencyNs != (BenchLatency{}) {
+		t.Errorf("empty recorder should produce a zero result, got %+v", res)
+	}
+}

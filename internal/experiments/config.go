@@ -50,6 +50,11 @@ type Config struct {
 	// CentralSite hosts the centralized registry and the sync agent; the
 	// paper places it arbitrarily, we default to West Europe.
 	CentralSite string
+	// ShardsPerSite backs every site's registry with a routing tier over this
+	// many shard instances (each with its own ServiceTime/Concurrency-bounded
+	// cache) instead of a single instance. 0 or 1 keeps the paper's
+	// one-instance-per-site layout.
+	ShardsPerSite int
 }
 
 // DefaultConfig reproduces the paper-scale experiments: full operation
@@ -132,6 +137,7 @@ func (c Config) newEnvironment(nodes int) *environment {
 	fabric := core.NewFabric(topo, lat,
 		core.WithCacheCapacity(c.ServiceTime, c.Concurrency),
 		core.WithRecorder(rec),
+		core.WithShardsPerSite(c.ShardsPerSite),
 	)
 	dep := cloud.NewDeployment(topo)
 	dep.SpreadNodes(nodes)

@@ -1,0 +1,1102 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"geomds/internal/cloud"
+	"geomds/internal/dht"
+	"geomds/internal/metrics"
+)
+
+// Router implements API over a horizontally-scaled tier of shard instances
+// within one site. Where a plain *Instance (or one rpc.Client) is the "one
+// registry per datacenter" deployment of the paper, a Router is N of them
+// behind one API: single-key operations are routed to the shard owning the
+// key (the same hashing machinery internal/dht uses to pick a site picks the
+// shard), and bulk operations are split into at most one sub-batch per shard,
+// issued concurrently and merged — a GetMany over a 4-shard site costs four
+// concurrent sub-batch calls, never one call per key.
+//
+// Because Router satisfies API, everything built over a registry instance —
+// the four strategies, the synchronization agent, the lazy propagator, the
+// RPC server — drives a sharded site transparently. The shards themselves may
+// be in-process *Instance values (one cache per shard, scaling the site's
+// bounded cache capacity) or rpc.Client proxies to shard servers running as
+// separate processes (scaling across machines).
+//
+// Membership can change online: AddShard and RemoveShard update the
+// consistent-hash placement and kick a background migration sweep that moves
+// the (few, thanks to consistent hashing) entries whose home shard changed.
+// Operations issued through the router stay reliable while a sweep is in
+// flight: a read that misses at a key's new home falls back to the other
+// shards, and a deletion is recorded and purged everywhere so a stale source
+// copy can never resurrect it. Routers that share shards but not state (a
+// second router process over the same shard servers) see plain eventual
+// consistency during a sweep instead — the contract the paper accepts for
+// server volatility (§VIII).
+//
+// Partial failures of bulk operations surface through the typed-error model:
+// the returned error wraps each failed shard's cause (so errors.Is sees
+// ErrUnavailable when a shard is unreachable), and sub-batches that did reach
+// their shard stay applied. Bulk application is idempotent, so callers — like
+// the sync agent — simply re-send on the next round.
+//
+// A Router is safe for concurrent use.
+type Router struct {
+	site   cloud.SiteID
+	placer dht.DynamicPlacer // over shard IDs masquerading as site IDs
+
+	// mu guards shards/nextID and serializes membership changes against the
+	// placer (which has its own lock for read paths).
+	mu     sync.RWMutex
+	shards map[cloud.SiteID]API // active shards plus shards draining after removal
+	nextID cloud.SiteID
+
+	// sweeps tracks in-flight background migration sweeps (see Wait);
+	// sweeping counts the active ones so the hot path can cheaply tell
+	// whether entries may currently live away from their home shard. It is
+	// raised *before* a membership change touches the placer and lowered
+	// only when the sweep (including retries) is over, so there is no window
+	// in which keys are off-home but the mitigations below are inactive.
+	// sweepGen increments on every sweepBegin: single-key fast paths snapshot
+	// it before their shard call and re-check it afterwards, catching even a
+	// sweep that started *and finished* while their call was in flight.
+	sweeps   sync.WaitGroup
+	sweeping atomic.Int32
+	sweepGen atomic.Uint64
+
+	// delMu guards deletedDuringSweep — the names deleted while a sweep was
+	// active — *and* serializes the sweeping transitions against it: notes
+	// are only recorded while the counter is positive and the set is cleared
+	// in the same critical section that drops the counter to zero, so a
+	// stale note can never leak into a later sweep. A sweep consults the set
+	// before and after merging a moved batch so a stale source copy cannot
+	// resurrect a concurrent deletion; writes re-establishing a name clear
+	// its note.
+	delMu              sync.Mutex
+	deletedDuringSweep map[string]bool
+
+	obs routerObs
+}
+
+// Router implements the registry API.
+var _ API = (*Router)(nil)
+
+// routerObs holds the router's observability instruments, resolved once at
+// construction. All fields tolerate being nil (instrumentation disabled).
+type routerObs struct {
+	shardsG    *metrics.Gauge   // router_shards: active shards in placement
+	bulkOps    *metrics.Counter // router_bulk_ops_total: bulk calls on the router
+	subBatches *metrics.Counter // router_subbatches_total: per-shard sub-batches issued
+	migrated   *metrics.Counter // router_migrated_entries_total: entries moved by sweeps
+	sweepsC    *metrics.Counter // router_sweeps_total: migration sweeps completed
+	sweepFails *metrics.Counter // router_sweep_failures_total: background sweeps abandoned after retries
+	suppressed *metrics.Counter // router_suppressed_errors_total: errors swallowed by best-effort ops
+}
+
+func newRouterObs(reg *metrics.Registry) routerObs {
+	return routerObs{
+		shardsG:    reg.Gauge("router_shards"),
+		bulkOps:    reg.Counter("router_bulk_ops_total"),
+		subBatches: reg.Counter("router_subbatches_total"),
+		migrated:   reg.Counter("router_migrated_entries_total"),
+		sweepsC:    reg.Counter("router_sweeps_total"),
+		sweepFails: reg.Counter("router_sweep_failures_total"),
+		suppressed: reg.Counter("router_suppressed_errors_total"),
+	}
+}
+
+// RouterOption configures a Router.
+type RouterOption func(*routerConfig)
+
+type routerConfig struct {
+	placerFactory func(shardIDs []cloud.SiteID) dht.DynamicPlacer
+	metrics       *metrics.Registry
+}
+
+// WithRouterPlacer selects how keys map to shards. The factory receives the
+// initial shard IDs and must return a dynamic placer over them. The default
+// is a consistent-hash ring (dht.NewRingPlacer), which keeps migration small
+// when shards join or leave; pass dht.NewModuloPlacer for the paper's flat
+// hash-mod-n scheme.
+func WithRouterPlacer(f func(shardIDs []cloud.SiteID) dht.DynamicPlacer) RouterOption {
+	return func(c *routerConfig) { c.placerFactory = f }
+}
+
+// WithRouterMetrics selects the registry the router's instruments report to:
+// the active-shard gauge, bulk-call and sub-batch counters (their ratio is
+// the fan-out factor), migrated-entry and sweep counters, and the
+// suppressed-error counter fed by best-effort operations. The default is
+// metrics.Default; pass nil to disable instrumentation entirely.
+func WithRouterMetrics(reg *metrics.Registry) RouterOption {
+	return func(c *routerConfig) { c.metrics = reg }
+}
+
+// NewRouter builds a routing tier for the given site over the given shard
+// instances. Shards are assigned IDs 0..n-1 in input order; AddShard hands
+// out the following IDs.
+func NewRouter(site cloud.SiteID, shards []API, opts ...RouterOption) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("registry: router needs at least one shard")
+	}
+	cfg := routerConfig{
+		placerFactory: func(ids []cloud.SiteID) dht.DynamicPlacer { return dht.NewRingPlacer(ids, 0) },
+		metrics:       metrics.Default,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ids := make([]cloud.SiteID, len(shards))
+	m := make(map[cloud.SiteID]API, len(shards))
+	for i, s := range shards {
+		ids[i] = cloud.SiteID(i)
+		m[cloud.SiteID(i)] = s
+	}
+	r := &Router{
+		site:   site,
+		placer: cfg.placerFactory(ids),
+		shards: m,
+		nextID: cloud.SiteID(len(shards)),
+		obs:    newRouterObs(cfg.metrics),
+	}
+	r.obs.shardsG.Add(int64(len(shards)))
+	return r, nil
+}
+
+// Site implements API: the datacenter this sharded tier serves as a whole.
+func (r *Router) Site() cloud.SiteID { return r.site }
+
+// Shards returns the IDs of the shards currently participating in placement,
+// sorted. Shards still draining after RemoveShard are excluded.
+func (r *Router) Shards() []cloud.SiteID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.placer.Sites()
+}
+
+// ShardCount returns the number of shards currently participating in
+// placement.
+func (r *Router) ShardCount() int { return len(r.Shards()) }
+
+// Home returns the shard ID owning the given key under the current
+// placement.
+func (r *Router) Home(name string) cloud.SiteID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.placer.Home(name)
+}
+
+// shardFor resolves the shard owning name under the current placement.
+func (r *Router) shardFor(name string) (cloud.SiteID, API, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	id := r.placer.Home(name)
+	api, ok := r.shards[id]
+	if id == cloud.NoSite || !ok {
+		return 0, nil, fmt.Errorf("registry: router for site %d: no shard owns %q: %w", r.site, name, ErrUnavailable)
+	}
+	return id, api, nil
+}
+
+// snapshotShards returns every shard currently attached — active ones plus
+// any still draining — for full-tier fan-outs (Entries, Names, Len).
+func (r *Router) snapshotShards() map[cloud.SiteID]API {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[cloud.SiteID]API, len(r.shards))
+	for id, api := range r.shards {
+		out[id] = api
+	}
+	return out
+}
+
+// shardErr wraps the per-shard failures of one routed operation. errors.Is
+// and errors.As see through to every cause, so a caller checking
+// ErrUnavailable (core.ErrSiteUnreachable) matches if any shard was
+// unreachable.
+func (r *Router) shardErr(op string, errs []error) error {
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("registry: router %s at site %d: %w", op, r.site, errors.Join(errs...))
+}
+
+// Create implements API: routed to the shard owning the entry's name. A
+// create during a sweep forgets any deletion note for the name first — the
+// write re-establishes the entry, and a sweep's post-merge check must not
+// undo it — and restores the note if the write fails. A membership change
+// that begins while the fast-path write is in flight is caught by a re-check
+// afterwards: the acknowledged entry is re-anchored at its current home so
+// the sweep's source cleanup cannot orphan it.
+func (r *Router) Create(ctx context.Context, e Entry) (Entry, error) {
+	home, api, err := r.shardFor(e.Name)
+	if err != nil {
+		return Entry{}, err
+	}
+	gen := r.sweepGen.Load()
+	if !r.sweepActive() {
+		stored, cerr := api.Create(ctx, e)
+		if cerr == nil && (r.sweepActive() || r.sweepGen.Load() != gen) {
+			// A sweep started (and possibly finished) while the write was
+			// in flight.
+			r.reanchorWrite(ctx, home, stored)
+		}
+		return stored, cerr
+	}
+	noted := r.clearDeleted(e.Name)
+	stored, err := api.Create(ctx, e)
+	if err != nil && noted && !errors.Is(err, ErrExists) {
+		// The entry stays absent; the deletion must stand. Re-note it and
+		// re-assert it across the tier — the in-flight sweep may have merged
+		// a stale copy during the window the note was cleared.
+		r.deleteDuringSweep(ctx, home, api, e.Name) //nolint:errcheck // best-effort re-assertion of the standing deletion
+	}
+	return stored, err
+}
+
+// Put implements API: routed to the shard owning the entry's name. Like
+// Create, a put during a sweep clears the name's deletion note (restoring
+// it if the write fails), and a fast-path put that raced a membership
+// change re-anchors the entry at its current home.
+func (r *Router) Put(ctx context.Context, e Entry) (Entry, error) {
+	home, api, err := r.shardFor(e.Name)
+	if err != nil {
+		return Entry{}, err
+	}
+	gen := r.sweepGen.Load()
+	if !r.sweepActive() {
+		stored, perr := api.Put(ctx, e)
+		if perr == nil && (r.sweepActive() || r.sweepGen.Load() != gen) {
+			r.reanchorWrite(ctx, home, stored)
+		}
+		return stored, perr
+	}
+	noted := r.clearDeleted(e.Name)
+	stored, err := api.Put(ctx, e)
+	if err != nil && noted {
+		// See Create: re-assert the standing deletion everywhere.
+		r.deleteDuringSweep(ctx, home, api, e.Name) //nolint:errcheck // best-effort re-assertion of the standing deletion
+	}
+	return stored, err
+}
+
+// reanchorWrite handles an acknowledged fast-path write that raced the start
+// of a membership change: if the entry's home moved while the write was in
+// flight, the stored entry is upserted at its current home too, so the
+// migration sweep's source-side cleanup can never leave the acknowledged
+// write behind on a shard that no longer owns it. Clearing the deletion note
+// also keeps the sweep's post-merge check from undoing the write.
+func (r *Router) reanchorWrite(ctx context.Context, wroteTo cloud.SiteID, e Entry) {
+	r.clearDeleted(e.Name)
+	if home, api, err := r.shardFor(e.Name); err == nil && home != wroteTo {
+		api.Put(ctx, e) //nolint:errcheck // best-effort: the sweep migrating the original copy converges the same way
+	}
+}
+
+// Get implements API: routed to the shard owning the name. While a
+// migration sweep is in flight an entry may not have reached its new home
+// yet, so a miss at the home shard falls back to the other shards before
+// answering ErrNotFound — reads stay reliable through membership changes.
+func (r *Router) Get(ctx context.Context, name string) (Entry, error) {
+	home, api, err := r.shardFor(name)
+	if err != nil {
+		return Entry{}, err
+	}
+	e, err := api.Get(ctx, name)
+	if err == nil || !errors.Is(err, ErrNotFound) || !r.sweepActive() {
+		return e, err
+	}
+	for id, other := range r.snapshotShards() {
+		if id == home {
+			continue
+		}
+		if e, ferr := other.Get(ctx, name); ferr == nil {
+			return e, nil
+		}
+	}
+	return Entry{}, err
+}
+
+// Contains implements API. It is best-effort like every other
+// implementation; a tier with no shard owning the name reads as "absent" and
+// feeds the suppressed-error counter so the degradation is observable.
+// During a migration sweep a miss at the home shard falls back to the other
+// shards, matching Get.
+func (r *Router) Contains(ctx context.Context, name string) bool {
+	home, api, err := r.shardFor(name)
+	if err != nil {
+		r.obs.suppressed.Inc()
+		return false
+	}
+	if api.Contains(ctx, name) {
+		return true
+	}
+	if !r.sweepActive() {
+		return false
+	}
+	for id, other := range r.snapshotShards() {
+		if id == home {
+			continue
+		}
+		if other.Contains(ctx, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// AddLocation implements API: routed to the shard owning the name.
+func (r *Router) AddLocation(ctx context.Context, name string, loc Location) (Entry, error) {
+	_, api, err := r.shardFor(name)
+	if err != nil {
+		return Entry{}, err
+	}
+	return api.AddLocation(ctx, name, loc)
+}
+
+// Delete implements API: routed to the shard owning the name. While a
+// migration sweep is in flight the deletion is additionally recorded (so the
+// sweep cannot resurrect it from a stale source copy — see sweepShard) and
+// purged from every other shard that may still hold an un-migrated copy. A
+// sweep that begins while the fast-path delete is in flight is caught by a
+// re-check afterwards, which re-runs the sweep-aware path (it is
+// idempotent).
+func (r *Router) Delete(ctx context.Context, name string) error {
+	home, api, err := r.shardFor(name)
+	if err != nil {
+		return err
+	}
+	gen := r.sweepGen.Load()
+	if r.sweepActive() {
+		return r.deleteDuringSweep(ctx, home, api, name)
+	}
+	err = api.Delete(ctx, name)
+	if r.sweepActive() || r.sweepGen.Load() != gen {
+		// A sweep started (and possibly even finished) while the fast-path
+		// delete was in flight; re-run the sweep-aware path to purge any
+		// copy the sweep migrated meanwhile (it is idempotent).
+		rerr := r.deleteDuringSweep(ctx, home, api, name)
+		if err == nil {
+			// Already acknowledged by the fast path; the re-run only cleans
+			// up copies the racing sweep may have moved.
+			return nil
+		}
+		return rerr
+	}
+	return err
+}
+
+// deleteDuringSweep is the sweep-aware delete path: it notes the deletion
+// *before* touching any shard — a sweep that merges a stale copy afterwards
+// is guaranteed to see the note in its post-merge check and undo the
+// resurrection — deletes at the home shard and concurrently purges every
+// other shard that may still hold an un-migrated copy.
+func (r *Router) deleteDuringSweep(ctx context.Context, home cloud.SiteID, api API, name string) error {
+	r.noteDeleted(name)
+	err := api.Delete(ctx, name)
+
+	var (
+		mu     sync.Mutex
+		purged int
+		errs   []error
+		wg     sync.WaitGroup
+	)
+	for id, other := range r.snapshotShards() {
+		if id == home {
+			continue
+		}
+		wg.Add(1)
+		go func(id cloud.SiteID, other API) {
+			defer wg.Done()
+			n, derr := other.DeleteMany(ctx, []string{name})
+			mu.Lock()
+			defer mu.Unlock()
+			if derr != nil {
+				errs = append(errs, fmt.Errorf("shard %d: %w", id, derr))
+				return
+			}
+			purged += n
+		}(id, other)
+	}
+	wg.Wait()
+
+	// A copy found only on a non-home shard (not migrated yet) still counts
+	// as a successful delete.
+	if errors.Is(err, ErrNotFound) && purged > 0 {
+		err = nil
+	}
+	if err != nil {
+		errs = append([]error{err}, errs...)
+	}
+	if len(errs) > 0 {
+		return r.shardErr("delete", errs)
+	}
+	return nil
+}
+
+// sweepActive reports whether a migration sweep is currently in flight.
+func (r *Router) sweepActive() bool { return r.sweeping.Load() > 0 }
+
+// sweepBegin marks one sweep as in flight. It runs before the membership
+// change it covers touches the placer, so the hot-path mitigations (read
+// fallback, deletion notes and purges) are active the moment keys can be
+// off-home.
+func (r *Router) sweepBegin() {
+	r.delMu.Lock()
+	r.sweeping.Add(1)
+	r.sweepGen.Add(1)
+	r.delMu.Unlock()
+}
+
+// sweepEnd retires one sweep, clearing the deletion notes when it was the
+// last — in the same critical section that drops the counter, so a
+// concurrent noteDeleted cannot slip a note into the dying generation.
+func (r *Router) sweepEnd() {
+	r.delMu.Lock()
+	if r.sweeping.Add(-1) == 0 {
+		r.deletedDuringSweep = nil
+	}
+	r.delMu.Unlock()
+}
+
+// noteDeleted records a deletion performed while a sweep is active; if the
+// last sweep just retired, the note is not needed and not recorded.
+func (r *Router) noteDeleted(name string) {
+	r.delMu.Lock()
+	if r.sweeping.Load() > 0 {
+		if r.deletedDuringSweep == nil {
+			r.deletedDuringSweep = make(map[string]bool)
+		}
+		r.deletedDuringSweep[name] = true
+	}
+	r.delMu.Unlock()
+}
+
+// clearDeleted forgets the deletion note for a name a write is about to
+// re-establish, so a sweep's post-merge check cannot undo a fresh
+// Create/Put. It reports whether a note existed, so a failed write can
+// restore exactly the protection it removed — and never invent a note for a
+// name that was not deleted.
+func (r *Router) clearDeleted(name string) bool {
+	r.delMu.Lock()
+	defer r.delMu.Unlock()
+	if !r.deletedDuringSweep[name] {
+		return false
+	}
+	delete(r.deletedDuringSweep, name)
+	return true
+}
+
+// deletedSince reports which of the given names were deleted while a sweep
+// was active.
+func (r *Router) deletedSince(names []string) []string {
+	r.delMu.Lock()
+	defer r.delMu.Unlock()
+	var out []string
+	for _, n := range names {
+		if r.deletedDuringSweep[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// nameGroup is the slice of input positions one shard is responsible for.
+type nameGroup struct {
+	api API
+	idx []int
+}
+
+// groupNames partitions input positions by owning shard. Bulk operations use
+// it to build exactly one sub-batch per shard.
+func (r *Router) groupNames(names []string) (map[cloud.SiteID]*nameGroup, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	groups := make(map[cloud.SiteID]*nameGroup)
+	for i, name := range names {
+		id := r.placer.Home(name)
+		api, ok := r.shards[id]
+		if id == cloud.NoSite || !ok {
+			return nil, fmt.Errorf("registry: router for site %d: no shard owns %q: %w", r.site, name, ErrUnavailable)
+		}
+		g := groups[id]
+		if g == nil {
+			g = &nameGroup{api: api}
+			groups[id] = g
+		}
+		g.idx = append(g.idx, i)
+	}
+	return groups, nil
+}
+
+// GetMany implements API: the name list is split into one sub-batch per
+// owning shard, the sub-batches are issued concurrently, and the found
+// entries are returned in input order (absent names are skipped, matching
+// the single-shard semantics).
+func (r *Router) GetMany(ctx context.Context, names []string) ([]Entry, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	groups, err := r.groupNames(names)
+	if err != nil {
+		return nil, err
+	}
+	r.countBulk(len(groups))
+
+	var (
+		mu    sync.Mutex
+		found = make(map[string]Entry, len(names))
+		errs  []error
+		wg    sync.WaitGroup
+	)
+	for id, g := range groups {
+		sub := make([]string, len(g.idx))
+		for i, pos := range g.idx {
+			sub[i] = names[pos]
+		}
+		wg.Add(1)
+		go func(id cloud.SiteID, api API, sub []string) {
+			defer wg.Done()
+			batch, err := api.GetMany(ctx, sub)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, fmt.Errorf("shard %d: %w", id, err))
+				return
+			}
+			for _, e := range batch {
+				found[e.Name] = e
+			}
+		}(id, g.api, sub)
+	}
+	wg.Wait()
+	if err := r.shardErr("get-many", errs); err != nil {
+		return nil, err
+	}
+
+	// During a migration sweep an entry may not have reached its new home
+	// yet; names the home shards missed fall back to the whole tier (one
+	// concurrent sub-batch per shard), matching Get's fallback semantics.
+	if r.sweepActive() {
+		var missing []string
+		seenMissing := make(map[string]bool)
+		for _, name := range names {
+			if _, ok := found[name]; !ok && !seenMissing[name] {
+				seenMissing[name] = true
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) > 0 {
+			var fwg sync.WaitGroup
+			for _, api := range r.snapshotShards() {
+				fwg.Add(1)
+				go func(api API) {
+					defer fwg.Done()
+					batch, ferr := api.GetMany(ctx, missing)
+					if ferr != nil {
+						return // best-effort fallback; the home answer stands
+					}
+					mu.Lock()
+					for _, e := range batch {
+						if _, ok := found[e.Name]; !ok {
+							found[e.Name] = e
+						}
+					}
+					mu.Unlock()
+				}(api)
+			}
+			fwg.Wait()
+		}
+	}
+
+	out := make([]Entry, 0, len(found))
+	seen := make(map[string]bool, len(found))
+	for _, name := range names {
+		if e, ok := found[name]; ok && !seen[name] {
+			seen[name] = true
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// PutMany implements API: the batch is split into one sub-batch per owning
+// shard, issued concurrently, and the stored entries are returned in input
+// order. Sub-batches that reached their shard stay applied even when another
+// shard fails; the returned error wraps every failed shard's cause.
+func (r *Router) PutMany(ctx context.Context, entries []Entry) ([]Entry, error) {
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name
+	}
+	groups, err := r.groupNames(names)
+	if err != nil {
+		return nil, err
+	}
+	r.countBulk(len(groups))
+
+	var (
+		mu   sync.Mutex
+		errs []error
+		wg   sync.WaitGroup
+	)
+	out := make([]Entry, len(entries))
+	for id, g := range groups {
+		sub := make([]Entry, len(g.idx))
+		for i, pos := range g.idx {
+			sub[i] = entries[pos]
+		}
+		wg.Add(1)
+		go func(id cloud.SiteID, api API, g *nameGroup, sub []Entry) {
+			defer wg.Done()
+			stored, err := api.PutMany(ctx, sub)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, fmt.Errorf("shard %d: %w", id, err))
+				return
+			}
+			for i, pos := range g.idx {
+				if i < len(stored) {
+					out[pos] = stored[i]
+				}
+			}
+		}(id, g.api, g, sub)
+	}
+	wg.Wait()
+	if err := r.shardErr("put-many", errs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DeleteMany implements API: one sub-batch per owning shard, issued
+// concurrently; the count of present-and-removed entries is summed. Shards
+// that were reached stay applied on partial failure.
+func (r *Router) DeleteMany(ctx context.Context, names []string) (int, error) {
+	if len(names) == 0 {
+		return 0, nil
+	}
+	groups, err := r.groupNames(names)
+	if err != nil {
+		return 0, err
+	}
+	r.countBulk(len(groups))
+
+	var (
+		mu    sync.Mutex
+		total int
+		errs  []error
+		wg    sync.WaitGroup
+	)
+	for id, g := range groups {
+		sub := make([]string, len(g.idx))
+		for i, pos := range g.idx {
+			sub[i] = names[pos]
+		}
+		wg.Add(1)
+		go func(id cloud.SiteID, api API, sub []string) {
+			defer wg.Done()
+			n, err := api.DeleteMany(ctx, sub)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, fmt.Errorf("shard %d: %w", id, err))
+				return
+			}
+			total += n
+		}(id, g.api, sub)
+	}
+	wg.Wait()
+	return total, r.shardErr("delete-many", errs)
+}
+
+// Merge implements API: one sub-batch per owning shard, issued concurrently;
+// the number of applied entries is summed. Shards that were reached stay
+// applied on partial failure — merge is idempotent, so the caller re-sends
+// the whole batch on the next round.
+func (r *Router) Merge(ctx context.Context, entries []Entry) (int, error) {
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name
+	}
+	groups, err := r.groupNames(names)
+	if err != nil {
+		return 0, err
+	}
+	r.countBulk(len(groups))
+
+	var (
+		mu      sync.Mutex
+		applied int
+		errs    []error
+		wg      sync.WaitGroup
+	)
+	for id, g := range groups {
+		sub := make([]Entry, len(g.idx))
+		for i, pos := range g.idx {
+			sub[i] = entries[pos]
+		}
+		wg.Add(1)
+		go func(id cloud.SiteID, api API, sub []Entry) {
+			defer wg.Done()
+			n, err := api.Merge(ctx, sub)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, fmt.Errorf("shard %d: %w", id, err))
+				return
+			}
+			applied += n
+		}(id, g.api, sub)
+	}
+	wg.Wait()
+	return applied, r.shardErr("merge", errs)
+}
+
+// Entries implements API: every shard (including ones still draining) is
+// queried concurrently and the results are merged, deduplicating by name —
+// during a migration sweep an entry may briefly live on two shards, and the
+// copy with the higher version wins.
+func (r *Router) Entries(ctx context.Context) ([]Entry, error) {
+	shards := r.snapshotShards()
+	r.countBulk(len(shards))
+	var (
+		mu   sync.Mutex
+		best = make(map[string]Entry)
+		errs []error
+		wg   sync.WaitGroup
+	)
+	for id, api := range shards {
+		wg.Add(1)
+		go func(id cloud.SiteID, api API) {
+			defer wg.Done()
+			batch, err := api.Entries(ctx)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, fmt.Errorf("shard %d: %w", id, err))
+				return
+			}
+			for _, e := range batch {
+				if cur, ok := best[e.Name]; !ok || e.Version > cur.Version {
+					best[e.Name] = e
+				}
+			}
+		}(id, api)
+	}
+	wg.Wait()
+	if err := r.shardErr("entries", errs); err != nil {
+		return nil, err
+	}
+	out := make([]Entry, 0, len(best))
+	for _, e := range best {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Names implements API: every shard is queried concurrently and the name
+// sets are unioned. Best-effort like the other implementations — a shard
+// that answers nothing contributes nothing.
+func (r *Router) Names(ctx context.Context) []string {
+	if ctx.Err() != nil {
+		r.obs.suppressed.Inc()
+		return nil
+	}
+	shards := r.snapshotShards()
+	r.countBulk(len(shards))
+	var (
+		mu   sync.Mutex
+		seen = make(map[string]bool)
+		wg   sync.WaitGroup
+	)
+	for _, api := range shards {
+		wg.Add(1)
+		go func(api API) {
+			defer wg.Done()
+			names := api.Names(ctx)
+			mu.Lock()
+			defer mu.Unlock()
+			for _, n := range names {
+				seen[n] = true
+			}
+		}(api)
+	}
+	wg.Wait()
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len implements API: the shard sizes are summed, querying every shard
+// concurrently like the other full-tier fan-outs (best-effort; an entry
+// mid-migration may briefly count twice).
+func (r *Router) Len(ctx context.Context) int {
+	var (
+		total atomic.Int64
+		wg    sync.WaitGroup
+	)
+	for _, api := range r.snapshotShards() {
+		wg.Add(1)
+		go func(api API) {
+			defer wg.Done()
+			total.Add(int64(api.Len(ctx)))
+		}(api)
+	}
+	wg.Wait()
+	return int(total.Load())
+}
+
+// countBulk feeds the bulk-call and sub-batch counters; their ratio is the
+// observed fan-out factor of the tier.
+func (r *Router) countBulk(subBatches int) {
+	r.obs.bulkOps.Inc()
+	r.obs.subBatches.Add(int64(subBatches))
+}
+
+// AddShard attaches a new shard to the tier, returning its ID. The shard
+// immediately participates in placement and a background migration sweep
+// moves the entries the consistent-hash ring now assigns to it. Call Wait to
+// block until the sweep completes, or Rebalance to run one synchronously.
+func (r *Router) AddShard(api API) cloud.SiteID {
+	// Raise the sweep flag before the placer changes: from the very first
+	// moment a key's home can differ from where its entry lives, reads fall
+	// back and deletions purge/note (see Get, Delete).
+	r.sweepBegin()
+	r.mu.Lock()
+	id := r.nextID
+	r.nextID++
+	r.shards[id] = api
+	r.placer.Add(id)
+	r.mu.Unlock()
+	r.obs.shardsG.Add(1)
+	r.spawnSweep()
+	return id
+}
+
+// RemoveShard withdraws a shard from placement. Its entries are drained to
+// their new home shards by a background migration sweep, after which the
+// shard is detached entirely; until then full-tier reads (Entries, Names)
+// still see it. Removing the last shard or an unknown ID is an error.
+func (r *Router) RemoveShard(id cloud.SiteID) error {
+	r.sweepBegin() // before the placer changes; see AddShard
+	r.mu.Lock()
+	if _, ok := r.shards[id]; !ok {
+		r.mu.Unlock()
+		r.sweepEnd()
+		return fmt.Errorf("registry: router for site %d: no shard %d", r.site, id)
+	}
+	active := r.placer.Sites()
+	inPlacement := false
+	for _, s := range active {
+		if s == id {
+			inPlacement = true
+		}
+	}
+	if !inPlacement {
+		r.mu.Unlock()
+		r.sweepEnd()
+		return fmt.Errorf("registry: router for site %d: shard %d is already draining", r.site, id)
+	}
+	if len(active) <= 1 {
+		r.mu.Unlock()
+		r.sweepEnd()
+		return fmt.Errorf("registry: router for site %d: cannot remove the last shard", r.site)
+	}
+	r.placer.Remove(id)
+	r.mu.Unlock()
+	r.obs.shardsG.Add(-1)
+	r.spawnSweep()
+	return nil
+}
+
+// sweepRetries bounds how often a failed background sweep is retried before
+// it is abandoned (counted in router_sweep_failures_total; an explicit
+// Rebalance or the next membership change picks the migration up again).
+const sweepRetries = 5
+
+// spawnSweep runs the migration sweep asynchronously — membership changes
+// use it so AddShard/RemoveShard return immediately. The caller must have
+// called sweepBegin already; the sweep retires it when done. Transient
+// failures (an unreachable remote shard) are retried with backoff so keys
+// are not left off-home with the mitigations disarmed; a sweep abandoned
+// after the retry budget is observable via router_sweep_failures_total.
+func (r *Router) spawnSweep() {
+	r.sweeps.Add(1)
+	go func() {
+		defer r.sweeps.Done()
+		defer r.sweepEnd()
+		for attempt := 0; ; attempt++ {
+			_, err := r.rebalance(context.Background())
+			if err == nil {
+				return
+			}
+			if attempt >= sweepRetries {
+				r.obs.sweepFails.Inc()
+				return
+			}
+			time.Sleep(time.Duration(attempt+1) * 50 * time.Millisecond)
+		}
+	}()
+}
+
+// Wait blocks until every background migration sweep started by AddShard or
+// RemoveShard has completed.
+func (r *Router) Wait() { r.sweeps.Wait() }
+
+// Rebalance sweeps every shard and migrates entries whose home changed
+// (because a shard joined or left) to their current owner, one bulk Merge
+// per destination shard followed by one bulk DeleteMany on the source.
+// Shards that have been withdrawn from placement are dropped from the tier
+// once their drain completes. It returns how many entries moved.
+//
+// Rebalance is safe to call at any time — a no-op sweep moves nothing — and
+// is idempotent: migration uses the same last-writer-wins merge as
+// inter-site propagation, so re-running a partially failed sweep converges.
+// Deletions issued through *this* router while the sweep runs are tracked
+// and can never be resurrected by a stale source copy; concurrent routers
+// over the same shards (e.g. a client-side metactl router) do not share
+// that protection.
+func (r *Router) Rebalance(ctx context.Context) (int, error) {
+	r.sweepBegin()
+	defer r.sweepEnd()
+	return r.rebalance(ctx)
+}
+
+// rebalance is Rebalance without the sweep-flag management; spawnSweep calls
+// it under a flag the membership change already raised.
+func (r *Router) rebalance(ctx context.Context) (int, error) {
+	moved := 0
+	var errs []error
+	for id, api := range r.snapshotShards() {
+		n, err := r.sweepShard(ctx, id, api)
+		moved += n
+		if err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", id, err))
+			continue
+		}
+		// A drained shard that no longer participates in placement is
+		// detached once it holds nothing. The placer read and the (possibly
+		// remote, possibly slow) Len call run outside the router lock so a
+		// struggling drained shard never stalls the tier's hot path; only
+		// the map delete itself takes the lock.
+		inPlacement := false
+		for _, s := range r.placer.Sites() {
+			if s == id {
+				inPlacement = true
+			}
+		}
+		if !inPlacement && api.Len(ctx) == 0 {
+			r.mu.Lock()
+			delete(r.shards, id)
+			r.mu.Unlock()
+		}
+	}
+	if moved > 0 {
+		r.obs.migrated.Add(int64(moved))
+	}
+	err := r.shardErr("rebalance", errs)
+	if err == nil {
+		// Only clean sweeps count as completed; failed attempts surface via
+		// router_sweep_failures_total once the retry budget is spent.
+		r.obs.sweepsC.Inc()
+	}
+	return moved, err
+}
+
+// sweepShard moves the entries of one shard that the current placement
+// assigns elsewhere: grouped per destination, one bulk Merge per destination
+// shard, then one bulk DeleteMany on the source for the entries that were
+// safely merged.
+func (r *Router) sweepShard(ctx context.Context, id cloud.SiteID, api API) (int, error) {
+	entries, err := api.Entries(ctx)
+	if err != nil {
+		return 0, err
+	}
+	byDest := make(map[cloud.SiteID][]Entry)
+	r.mu.RLock()
+	for _, e := range entries {
+		home := r.placer.Home(e.Name)
+		if home != id {
+			byDest[home] = append(byDest[home], e)
+		}
+	}
+	dests := make(map[cloud.SiteID]API, len(byDest))
+	for dest := range byDest {
+		if dapi, ok := r.shards[dest]; ok {
+			dests[dest] = dapi
+		}
+	}
+	r.mu.RUnlock()
+
+	moved := 0
+	var errs []error
+	for dest, batch := range byDest {
+		dapi, ok := dests[dest]
+		if !ok {
+			errs = append(errs, fmt.Errorf("destination shard %d detached mid-sweep: %w", dest, ErrUnavailable))
+			continue
+		}
+		// Skip entries deleted since the sweep read them: merging the stale
+		// source copy would resurrect the deletion at its new home.
+		names := make([]string, 0, len(batch))
+		kept := batch[:0:0]
+		for _, e := range batch {
+			names = append(names, e.Name)
+			kept = append(kept, e)
+		}
+		if dropped := r.deletedSince(names); len(dropped) > 0 {
+			gone := make(map[string]bool, len(dropped))
+			for _, n := range dropped {
+				gone[n] = true
+			}
+			kept = kept[:0]
+			for _, e := range batch {
+				if !gone[e.Name] {
+					kept = append(kept, e)
+				}
+			}
+		}
+		if _, err := dapi.Merge(ctx, kept); err != nil {
+			errs = append(errs, fmt.Errorf("merge into shard %d: %w", dest, err))
+			continue
+		}
+		if _, err := api.DeleteMany(ctx, names); err != nil {
+			errs = append(errs, fmt.Errorf("cleanup after move to shard %d: %w", dest, err))
+			continue
+		}
+		// Post-merge check: a Delete that raced the Merge noted itself before
+		// touching any shard, so re-reading the note set here catches every
+		// deletion the Merge may have resurrected — undo it at the
+		// destination.
+		movedNames := make([]string, len(kept))
+		for i, e := range kept {
+			movedNames[i] = e.Name
+		}
+		if undo := r.deletedSince(movedNames); len(undo) > 0 {
+			if _, err := dapi.DeleteMany(ctx, undo); err != nil {
+				errs = append(errs, fmt.Errorf("undoing resurrected deletions on shard %d: %w", dest, err))
+				continue
+			}
+		}
+		moved += len(kept)
+	}
+	return moved, errors.Join(errs...)
+}

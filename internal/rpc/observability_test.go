@@ -173,6 +173,57 @@ func TestClientRetiredOnCancelCounter(t *testing.T) {
 	}
 }
 
+// TestClientSuppressedErrorCounter asserts the best-effort operations
+// (Contains, Names, Len) count the transport errors they swallow, so a site
+// silently degrading to "absent / empty / zero" answers is observable.
+func TestClientSuppressedErrorCounter(t *testing.T) {
+	reg := metrics.NewRegistry()
+	inst := registry.NewInstance(cloud.SiteID(1), memcache.New(memcache.Config{}))
+	srv := NewServer(inst, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	cl, err := Dial(ctx, addr, WithMetrics(reg), WithTimeout(500*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.Create(ctx, registry.NewEntry("seed", 1, "t", registry.Location{Site: 1})); err != nil {
+		t.Fatal(err)
+	}
+	suppressed := reg.Counter("rpc_client_suppressed_errors_total")
+
+	// Healthy server: best-effort ops answer truthfully and swallow nothing.
+	if !cl.Contains(ctx, "seed") || len(cl.Names(ctx)) != 1 || cl.Len(ctx) != 1 {
+		t.Fatal("best-effort ops gave wrong answers against a healthy server")
+	}
+	if got := suppressed.Value(); got != 0 {
+		t.Fatalf("suppressed = %d against a healthy server, want 0", got)
+	}
+
+	// Dead server: the same calls degrade to absent/empty/zero — and each
+	// swallowed failure is counted.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Contains(ctx, "seed") {
+		t.Fatal("Contains should read absent once the server is gone")
+	}
+	if names := cl.Names(ctx); names != nil {
+		t.Fatalf("Names should be empty once the server is gone, got %v", names)
+	}
+	if n := cl.Len(ctx); n != 0 {
+		t.Fatalf("Len should be 0 once the server is gone, got %d", n)
+	}
+	if got := suppressed.Value(); got != 3 {
+		t.Fatalf("suppressed = %d after three degraded best-effort calls, want 3", got)
+	}
+}
+
 func httpGet(t *testing.T, url string) string {
 	t.Helper()
 	resp, err := http.Get(url)
