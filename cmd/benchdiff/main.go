@@ -1,0 +1,122 @@
+// Command benchdiff is the CI perf-trajectory gate: it compares a fresh
+// benchmark run's machine-readable results (BENCH_*.json, written by the
+// -benchjson flag of the repository's benchmarks) against the baselines
+// committed under bench/, and fails when throughput regresses beyond the
+// tolerance band or a baselined benchmark produced no fresh result.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'ShardedRegistryTier|ReplicatedTierFailover' -benchtime=2000x -benchjson /tmp/fresh .
+//	go run ./cmd/benchdiff -baseline bench -fresh /tmp/fresh
+//
+// Flags:
+//
+//	-baseline dir   committed baselines (default bench)
+//	-fresh dir      the fresh run's BENCH_*.json
+//	-tolerance f    allowed fractional ops/s drop before failing (default
+//	                0.40 — CI runs a short fixed -benchtime on shared
+//	                runners, so the band is generous; the gate exists to
+//	                catch hard regressions, not 5% noise)
+//	-update         instead of comparing, copy the fresh results over the
+//	                baselines (run locally to re-baseline after an
+//	                intentional perf change, then commit bench/)
+//
+// Exit codes: 0 gate passes, 1 regression or missing result, 2 usage or I/O
+// error. Fresh results with no committed baseline are listed as new — commit
+// them to bench/ to start tracking their trajectory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"geomds/internal/experiments"
+)
+
+func main() {
+	baselineDir := flag.String("baseline", "bench", "directory of committed baseline BENCH_*.json files")
+	freshDir := flag.String("fresh", "", "directory of the fresh run's BENCH_*.json files")
+	tolerance := flag.Float64("tolerance", 0.40, "allowed fractional ops/s drop before the gate fails")
+	update := flag.Bool("update", false, "overwrite the baselines with the fresh results instead of comparing")
+	flag.Parse()
+
+	if *freshDir == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -fresh is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *tolerance < 0 || *tolerance >= 1 {
+		fmt.Fprintln(os.Stderr, "benchdiff: -tolerance must be in [0, 1)")
+		os.Exit(2)
+	}
+
+	fresh, err := experiments.ReadBenchDir(*freshDir)
+	if err != nil {
+		fatal(err)
+	}
+	if len(fresh) == 0 {
+		fatal(fmt.Errorf("no BENCH_*.json in %s — did the benchmark run with -benchjson?", *freshDir))
+	}
+
+	if *update {
+		names := sortedNames(fresh)
+		for _, name := range names {
+			path, err := fresh[name].WriteJSON(*baselineDir)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("baselined %-40s %10.0f ops/s  -> %s\n", name, fresh[name].OpsPerSec, path)
+		}
+		return
+	}
+
+	baseline, err := experiments.ReadBenchDir(*baselineDir)
+	if err != nil {
+		fatal(err)
+	}
+	if len(baseline) == 0 {
+		fatal(fmt.Errorf("no committed baselines in %s — run benchdiff -update to create them", *baselineDir))
+	}
+
+	comparisons, ok := experiments.CompareBenchResults(baseline, fresh, *tolerance)
+	fmt.Printf("perf trajectory vs %s (tolerance %.0f%%):\n", *baselineDir, *tolerance*100)
+	for _, c := range comparisons {
+		switch {
+		case c.Missing:
+			fmt.Printf("  MISSING  %-40s baseline %10.0f ops/s, no fresh result\n", c.Name, c.Baseline.OpsPerSec)
+		case c.Regressed:
+			fmt.Printf("  REGRESS  %-40s %10.0f -> %10.0f ops/s  (%+.1f%%)\n",
+				c.Name, c.Baseline.OpsPerSec, c.Fresh.OpsPerSec, c.Delta*100)
+		default:
+			fmt.Printf("  ok       %-40s %10.0f -> %10.0f ops/s  (%+.1f%%)\n",
+				c.Name, c.Baseline.OpsPerSec, c.Fresh.OpsPerSec, c.Delta*100)
+		}
+	}
+	for _, name := range sortedNames(fresh) {
+		if _, tracked := baseline[name]; !tracked {
+			fmt.Printf("  new      %-40s %10.0f ops/s  (no baseline; commit it to track)\n",
+				name, fresh[name].OpsPerSec)
+		}
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "benchdiff: perf-trajectory gate FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: perf-trajectory gate passed")
+}
+
+func sortedNames(m map[string]experiments.BenchResult) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}

@@ -18,7 +18,10 @@
 // between (single-key commands go to the owning shard, del with many names
 // and ls fan out as one sub-batch per shard). Placement is derived from the
 // listing order, so pass the addresses in the same order the site's routing
-// tier uses — otherwise single-key commands consult the wrong shard.
+// tier uses — otherwise single-key commands consult the wrong shard. For a
+// replicated tier, pass the deployment's -replication factor (and its
+// -write-concern) too so writes reach every replica and reads fail over the
+// same way the server-side router does.
 //
 // The -timeout flag is a real per-operation deadline: it bounds the dial and
 // each command's context, and the deadline is propagated over the wire so
@@ -62,6 +65,8 @@ const (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "registry server address")
 	shardAddrs := flag.String("shard-addrs", "", "comma-separated shard server addresses; commands run against a client-side routing tier instead of -addr")
+	replication := flag.Int("replication", 1, "replication factor of the sharded tier targeted via -shard-addrs (must match the deployment)")
+	concern := flag.String("write-concern", "all", "replicated-write acknowledgement rule: all or quorum (must match the deployment)")
 	pool := flag.Int("pool", rpc.DefaultPoolSize, "connection-pool size towards the server")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-operation deadline, propagated to the server")
 	metricsAddr := flag.String("metrics-addr", "127.0.0.1:9090", "metaserver metrics endpoint (for the stats command)")
@@ -98,10 +103,13 @@ func main() {
 	if backstop < 10*time.Second {
 		backstop = 10 * time.Second
 	}
-	dial := func(a string) *rpc.Client {
+	tryDial := func(a string) (*rpc.Client, error) {
 		dialCtx, cancel := opCtx()
 		defer cancel()
-		client, err := rpc.Dial(dialCtx, a, rpc.WithPoolSize(*pool), rpc.WithTimeout(backstop))
+		return rpc.Dial(dialCtx, a, rpc.WithPoolSize(*pool), rpc.WithTimeout(backstop))
+	}
+	dial := func(a string) *rpc.Client {
+		client, err := tryDial(a)
 		if err != nil {
 			fatal(err)
 		}
@@ -117,21 +125,70 @@ func main() {
 		target  string
 	)
 	if *shardAddrs != "" {
-		for _, a := range strings.Split(*shardAddrs, ",") {
-			if a = strings.TrimSpace(a); a != "" {
-				clients = append(clients, dial(a))
-			}
+		var writeConcern registry.WriteConcern
+		switch *concern {
+		case "all":
+			writeConcern = registry.WriteAll
+		case "quorum":
+			writeConcern = registry.WriteQuorum
+		default:
+			fmt.Fprintf(os.Stderr, "metactl: -write-concern must be all or quorum, got %q\n", *concern)
+			os.Exit(exitUsage)
 		}
-		if len(clients) == 0 {
+		// Placement derives from the address order, so an undialable shard
+		// must keep its slot: with replication it becomes a down-marked
+		// placeholder and the replicas carry its range; without replication
+		// there is nowhere correct to re-route to, so the dial failure is
+		// fatal as before.
+		var (
+			apis []registry.API
+			down []cloud.SiteID
+		)
+		for _, a := range strings.Split(*shardAddrs, ",") {
+			if a = strings.TrimSpace(a); a == "" {
+				continue
+			}
+			client, err := tryDial(a)
+			if err != nil {
+				if *replication > 1 {
+					fmt.Fprintf(os.Stderr, "metactl: shard %s unreachable, relying on its replicas: %v\n", a, err)
+					down = append(down, cloud.SiteID(len(apis)))
+					apis = append(apis, nil) // placeholder, patched below
+					continue
+				}
+				fatal(err)
+			}
+			clients = append(clients, client)
+			apis = append(apis, client)
+		}
+		if len(apis) == 0 {
 			fmt.Fprintln(os.Stderr, "metactl: -shard-addrs contains no usable addresses")
 			os.Exit(exitUsage)
 		}
-		router, err := registry.NewRouter(clients[0].Site(), apisOf(clients))
+		if len(clients) == 0 {
+			fatal(fmt.Errorf("no shard of %s is reachable: %w", *shardAddrs, registry.ErrUnavailable))
+		}
+		site := clients[0].Site()
+		for i, a := range apis {
+			if a == nil {
+				apis[i] = registry.Unavailable(site)
+			}
+		}
+		router, err := registry.NewRouter(site, apis,
+			registry.WithRouterReplication(*replication),
+			registry.WithRouterWriteConcern(writeConcern))
 		if err != nil {
 			fatal(err)
 		}
+		defer router.Close()
+		for _, id := range down {
+			router.MarkShardDown(id)
+		}
 		api = router
-		target = fmt.Sprintf("%s (%d shards)", *shardAddrs, len(clients))
+		target = fmt.Sprintf("%s (%d shards)", *shardAddrs, len(apis))
+		if router.Replication() > 1 {
+			target += fmt.Sprintf(", %d-way replicated", router.Replication())
+		}
 	} else {
 		client := dial(*addr)
 		clients = []*rpc.Client{client}
@@ -243,16 +300,6 @@ func main() {
 	}
 }
 
-// apisOf widens the dialed shard clients to the registry API the router
-// composes over.
-func apisOf(clients []*rpc.Client) []registry.API {
-	apis := make([]registry.API, len(clients))
-	for i, c := range clients {
-		apis[i] = c
-	}
-	return apis
-}
-
 // renderStats scrapes the metaserver's metrics endpoint and renders the
 // snapshot plus the most recent trace events.
 func renderStats(ctx context.Context, metricsAddr string, traceN int) error {
@@ -289,7 +336,7 @@ func getJSON(ctx context.Context, url string, v any) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: metactl [-addr host:port | -shard-addrs a,b,c] [-pool n] [-timeout d] <command>
+	fmt.Fprintln(os.Stderr, `usage: metactl [-addr host:port | -shard-addrs a,b,c [-replication r]] [-pool n] [-timeout d] <command>
 
 commands:
   put <name> <size> <site> [node]   publish a metadata entry

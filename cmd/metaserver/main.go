@@ -9,12 +9,19 @@
 //     concurrent sub-batch per shard);
 //   - -shard-addrs a,b,c serves a pure routing tier: the shards are other
 //     metaserver processes (typically plain single-instance ones) reached
-//     over RPC, so one site scales across machines.
+//     over RPC, so one site scales across machines;
+//   - -replication R (with either tier) stores every key on R shards of the
+//     tier: writes fan out to all R replicas (-write-concern all|quorum),
+//     reads fail over down the replica list, and a per-shard health breaker
+//     plus background probe keeps routing away from crashed shards until a
+//     re-sync sweep repairs them — the site serves its whole key range
+//     through the loss of any R-1 shards.
 //
 // Usage:
 //
 //	metaserver -addr :7070 -site 1 -name "West Europe"
 //	metaserver -addr :7070 -site 1 -shards 4
+//	metaserver -addr :7070 -site 1 -shards 4 -replication 2
 //	metaserver -addr :7070 -site 1 -shard-addrs 10.0.0.1:7071,10.0.0.2:7071
 //	metaserver -addr :7070 -site 1 -metrics-addr :9090
 //
@@ -61,6 +68,8 @@ func main() {
 		ha          = flag.Bool("ha", false, "back the registry with a primary/replica cache pair")
 		shards      = flag.Int("shards", 1, "serve a sharded tier of this many in-process registry instances behind a router (1 = single instance)")
 		shardAddrs  = flag.String("shard-addrs", "", "serve a routing tier over these comma-separated remote shard servers instead of local instances")
+		replication = flag.Int("replication", 1, "store every key on this many shards of the tier (writes fan out, reads fail over; 1 = single-home placement)")
+		concern     = flag.String("write-concern", "all", "replicated-write acknowledgement rule: all (every replica) or quorum (majority)")
 		inflight    = flag.Int("inflight", rpc.DefaultMaxInflight, "max pipelined requests one connection may execute concurrently")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus (/metrics) and JSON (/metrics.json, /trace.json) metrics on this address; empty disables")
 	)
@@ -85,6 +94,26 @@ func main() {
 			return memcache.NewHA(newCache)
 		}
 		return newCache()
+	}
+
+	var writeConcern registry.WriteConcern
+	switch *concern {
+	case "all":
+		writeConcern = registry.WriteAll
+	case "quorum":
+		writeConcern = registry.WriteQuorum
+	default:
+		logger.Fatalf("-write-concern must be all or quorum, got %q", *concern)
+	}
+	if *replication > 1 && *shards <= 1 && *shardAddrs == "" {
+		// Refuse rather than silently serve a single unreplicated instance
+		// the operator believes is fault-tolerant.
+		logger.Fatal("-replication requires a sharded tier (-shards > 1 or -shard-addrs)")
+	}
+	routerOpts := []registry.RouterOption{
+		registry.WithRouterMetrics(reg),
+		registry.WithRouterReplication(*replication),
+		registry.WithRouterWriteConcern(writeConcern),
 	}
 
 	var (
@@ -115,23 +144,31 @@ func main() {
 			defer client.Close()
 			proxies = append(proxies, client)
 		}
-		router, err := registry.NewRouter(cloud.SiteID(*site), proxies, registry.WithRouterMetrics(reg))
+		router, err := registry.NewRouter(cloud.SiteID(*site), proxies, routerOpts...)
 		if err != nil {
 			logger.Fatalf("shard router: %v", err)
 		}
+		defer router.Close()
 		api = router
 		deployment = fmt.Sprintf("routing tier over %d remote shards", len(proxies))
+		if router.Replication() > 1 {
+			deployment += fmt.Sprintf(", %d-way replicated (%s)", router.Replication(), writeConcern)
+		}
 	case *shards > 1:
 		insts := make([]registry.API, *shards)
 		for i := range insts {
 			insts[i] = registry.NewInstance(cloud.SiteID(*site), newStore())
 		}
-		router, err := registry.NewRouter(cloud.SiteID(*site), insts, registry.WithRouterMetrics(reg))
+		router, err := registry.NewRouter(cloud.SiteID(*site), insts, routerOpts...)
 		if err != nil {
 			logger.Fatalf("shard router: %v", err)
 		}
+		defer router.Close()
 		api = router
 		deployment = fmt.Sprintf("sharded tier of %d instances", *shards)
+		if router.Replication() > 1 {
+			deployment += fmt.Sprintf(", %d-way replicated (%s)", router.Replication(), writeConcern)
+		}
 	default:
 		api = registry.NewInstance(cloud.SiteID(*site), newStore())
 		deployment = "single instance"

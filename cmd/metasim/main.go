@@ -43,6 +43,7 @@ func main() {
 		size      = flag.Float64("size", 0, "override the workload size factor (1.0 = paper scale)")
 		nodes     = flag.Int("nodes", 0, "override the node count for fixed-size experiments")
 		shards    = flag.Int("shards", 0, "back every site's registry with this many shard instances behind a router (0/1 = single instance)")
+		repl      = flag.Int("replication", 0, "store every key on this many shards of each site's tier (requires -shards > 1; 0/1 = single-home placement)")
 		csvPath   = flag.String("csv", "", "write the result series as CSV to this file")
 		seed      = flag.Int64("seed", 0, "override the random seed")
 		timeout   = flag.Duration("timeout", 0, "wall-clock deadline for the whole run; 0 means none")
@@ -68,6 +69,13 @@ func main() {
 	}
 	if *shards > 1 {
 		cfg.ShardsPerSite = *shards
+	}
+	if *repl > 1 {
+		if *shards <= 1 {
+			fmt.Fprintln(os.Stderr, "metasim: -replication requires -shards > 1")
+			os.Exit(2)
+		}
+		cfg.ShardReplication = *repl
 	}
 
 	if !*all && *fig == 0 && *table == 0 && !*ablations {

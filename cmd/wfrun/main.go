@@ -37,6 +37,7 @@ func main() {
 		compare   = flag.Bool("compare", false, "run the workflow under all four strategies")
 		nodes     = flag.Int("nodes", 32, "number of execution nodes")
 		shards    = flag.Int("shards", 0, "back every site's registry with this many shard instances behind a router (0/1 = single instance)")
+		repl      = flag.Int("replication", 0, "store every key on this many shards of each site's tier (requires -shards > 1; 0/1 = single-home placement)")
 		tasks     = flag.Int("tasks", 32, "task count for the pattern workflows (pipeline, scatter, ...)")
 		scale     = flag.Float64("scale", 0.01, "time-compression factor for injected latencies")
 		size      = flag.Float64("size", 1.0, "workload size factor (fraction of the scenario's ops per task)")
@@ -99,6 +100,12 @@ func main() {
 	if *shards > 1 {
 		cfg.ShardsPerSite = *shards
 	}
+	if *repl > 1 {
+		if *shards <= 1 {
+			fatal(errors.New("-replication requires -shards > 1"))
+		}
+		cfg.ShardReplication = *repl
+	}
 
 	for _, kind := range kinds {
 		ctx := context.Background()
@@ -134,7 +141,8 @@ func runOnce(ctx context.Context, cfg experiments.Config, wf *workflow.Workflow,
 	lat := latency.New(topo, latency.WithScale(cfg.Scale), latency.WithSeed(cfg.Seed))
 	fabric := core.NewFabric(topo, lat,
 		core.WithCacheCapacity(cfg.ServiceTime, cfg.Concurrency),
-		core.WithShardsPerSite(cfg.ShardsPerSite))
+		core.WithShardsPerSite(cfg.ShardsPerSite),
+		core.WithShardReplication(cfg.ShardReplication))
 	ctrl := core.NewController(fabric,
 		core.WithControllerSyncInterval(cfg.SyncInterval),
 		core.WithControllerLazy(cfg.FlushInterval, core.DefaultMaxBatch))

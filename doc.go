@@ -26,6 +26,17 @@
 // scaling against the single-instance baseline (docs/ARCHITECTURE.md, "The
 // shard-router layer").
 //
+// Placement can be replicated: registry.WithRouterReplication(r)
+// (core.WithShardReplication, metaserver -replication) stores every key on
+// the first r distinct shards of its consistent-hash successor list —
+// writes fan out to all r replicas under an all-or-quorum write concern,
+// reads fail over down the replica list, and a per-shard health breaker
+// with a background probe routes around crashed shards until an automatic
+// re-sync sweep repairs them, so a site serves its whole key range through
+// the loss of any r-1 shards. failover_bench_test.go kills a shard mid-run
+// to prove it (zero lost acknowledged writes), and cmd/benchdiff gates the
+// recorded throughput against baselines committed under bench/.
+//
 // # Context-first API
 //
 // The metadata stack is context-first end to end: every operation on

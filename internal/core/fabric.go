@@ -37,9 +37,10 @@ type Fabric struct {
 	remoteOps *metrics.Counter      // core_remote_ops_total
 	trace     *metrics.TraceRing
 
-	sites         []cloud.SiteID
-	instances     map[cloud.SiteID]registry.API
-	shardsPerSite int
+	sites            []cloud.SiteID
+	instances        map[cloud.SiteID]registry.API
+	shardsPerSite    int
+	shardReplication int
 
 	// ackBytes is the modelled size of a small acknowledgement message.
 	ackBytes int
@@ -51,16 +52,17 @@ type Fabric struct {
 type FabricOption func(*fabricConfig)
 
 type fabricConfig struct {
-	sites         []cloud.SiteID
-	codec         registry.Codec
-	rec           *metrics.Recorder
-	metricsReg    *metrics.Registry
-	cacheFactory  func(cloud.SiteID) registry.Store
-	instances     map[cloud.SiteID]registry.API
-	ha            bool
-	serviceTime   time.Duration
-	concurrency   int
-	shardsPerSite int
+	sites            []cloud.SiteID
+	codec            registry.Codec
+	rec              *metrics.Recorder
+	metricsReg       *metrics.Registry
+	cacheFactory     func(cloud.SiteID) registry.Store
+	instances        map[cloud.SiteID]registry.API
+	ha               bool
+	serviceTime      time.Duration
+	concurrency      int
+	shardsPerSite    int
+	shardReplication int
 }
 
 // WithInstances backs specific sites with externally provided registry
@@ -122,6 +124,22 @@ func WithShardsPerSite(n int) FabricOption {
 	return func(c *fabricConfig) {
 		if n > 1 {
 			c.shardsPerSite = n
+		}
+	}
+}
+
+// WithShardReplication places every key of a sharded site on the first r
+// distinct shards of its consistent-hash successor list instead of a single
+// home shard: writes fan out to all r replicas, reads fail over down the
+// list, and the router's health breaker takes crashed shards out of
+// placement until they answer probes again — a site keeps serving its whole
+// key range through the loss of any r-1 shards. It only takes effect
+// together with WithShardsPerSite (replication needs a routed tier);
+// r <= 1 keeps single-home placement.
+func WithShardReplication(r int) FabricOption {
+	return func(c *fabricConfig) {
+		if r > 1 {
+			c.shardReplication = r
 		}
 	}
 }
@@ -201,6 +219,7 @@ func NewFabric(topo *cloud.Topology, lat *latency.Model, opts ...FabricOption) *
 	f.remoteOps = f.metrics.Counter("core_remote_ops_total")
 	f.trace = f.metrics.Trace()
 	f.shardsPerSite = cfg.shardsPerSite
+	f.shardReplication = cfg.shardReplication
 	for _, s := range cfg.sites {
 		if ext, ok := cfg.instances[s]; ok && ext != nil {
 			f.instances[s] = ext
@@ -211,7 +230,9 @@ func NewFabric(topo *cloud.Topology, lat *latency.Model, opts ...FabricOption) *
 			for i := range shards {
 				shards[i] = registry.NewInstance(s, cfg.cacheFactory(s), registry.WithCodec(cfg.codec))
 			}
-			router, err := registry.NewRouter(s, shards, registry.WithRouterMetrics(cfg.metricsReg))
+			router, err := registry.NewRouter(s, shards,
+				registry.WithRouterMetrics(cfg.metricsReg),
+				registry.WithRouterReplication(cfg.shardReplication))
 			if err != nil {
 				// Unreachable: shardsPerSite > 1 guarantees a non-empty tier.
 				panic(fmt.Sprintf("core: building shard router for site %d: %v", s, err))
@@ -229,6 +250,15 @@ func NewFabric(topo *cloud.Topology, lat *latency.Model, opts ...FabricOption) *
 func (f *Fabric) ShardsPerSite() int {
 	if f.shardsPerSite > 1 {
 		return f.shardsPerSite
+	}
+	return 1
+}
+
+// ShardReplication returns the per-site shard replication factor
+// (1 = single-home placement).
+func (f *Fabric) ShardReplication() int {
+	if f.shardReplication > 1 && f.shardsPerSite > 1 {
+		return f.shardReplication
 	}
 	return 1
 }

@@ -202,3 +202,48 @@ func TestStrategiesOverShardedFabric(t *testing.T) {
 		})
 	}
 }
+
+// TestStrategiesOverReplicatedShardedFabric drives all four strategies over
+// a fabric whose sites are 4-shard, 2-way replicated routed tiers
+// (WithShardsPerSite + WithShardReplication) and checks the same
+// create → flush → lookup → delete cycle works transparently — the
+// strategies cannot tell replicated placement from single-home placement.
+func TestStrategiesOverReplicatedShardedFabric(t *testing.T) {
+	for _, kind := range Strategies {
+		t.Run(kind.String(), func(t *testing.T) {
+			topo := cloud.Azure4DC()
+			lat := latency.New(topo, latency.WithSeed(1), latency.WithSleeper(func(time.Duration) {}))
+			f := NewFabric(topo, lat, WithCacheCapacity(0, 0),
+				WithShardsPerSite(4), WithShardReplication(2), WithMetricsRegistry(nil))
+			if got := f.ShardReplication(); got != 2 {
+				t.Fatalf("ShardReplication: got %d, want 2", got)
+			}
+			svc, err := NewService(f, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer svc.Close()
+
+			const n = 32
+			for i := 0; i < n; i++ {
+				if _, err := svc.Create(tctx, cloud.SiteID(i%4), testEntry(fmt.Sprintf("repl-sharded-%d", i), cloud.SiteID(i%4))); err != nil {
+					t.Fatalf("create %d: %v", i, err)
+				}
+			}
+			if err := svc.Flush(tctx); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				name := fmt.Sprintf("repl-sharded-%d", i)
+				if _, err := svc.Lookup(tctx, cloud.SiteID((i+1)%4), name); err != nil {
+					t.Fatalf("lookup %q from remote site: %v", name, err)
+				}
+			}
+			for i := 0; i < n; i++ {
+				if err := svc.Delete(tctx, cloud.SiteID(i%4), fmt.Sprintf("repl-sharded-%d", i)); err != nil {
+					t.Fatalf("delete %d: %v", i, err)
+				}
+			}
+		})
+	}
+}

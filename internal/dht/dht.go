@@ -28,6 +28,14 @@ import (
 type Placer interface {
 	// Home returns the site responsible for the given key.
 	Home(key string) cloud.SiteID
+	// Homes returns the successor list of the key: the first n distinct
+	// sites responsible for it, primary first. Replicated placement stores a
+	// key on Homes(key, r); a router that finds the primary unreachable
+	// fails over down the same list. Homes(key, 1) is [Home(key)], and n
+	// larger than the membership returns every site exactly once. The same
+	// site must never appear twice — adjacent virtual nodes of one site on a
+	// ring count as a single successor.
+	Homes(key string, n int) []cloud.SiteID
 	// Sites returns the sites currently participating in placement.
 	Sites() []cloud.SiteID
 }
@@ -76,6 +84,26 @@ func (p *ModuloPlacer) Home(key string) cloud.SiteID {
 		return cloud.NoSite
 	}
 	return p.sites[Hash64(key)%uint64(len(p.sites))]
+}
+
+// Homes implements Placer: the successor list starts at the key's modular
+// slot and walks the (sorted, duplicate-free) site list, so membership
+// changes shift replica sets the same way they shift primaries.
+func (p *ModuloPlacer) Homes(key string, n int) []cloud.SiteID {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if len(p.sites) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(p.sites) {
+		n = len(p.sites)
+	}
+	start := int(Hash64(key) % uint64(len(p.sites)))
+	out := make([]cloud.SiteID, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, p.sites[(start+i)%len(p.sites)])
+	}
+	return out
 }
 
 // Sites implements Placer.
@@ -162,6 +190,35 @@ func (p *RingPlacer) Home(key string) cloud.SiteID {
 		i = 0
 	}
 	return p.ring[i].site
+}
+
+// Homes implements Placer: the successor list walks the ring clockwise from
+// the key's position, collecting the first n *distinct* sites. Virtual nodes
+// of one site that sit adjacent on the ring are deduplicated — without this a
+// 2-replica placement could silently put both "replicas" on the same shard
+// whenever two of its virtual nodes happen to be neighbours.
+func (p *RingPlacer) Homes(key string, n int) []cloud.SiteID {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if len(p.ring) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(p.members) {
+		n = len(p.members)
+	}
+	h := mix64(Hash64(key))
+	start := sort.Search(len(p.ring), func(i int) bool { return p.ring[i].hash >= h })
+	out := make([]cloud.SiteID, 0, n)
+	seen := make(map[cloud.SiteID]bool, n)
+	for i := 0; i < len(p.ring) && len(out) < n; i++ {
+		site := p.ring[(start+i)%len(p.ring)].site
+		if seen[site] {
+			continue
+		}
+		seen[site] = true
+		out = append(out, site)
+	}
+	return out
 }
 
 // Sites implements Placer.

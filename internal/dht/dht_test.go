@@ -259,3 +259,121 @@ func TestRemovePlacementProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestHomesPrimaryMatchesHome pins that the successor list starts at the
+// key's primary: Homes(k, 1) is exactly [Home(k)] on both placers.
+func TestHomesPrimaryMatchesHome(t *testing.T) {
+	mod := NewModuloPlacer(sites(5))
+	ring := NewRingPlacer(sites(5), 32)
+	for _, key := range sampleKeys(500) {
+		if got := mod.Homes(key, 1); len(got) != 1 || got[0] != mod.Home(key) {
+			t.Fatalf("modulo Homes(%q, 1) = %v, Home = %d", key, got, mod.Home(key))
+		}
+		if got := ring.Homes(key, 1); len(got) != 1 || got[0] != ring.Home(key) {
+			t.Fatalf("ring Homes(%q, 1) = %v, Home = %d", key, got, ring.Home(key))
+		}
+	}
+}
+
+// TestHomesDistinctAndBounded pins the successor-list contract on both
+// placers: no site appears twice, the length is min(n, membership), and
+// asking for more sites than exist returns every member exactly once.
+func TestHomesDistinctAndBounded(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    Placer
+	}{
+		{"modulo", NewModuloPlacer(sites(4))},
+		{"ring", NewRingPlacer(sites(4), 32)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, key := range sampleKeys(1000) {
+				for n := 1; n <= 6; n++ {
+					homes := tc.p.Homes(key, n)
+					wantLen := n
+					if wantLen > 4 {
+						wantLen = 4
+					}
+					if len(homes) != wantLen {
+						t.Fatalf("Homes(%q, %d): got %d sites %v, want %d", key, n, len(homes), homes, wantLen)
+					}
+					seen := make(map[cloud.SiteID]bool, len(homes))
+					for _, s := range homes {
+						if seen[s] {
+							t.Fatalf("Homes(%q, %d) places two replicas on site %d: %v", key, n, s, homes)
+						}
+						seen[s] = true
+					}
+					// The successor list is a prefix-stable extension: growing n
+					// never reorders the earlier replicas.
+					if prev := tc.p.Homes(key, n-1); len(prev) > 0 {
+						for i, s := range prev {
+							if homes[i] != s {
+								t.Fatalf("Homes(%q, %d) reordered prefix: %v vs %v", key, n, prev, homes)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRingHomesSkipsAdjacentVirtualNodes is the regression test for the
+// duplicate-shard bug: when two virtual nodes of the same site sit adjacent
+// on the ring, a naive successor walk would return that site twice and a
+// 2-replica placement would silently store both "replicas" on one shard. The
+// test first proves adjacency actually occurs in this configuration (so the
+// dedup is exercised, not vacuously true), then checks Homes never repeats a
+// site for any sampled key.
+func TestRingHomesSkipsAdjacentVirtualNodes(t *testing.T) {
+	ring := NewRingPlacer(sites(3), DefaultVirtualNodes)
+	adjacent := 0
+	for i := range ring.ring {
+		if ring.ring[i].site == ring.ring[(i+1)%len(ring.ring)].site {
+			adjacent++
+		}
+	}
+	if adjacent == 0 {
+		t.Fatal("test configuration has no adjacent virtual nodes of one site; the dedup would be untested")
+	}
+	for _, key := range sampleKeys(5000) {
+		homes := ring.Homes(key, 2)
+		if len(homes) != 2 {
+			t.Fatalf("Homes(%q, 2): got %v", key, homes)
+		}
+		if homes[0] == homes[1] {
+			t.Fatalf("Homes(%q, 2) placed both replicas on site %d", key, homes[0])
+		}
+	}
+}
+
+// TestHomesMembershipChangeKeepsReplicasDistinct pins that the successor
+// list stays duplicate-free through joins and leaves.
+func TestHomesMembershipChangeKeepsReplicasDistinct(t *testing.T) {
+	ring := NewRingPlacer(sites(4), 64)
+	check := func(members int) {
+		for _, key := range sampleKeys(300) {
+			homes := ring.Homes(key, 2)
+			want := 2
+			if members < want {
+				want = members
+			}
+			if len(homes) != want {
+				t.Fatalf("Homes(%q, 2) with %d members: got %v", key, members, homes)
+			}
+			if len(homes) == 2 && homes[0] == homes[1] {
+				t.Fatalf("Homes(%q, 2) duplicated site %d after membership change", key, homes[0])
+			}
+		}
+	}
+	check(4)
+	ring.Remove(2)
+	check(3)
+	ring.Remove(0)
+	check(2)
+	ring.Remove(1)
+	check(1)
+	ring.Add(7)
+	check(2)
+}

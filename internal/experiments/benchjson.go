@@ -106,3 +106,87 @@ func (res BenchResult) WriteJSON(dir string) (string, error) {
 	}
 	return path, nil
 }
+
+// ReadBenchDir loads every BENCH_*.json in dir, keyed by benchmark name. It
+// is the read side of the perf-trajectory gate: CI loads the committed
+// baselines and a fresh run's results with it and diffs them.
+func ReadBenchDir(dir string) (map[string]BenchResult, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]BenchResult, len(paths))
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: reading %s: %w", path, err)
+		}
+		var res BenchResult
+		if err := json.Unmarshal(data, &res); err != nil {
+			return nil, fmt.Errorf("experiments: parsing %s: %w", path, err)
+		}
+		if res.Name == "" {
+			return nil, fmt.Errorf("experiments: %s has no benchmark name", path)
+		}
+		out[res.Name] = res
+	}
+	return out, nil
+}
+
+// BenchComparison is the verdict on one benchmark of a perf-trajectory diff.
+type BenchComparison struct {
+	// Name identifies the benchmark configuration.
+	Name string
+	// Baseline and Fresh are the committed and newly measured results.
+	// Fresh is zero-valued when Missing.
+	Baseline, Fresh BenchResult
+	// Delta is the fractional throughput change: (fresh-baseline)/baseline.
+	// Positive is faster.
+	Delta float64
+	// Missing marks a committed baseline the fresh run produced no result
+	// for — a silently dropped benchmark fails the gate like a regression.
+	Missing bool
+	// Regressed marks a fresh throughput below the tolerance band.
+	Regressed bool
+}
+
+// CompareBenchResults diffs a fresh benchmark run against committed
+// baselines. A benchmark regresses when its fresh ops/s falls more than
+// tolerance (a fraction, e.g. 0.4 = 40%) below the baseline; baselines with
+// no fresh counterpart count as failures too, so a benchmark cannot vanish
+// from the trajectory unnoticed, and a zero-throughput baseline fails
+// outright rather than vacuously passing everything. Fresh results without a baseline are
+// ignored here — the caller decides whether to report them as new.
+// Comparisons are returned sorted by name; ok reports whether the gate
+// passes.
+func CompareBenchResults(baseline, fresh map[string]BenchResult, tolerance float64) (comparisons []BenchComparison, ok bool) {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ok = true
+	for _, name := range names {
+		base := baseline[name]
+		cmp := BenchComparison{Name: name, Baseline: base}
+		if f, found := fresh[name]; found {
+			cmp.Fresh = f
+			if base.OpsPerSec > 0 {
+				cmp.Delta = (f.OpsPerSec - base.OpsPerSec) / base.OpsPerSec
+				cmp.Regressed = cmp.Delta < -tolerance
+			} else {
+				// A zero baseline can never vouch for anything — comparing
+				// against it would pass vacuously, hiding even a collapse to
+				// zero — so it fails the gate until re-baselined.
+				cmp.Regressed = true
+			}
+		} else {
+			cmp.Missing = true
+		}
+		if cmp.Missing || cmp.Regressed {
+			ok = false
+		}
+		comparisons = append(comparisons, cmp)
+	}
+	return comparisons, ok
+}

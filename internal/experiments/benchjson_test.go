@@ -71,3 +71,106 @@ func TestBenchRecorderEmpty(t *testing.T) {
 		t.Errorf("empty recorder should produce a zero result, got %+v", res)
 	}
 }
+
+func writeBench(t *testing.T, dir, name string, opsPerSec float64) {
+	t.Helper()
+	res := BenchResult{Name: name, Ops: 100, OpsPerSec: opsPerSec}
+	if _, err := res.WriteJSON(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadBenchDir(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, "tier_4shards", 1000)
+	writeBench(t, dir, "failover", 800)
+	got, err := ReadBenchDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d results, want 2", len(got))
+	}
+	if got["tier_4shards"].OpsPerSec != 1000 || got["failover"].OpsPerSec != 800 {
+		t.Fatalf("unexpected results: %+v", got)
+	}
+	// An empty directory is not an error — just an empty trajectory.
+	if got, err := ReadBenchDir(t.TempDir()); err != nil || len(got) != 0 {
+		t.Fatalf("empty dir: got %v, %v", got, err)
+	}
+	// A corrupt file is an error, not a silently skipped benchmark.
+	bad := t.TempDir()
+	if err := os.WriteFile(filepath.Join(bad, "BENCH_bad.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchDir(bad); err == nil {
+		t.Fatal("corrupt BENCH file should fail the read")
+	}
+}
+
+// TestCompareBenchResults pins the perf-trajectory gate semantics: within
+// tolerance passes (including improvements), beyond tolerance regresses, and
+// a baseline with no fresh counterpart fails so benchmarks cannot silently
+// vanish from the trajectory.
+func TestCompareBenchResults(t *testing.T) {
+	baseline := map[string]BenchResult{
+		"steady":   {Name: "steady", OpsPerSec: 1000},
+		"faster":   {Name: "faster", OpsPerSec: 1000},
+		"slower":   {Name: "slower", OpsPerSec: 1000},
+		"vanished": {Name: "vanished", OpsPerSec: 1000},
+	}
+	fresh := map[string]BenchResult{
+		"steady": {Name: "steady", OpsPerSec: 900},  // -10%: inside the band
+		"faster": {Name: "faster", OpsPerSec: 1500}, // +50%: fine
+		"slower": {Name: "slower", OpsPerSec: 500},  // -50%: hard regression
+		"extra":  {Name: "extra", OpsPerSec: 1},     // new benchmark: ignored
+	}
+	cmps, ok := CompareBenchResults(baseline, fresh, 0.40)
+	if ok {
+		t.Fatal("gate passed despite a regression and a vanished benchmark")
+	}
+	byName := make(map[string]BenchComparison, len(cmps))
+	for _, c := range cmps {
+		byName[c.Name] = c
+	}
+	if len(cmps) != 4 {
+		t.Fatalf("got %d comparisons, want 4 (fresh-only results are not compared)", len(cmps))
+	}
+	if c := byName["steady"]; c.Regressed || c.Missing {
+		t.Errorf("steady (-10%% at 40%% tolerance) should pass: %+v", c)
+	}
+	if c := byName["faster"]; c.Regressed || c.Delta < 0.49 {
+		t.Errorf("faster should pass with positive delta: %+v", c)
+	}
+	if c := byName["slower"]; !c.Regressed {
+		t.Errorf("slower (-50%% at 40%% tolerance) should regress: %+v", c)
+	}
+	if c := byName["vanished"]; !c.Missing {
+		t.Errorf("vanished baseline should be flagged missing: %+v", c)
+	}
+
+	// An unchanged tree passes.
+	if _, ok := CompareBenchResults(baseline, baseline, 0.40); !ok {
+		t.Fatal("identical baseline and fresh results must pass the gate")
+	}
+	// Comparisons come back sorted for stable CI logs.
+	for i := 1; i < len(cmps); i++ {
+		if cmps[i-1].Name > cmps[i].Name {
+			t.Fatalf("comparisons not sorted: %q before %q", cmps[i-1].Name, cmps[i].Name)
+		}
+	}
+}
+
+// TestCompareBenchResultsZeroBaseline pins that a zero-throughput baseline
+// fails the gate instead of vacuously passing every fresh result.
+func TestCompareBenchResultsZeroBaseline(t *testing.T) {
+	baseline := map[string]BenchResult{"broken": {Name: "broken", OpsPerSec: 0}}
+	fresh := map[string]BenchResult{"broken": {Name: "broken", OpsPerSec: 0}}
+	cmps, ok := CompareBenchResults(baseline, fresh, 0.40)
+	if ok {
+		t.Fatal("zero baseline must fail the gate until re-baselined")
+	}
+	if len(cmps) != 1 || !cmps[0].Regressed {
+		t.Fatalf("zero baseline should be flagged regressed: %+v", cmps)
+	}
+}

@@ -55,6 +55,11 @@ type Config struct {
 	// cache) instead of a single instance. 0 or 1 keeps the paper's
 	// one-instance-per-site layout.
 	ShardsPerSite int
+	// ShardReplication places every key of a sharded site on this many
+	// shards (consistent-hash successor list) instead of one: writes fan
+	// out, reads fail over, and a crashed shard's key range stays served.
+	// 0 or 1 keeps single-home placement; it requires ShardsPerSite > 1.
+	ShardReplication int
 }
 
 // DefaultConfig reproduces the paper-scale experiments: full operation
@@ -138,6 +143,7 @@ func (c Config) newEnvironment(nodes int) *environment {
 		core.WithCacheCapacity(c.ServiceTime, c.Concurrency),
 		core.WithRecorder(rec),
 		core.WithShardsPerSite(c.ShardsPerSite),
+		core.WithShardReplication(c.ShardReplication),
 	)
 	dep := cloud.NewDeployment(topo)
 	dep.SpreadNodes(nodes)

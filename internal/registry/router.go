@@ -47,10 +47,32 @@ import (
 // their shard stay applied. Bulk application is idempotent, so callers — like
 // the sync agent — simply re-send on the next round.
 //
+// With WithRouterReplication(r), placement becomes R-way: every key lives on
+// the first r distinct shards of its consistent-hash successor list
+// (dht.Placer.Homes). Writes fan out to all r homes (all-or-quorum,
+// WithRouterWriteConcern), single-key reads try the primary and fail over
+// down the replica list on transport errors, and bulk operations still issue
+// at most one sub-batch per shard — a shard that is primary for some keys
+// and replica for others receives one combined frame. A per-shard health
+// breaker (fed by operation outcomes plus a background probe) takes crashed
+// shards out of placement so a dead shard costs a few failed calls, not an
+// error storm; when the shard answers its probe again a re-sync sweep —
+// the same machinery that migrates entries on membership changes — repairs
+// everything it missed while it was away. See replication.go.
+//
 // A Router is safe for concurrent use.
 type Router struct {
 	site   cloud.SiteID
 	placer dht.DynamicPlacer // over shard IDs masquerading as site IDs
+
+	// rep is the replication factor (1 = the classic single-home placement);
+	// concern is the write acknowledgement rule when rep > 1. health is the
+	// per-shard breaker tier; it is always present, but only rep > 1 routing
+	// skips shards whose breaker is open (with one home per key there is
+	// nowhere correct to re-route to).
+	rep     int
+	concern WriteConcern
+	health  *healthTracker
 
 	// mu guards shards/nextID and serializes membership changes against the
 	// placer (which has its own lock for read paths).
@@ -70,6 +92,23 @@ type Router struct {
 	sweeps   sync.WaitGroup
 	sweeping atomic.Int32
 	sweepGen atomic.Uint64
+
+	// repairsPending counts quorum-mode write fan-outs and their spawned
+	// background repairs. While it is positive, deletions note themselves
+	// (see noteDeleted): a repair that lost a race against a delete then
+	// finds the note and stands down instead of merging the deleted entry
+	// back — without the guard, a repair spawned by a write that preceded
+	// the delete could resurrect it. The guard is raised before the write's
+	// fan-out begins, so there is no window in which a repair can be pending
+	// and a delete unaware of it.
+	repairsPending atomic.Int32
+
+	// staleNotes is set whenever a deletion is force-noted (a replica failed
+	// to apply it, so a stale copy exists somewhere regardless of breaker or
+	// sweep state) and cleared only by a clean full sweep — the point at
+	// which every shard has been reconciled against the notes. While set,
+	// the note table is never cleared.
+	staleNotes atomic.Bool
 
 	// delMu guards deletedDuringSweep — the names deleted while a sweep was
 	// active — *and* serializes the sweeping transitions against it: notes
@@ -91,33 +130,72 @@ var _ API = (*Router)(nil)
 // routerObs holds the router's observability instruments, resolved once at
 // construction. All fields tolerate being nil (instrumentation disabled).
 type routerObs struct {
-	shardsG    *metrics.Gauge   // router_shards: active shards in placement
-	bulkOps    *metrics.Counter // router_bulk_ops_total: bulk calls on the router
-	subBatches *metrics.Counter // router_subbatches_total: per-shard sub-batches issued
-	migrated   *metrics.Counter // router_migrated_entries_total: entries moved by sweeps
-	sweepsC    *metrics.Counter // router_sweeps_total: migration sweeps completed
-	sweepFails *metrics.Counter // router_sweep_failures_total: background sweeps abandoned after retries
-	suppressed *metrics.Counter // router_suppressed_errors_total: errors swallowed by best-effort ops
+	shardsG     *metrics.Gauge   // router_shards: active shards in placement
+	replicaG    *metrics.Gauge   // router_replication: configured replication factor
+	bulkOps     *metrics.Counter // router_bulk_ops_total: bulk calls on the router
+	subBatches  *metrics.Counter // router_subbatches_total: per-shard sub-batches issued
+	migrated    *metrics.Counter // router_migrated_entries_total: entries moved by sweeps
+	repaired    *metrics.Counter // router_repaired_entries_total: replica copies (re)written by sweeps
+	sweepsC     *metrics.Counter // router_sweeps_total: migration sweeps completed
+	sweepFails  *metrics.Counter // router_sweep_failures_total: background sweeps abandoned after retries
+	resyncs     *metrics.Counter // router_resync_sweeps_total: sweeps triggered by a shard recovering
+	failovers   *metrics.Counter // router_failover_reads_total: reads served by a non-primary replica
+	replicaErrs *metrics.Counter // router_replica_write_errors_total: write failures suppressed by the quorum concern
+	repairFails *metrics.Counter // router_replica_repair_failures_total: background replica repairs abandoned after retries
+	suppressed  *metrics.Counter // router_suppressed_errors_total: errors swallowed by best-effort ops
 }
 
 func newRouterObs(reg *metrics.Registry) routerObs {
 	return routerObs{
-		shardsG:    reg.Gauge("router_shards"),
-		bulkOps:    reg.Counter("router_bulk_ops_total"),
-		subBatches: reg.Counter("router_subbatches_total"),
-		migrated:   reg.Counter("router_migrated_entries_total"),
-		sweepsC:    reg.Counter("router_sweeps_total"),
-		sweepFails: reg.Counter("router_sweep_failures_total"),
-		suppressed: reg.Counter("router_suppressed_errors_total"),
+		shardsG:     reg.Gauge("router_shards"),
+		replicaG:    reg.Gauge("router_replication"),
+		bulkOps:     reg.Counter("router_bulk_ops_total"),
+		subBatches:  reg.Counter("router_subbatches_total"),
+		migrated:    reg.Counter("router_migrated_entries_total"),
+		repaired:    reg.Counter("router_repaired_entries_total"),
+		sweepsC:     reg.Counter("router_sweeps_total"),
+		sweepFails:  reg.Counter("router_sweep_failures_total"),
+		resyncs:     reg.Counter("router_resync_sweeps_total"),
+		failovers:   reg.Counter("router_failover_reads_total"),
+		replicaErrs: reg.Counter("router_replica_write_errors_total"),
+		repairFails: reg.Counter("router_replica_repair_failures_total"),
+		suppressed:  reg.Counter("router_suppressed_errors_total"),
 	}
+}
+
+// WriteConcern selects how many replica acknowledgements a write needs when
+// the router replicates placement (WithRouterReplication).
+type WriteConcern int
+
+const (
+	// WriteAll (the default) requires every targeted replica to acknowledge;
+	// any replica failure surfaces as an error (replicas that were reached
+	// stay applied, matching bulk partial-failure semantics).
+	WriteAll WriteConcern = iota
+	// WriteQuorum requires a majority of the replication factor. Failures
+	// beyond the quorum are suppressed (router_replica_write_errors_total)
+	// and repaired by the next re-sync sweep.
+	WriteQuorum
+)
+
+// String returns the concern's flag spelling ("all", "quorum").
+func (c WriteConcern) String() string {
+	if c == WriteQuorum {
+		return "quorum"
+	}
+	return "all"
 }
 
 // RouterOption configures a Router.
 type RouterOption func(*routerConfig)
 
 type routerConfig struct {
-	placerFactory func(shardIDs []cloud.SiteID) dht.DynamicPlacer
-	metrics       *metrics.Registry
+	placerFactory   func(shardIDs []cloud.SiteID) dht.DynamicPlacer
+	metrics         *metrics.Registry
+	replication     int
+	concern         WriteConcern
+	healthThreshold int
+	probeInterval   time.Duration
 }
 
 // WithRouterPlacer selects how keys map to shards. The factory receives the
@@ -136,6 +214,37 @@ func WithRouterPlacer(f func(shardIDs []cloud.SiteID) dht.DynamicPlacer) RouterO
 // metrics.Default; pass nil to disable instrumentation entirely.
 func WithRouterMetrics(reg *metrics.Registry) RouterOption {
 	return func(c *routerConfig) { c.metrics = reg }
+}
+
+// WithRouterReplication stores every key on the first r distinct shards of
+// its successor list instead of one home shard: writes fan out to all r
+// replicas, reads fail over down the list when the primary is unreachable,
+// and routing draws replica sets from healthy shards only — a shard whose
+// breaker is open is skipped and re-synced when it returns. r <= 1 keeps the
+// classic single-home placement.
+func WithRouterReplication(r int) RouterOption {
+	return func(c *routerConfig) {
+		if r > 1 {
+			c.replication = r
+		}
+	}
+}
+
+// WithRouterWriteConcern selects the acknowledgement rule for replicated
+// writes (default WriteAll). It has no effect without WithRouterReplication.
+func WithRouterWriteConcern(w WriteConcern) RouterOption {
+	return func(c *routerConfig) { c.concern = w }
+}
+
+// WithRouterHealth tunes the per-shard breaker: threshold is the number of
+// consecutive transport failures that mark a shard down, probeInterval is
+// how often down shards are re-probed. Non-positive values keep the
+// defaults (3 failures, 250ms).
+func WithRouterHealth(threshold int, probeInterval time.Duration) RouterOption {
+	return func(c *routerConfig) {
+		c.healthThreshold = threshold
+		c.probeInterval = probeInterval
+	}
 }
 
 // NewRouter builds a routing tier for the given site over the given shard
@@ -158,16 +267,81 @@ func NewRouter(site cloud.SiteID, shards []API, opts ...RouterOption) (*Router, 
 		ids[i] = cloud.SiteID(i)
 		m[cloud.SiteID(i)] = s
 	}
+	rep := cfg.replication
+	if rep < 1 {
+		rep = 1
+	}
 	r := &Router{
-		site:   site,
-		placer: cfg.placerFactory(ids),
-		shards: m,
-		nextID: cloud.SiteID(len(shards)),
-		obs:    newRouterObs(cfg.metrics),
+		site:    site,
+		placer:  cfg.placerFactory(ids),
+		shards:  m,
+		nextID:  cloud.SiteID(len(shards)),
+		rep:     rep,
+		concern: cfg.concern,
+		health:  newHealthTracker(cfg.healthThreshold, cfg.probeInterval, cfg.metrics),
+		obs:     newRouterObs(cfg.metrics),
+	}
+	r.health.probe = r.probeShard
+	// A recovering shard re-enters placement missing everything written while
+	// it was away: raise the sweep flag *before* its breaker closes (so the
+	// deletion notes recorded during the outage survive into the sweep and
+	// the read-fallback mitigations are armed the moment routing may hand the
+	// shard reads again), then run a re-sync sweep to repair it.
+	r.health.preRecover = func(cloud.SiteID) { r.sweepBegin() }
+	r.health.abortRecover = r.sweepEnd
+	r.health.postRecover = func(cloud.SiteID) {
+		r.obs.resyncs.Inc()
+		r.spawnSweep()
+	}
+	for id := range m {
+		r.health.track(id)
 	}
 	r.obs.shardsG.Add(int64(len(shards)))
+	r.obs.replicaG.Add(int64(rep))
 	return r, nil
 }
+
+// Replication returns the configured replication factor (1 = single-home
+// placement).
+func (r *Router) Replication() int { return r.rep }
+
+// Close stops the router's background health prober. Operations issued after
+// Close still work; only probing (and therefore automatic recovery of down
+// shards) stops. Idempotent.
+func (r *Router) Close() { r.health.close() }
+
+// probeKey is the reserved name health probes read. It never exists; a
+// healthy shard answers ErrNotFound, a dead one a transport error.
+const probeKey = "\x00geomds/health/probe"
+
+// probeShard asks one shard whether it is answering requests again. It is
+// the health tracker's probe hook.
+func (r *Router) probeShard(id cloud.SiteID) bool {
+	r.mu.RLock()
+	api, ok := r.shards[id]
+	r.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, err := api.Get(ctx, probeKey)
+	return err == nil || errors.Is(err, ErrNotFound)
+}
+
+// MarkShardDown opens the shard's breaker immediately, without waiting for
+// the failure threshold: replicated routing stops sending the shard
+// operations until a probe (or MarkShardUp) closes the breaker again. It is
+// the manual override for operators draining a struggling shard and for
+// fault-injection tests.
+func (r *Router) MarkShardDown(id cloud.SiteID) { r.health.markDown(id) }
+
+// MarkShardUp closes the shard's breaker and kicks the same re-sync sweep a
+// successful probe would.
+func (r *Router) MarkShardUp(id cloud.SiteID) { r.health.markUp(id) }
+
+// DownShards returns the shards whose breakers are currently open.
+func (r *Router) DownShards() []cloud.SiteID { return r.health.downShards() }
 
 // Site implements API: the datacenter this sharded tier serves as a whole.
 func (r *Router) Site() cloud.SiteID { return r.site }
@@ -216,6 +390,43 @@ func (r *Router) snapshotShards() map[cloud.SiteID]API {
 	return out
 }
 
+// reachableShards is snapshotShards minus down-marked shards when the tier
+// is replicated: a down shard's content also lives on its healthy replicas,
+// so full-tier reads need not fail (or stall) on it. Without replication
+// every shard is the only holder of its range and stays included.
+func (r *Router) reachableShards() map[cloud.SiteID]API {
+	out := r.snapshotShards()
+	if r.rep > 1 && r.health.anyDown() {
+		for _, id := range r.health.downShards() {
+			delete(out, id)
+		}
+	}
+	return out
+}
+
+// report feeds one shard call's outcome to the health tracker: transport
+// failures (ErrUnavailable) trip the breaker, answers — even application
+// errors like ErrNotFound — reset it, and caller-side cancellations say
+// nothing about the shard at all. Without replication the tracker is not
+// fed: a single-home tier has nowhere correct to re-route to, so an open
+// breaker could only add recovery sweeps that repair nothing (and
+// note-retention that never drains).
+func (r *Router) report(id cloud.SiteID, err error) {
+	if r.rep <= 1 {
+		return
+	}
+	switch {
+	case err == nil:
+		r.health.reportSuccess(id)
+	case errors.Is(err, ErrUnavailable):
+		r.health.reportFailure(id)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The caller gave up; the shard may be fine.
+	default:
+		r.health.reportSuccess(id)
+	}
+}
+
 // shardErr wraps the per-shard failures of one routed operation. errors.Is
 // and errors.As see through to every cause, so a caller checking
 // ErrUnavailable (core.ErrSiteUnreachable) matches if any shard was
@@ -235,6 +446,9 @@ func (r *Router) shardErr(op string, errs []error) error {
 // afterwards: the acknowledged entry is re-anchored at its current home so
 // the sweep's source cleanup cannot orphan it.
 func (r *Router) Create(ctx context.Context, e Entry) (Entry, error) {
+	if r.rep > 1 {
+		return r.createReplicated(ctx, e)
+	}
 	home, api, err := r.shardFor(e.Name)
 	if err != nil {
 		return Entry{}, err
@@ -242,6 +456,7 @@ func (r *Router) Create(ctx context.Context, e Entry) (Entry, error) {
 	gen := r.sweepGen.Load()
 	if !r.sweepActive() {
 		stored, cerr := api.Create(ctx, e)
+		r.report(home, cerr)
 		if cerr == nil && (r.sweepActive() || r.sweepGen.Load() != gen) {
 			// A sweep started (and possibly finished) while the write was
 			// in flight.
@@ -251,6 +466,7 @@ func (r *Router) Create(ctx context.Context, e Entry) (Entry, error) {
 	}
 	noted := r.clearDeleted(e.Name)
 	stored, err := api.Create(ctx, e)
+	r.report(home, err)
 	if err != nil && noted && !errors.Is(err, ErrExists) {
 		// The entry stays absent; the deletion must stand. Re-note it and
 		// re-assert it across the tier — the in-flight sweep may have merged
@@ -265,6 +481,9 @@ func (r *Router) Create(ctx context.Context, e Entry) (Entry, error) {
 // it if the write fails), and a fast-path put that raced a membership
 // change re-anchors the entry at its current home.
 func (r *Router) Put(ctx context.Context, e Entry) (Entry, error) {
+	if r.rep > 1 {
+		return r.putReplicated(ctx, e)
+	}
 	home, api, err := r.shardFor(e.Name)
 	if err != nil {
 		return Entry{}, err
@@ -272,6 +491,7 @@ func (r *Router) Put(ctx context.Context, e Entry) (Entry, error) {
 	gen := r.sweepGen.Load()
 	if !r.sweepActive() {
 		stored, perr := api.Put(ctx, e)
+		r.report(home, perr)
 		if perr == nil && (r.sweepActive() || r.sweepGen.Load() != gen) {
 			r.reanchorWrite(ctx, home, stored)
 		}
@@ -279,6 +499,7 @@ func (r *Router) Put(ctx context.Context, e Entry) (Entry, error) {
 	}
 	noted := r.clearDeleted(e.Name)
 	stored, err := api.Put(ctx, e)
+	r.report(home, err)
 	if err != nil && noted {
 		// See Create: re-assert the standing deletion everywhere.
 		r.deleteDuringSweep(ctx, home, api, e.Name) //nolint:errcheck // best-effort re-assertion of the standing deletion
@@ -299,26 +520,68 @@ func (r *Router) reanchorWrite(ctx context.Context, wroteTo cloud.SiteID, e Entr
 	}
 }
 
+// sweepFallbackGet consults every shard not yet tried for a copy of the
+// name, one concurrent Get per shard — the read-reliability fallback while
+// entries may be off-home mid-sweep. It returns the best copy found
+// (highest version, in case a sweep briefly left two) or the transport
+// failures encountered: a miss is only authoritative when every shard
+// actually answered.
+func (r *Router) sweepFallbackGet(ctx context.Context, name string, tried map[cloud.SiteID]bool) (Entry, bool, []error) {
+	var (
+		mu    sync.Mutex
+		found Entry
+		ok    bool
+		errs  []error
+		wg    sync.WaitGroup
+	)
+	for id, other := range r.snapshotShards() {
+		if tried[id] {
+			continue
+		}
+		wg.Add(1)
+		go func(id cloud.SiteID, other API) {
+			defer wg.Done()
+			e, err := other.Get(ctx, name)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				if !ok || e.Version > found.Version {
+					found, ok = e, true
+				}
+			case !errors.Is(err, ErrNotFound):
+				errs = append(errs, fmt.Errorf("shard %d: %w", id, err))
+			}
+		}(id, other)
+	}
+	wg.Wait()
+	return found, ok, errs
+}
+
 // Get implements API: routed to the shard owning the name. While a
 // migration sweep is in flight an entry may not have reached its new home
-// yet, so a miss at the home shard falls back to the other shards before
-// answering ErrNotFound — reads stay reliable through membership changes.
+// yet, so a miss at the home shard falls back to the other shards (one
+// concurrent Get per shard) before answering ErrNotFound — and the miss is
+// only answered when every fallback shard actually responded; an
+// unreachable shard mid-sweep surfaces as ErrUnavailable rather than
+// reading an existing entry as absent.
 func (r *Router) Get(ctx context.Context, name string) (Entry, error) {
+	if r.rep > 1 {
+		return r.getReplicated(ctx, name)
+	}
 	home, api, err := r.shardFor(name)
 	if err != nil {
 		return Entry{}, err
 	}
 	e, err := api.Get(ctx, name)
+	r.report(home, err)
 	if err == nil || !errors.Is(err, ErrNotFound) || !r.sweepActive() {
 		return e, err
 	}
-	for id, other := range r.snapshotShards() {
-		if id == home {
-			continue
-		}
-		if e, ferr := other.Get(ctx, name); ferr == nil {
-			return e, nil
-		}
+	if fe, ok, ferrs := r.sweepFallbackGet(ctx, name, map[cloud.SiteID]bool{home: true}); ok {
+		return fe, nil
+	} else if len(ferrs) > 0 {
+		return Entry{}, r.shardErr("get", ferrs)
 	}
 	return Entry{}, err
 }
@@ -329,6 +592,9 @@ func (r *Router) Get(ctx context.Context, name string) (Entry, error) {
 // During a migration sweep a miss at the home shard falls back to the other
 // shards, matching Get.
 func (r *Router) Contains(ctx context.Context, name string) bool {
+	if r.rep > 1 {
+		return r.containsReplicated(ctx, name)
+	}
 	home, api, err := r.shardFor(name)
 	if err != nil {
 		r.obs.suppressed.Inc()
@@ -340,24 +606,44 @@ func (r *Router) Contains(ctx context.Context, name string) bool {
 	if !r.sweepActive() {
 		return false
 	}
+	return r.sweepFallbackContains(ctx, name, map[cloud.SiteID]bool{home: true})
+}
+
+// sweepFallbackContains is the best-effort companion of sweepFallbackGet:
+// one concurrent Contains per untried shard.
+func (r *Router) sweepFallbackContains(ctx context.Context, name string, tried map[cloud.SiteID]bool) bool {
+	var (
+		found atomic.Bool
+		wg    sync.WaitGroup
+	)
 	for id, other := range r.snapshotShards() {
-		if id == home {
+		if tried[id] {
 			continue
 		}
-		if other.Contains(ctx, name) {
-			return true
-		}
+		wg.Add(1)
+		go func(other API) {
+			defer wg.Done()
+			if other.Contains(ctx, name) {
+				found.Store(true)
+			}
+		}(other)
 	}
-	return false
+	wg.Wait()
+	return found.Load()
 }
 
 // AddLocation implements API: routed to the shard owning the name.
 func (r *Router) AddLocation(ctx context.Context, name string, loc Location) (Entry, error) {
-	_, api, err := r.shardFor(name)
+	if r.rep > 1 {
+		return r.addLocationReplicated(ctx, name, loc)
+	}
+	home, api, err := r.shardFor(name)
 	if err != nil {
 		return Entry{}, err
 	}
-	return api.AddLocation(ctx, name, loc)
+	e, err := api.AddLocation(ctx, name, loc)
+	r.report(home, err)
+	return e, err
 }
 
 // Delete implements API: routed to the shard owning the name. While a
@@ -368,6 +654,9 @@ func (r *Router) AddLocation(ctx context.Context, name string, loc Location) (En
 // re-check afterwards, which re-runs the sweep-aware path (it is
 // idempotent).
 func (r *Router) Delete(ctx context.Context, name string) error {
+	if r.rep > 1 {
+		return r.deleteReplicated(ctx, name)
+	}
 	home, api, err := r.shardFor(name)
 	if err != nil {
 		return err
@@ -377,6 +666,7 @@ func (r *Router) Delete(ctx context.Context, name string) error {
 		return r.deleteDuringSweep(ctx, home, api, name)
 	}
 	err = api.Delete(ctx, name)
+	r.report(home, err)
 	if r.sweepActive() || r.sweepGen.Load() != gen {
 		// A sweep started (and possibly even finished) while the fast-path
 		// delete was in flight; re-run the sweep-aware path to purge any
@@ -454,26 +744,63 @@ func (r *Router) sweepBegin() {
 	r.delMu.Unlock()
 }
 
-// sweepEnd retires one sweep, clearing the deletion notes when it was the
-// last — in the same critical section that drops the counter, so a
+// notesNeeded reports whether deletions must currently be noted (and the
+// note table must not be cleared): while a sweep is in flight (a stale
+// source copy is in some sweep's hands), while a shard's breaker is open
+// (the down shard holds stale copies of everything deleted during its
+// outage), while a quorum write or its background repair is pending (the
+// repair must be able to see that the entry it would re-merge was deleted),
+// or while a force-noted deletion awaits a clean sweep (a replica missed it
+// and holds a stale copy no counter tracks). Callers hold delMu.
+func (r *Router) notesNeeded() bool {
+	return r.sweeping.Load() > 0 || r.repairsPending.Load() > 0 ||
+		r.staleNotes.Load() || r.health.anyDown()
+}
+
+// sweepEnd retires one sweep, clearing the deletion notes when nothing needs
+// them anymore — in the same critical section that drops the counter, so a
 // concurrent noteDeleted cannot slip a note into the dying generation.
 func (r *Router) sweepEnd() {
 	r.delMu.Lock()
-	if r.sweeping.Add(-1) == 0 {
+	if r.sweeping.Add(-1) == 0 && !r.notesNeeded() {
 		r.deletedDuringSweep = nil
 	}
 	r.delMu.Unlock()
 }
 
-// noteDeleted records a deletion performed while a sweep is active; if the
-// last sweep just retired, the note is not needed and not recorded.
+// noteDeleted records a deletion while anything could resurrect it (see
+// notesNeeded); otherwise no copy can be off-home and the note is skipped.
 func (r *Router) noteDeleted(name string) {
 	r.delMu.Lock()
-	if r.sweeping.Load() > 0 {
+	if r.notesNeeded() {
 		if r.deletedDuringSweep == nil {
 			r.deletedDuringSweep = make(map[string]bool)
 		}
 		r.deletedDuringSweep[name] = true
+	}
+	r.delMu.Unlock()
+}
+
+// repairWindow raises the repairsPending guard for one quorum-mode write:
+// from before its fan-out until after its repairs (if any) are spawned,
+// deletions note themselves so an eventual repair cannot resurrect them.
+// The returned release must be called after any spawnRepair calls; each
+// spawned repair holds its own count until it finishes. Under WriteAll no
+// repairs are ever spawned, so the guard is a no-op.
+func (r *Router) repairWindow() func() {
+	if r.concern != WriteQuorum {
+		return func() {}
+	}
+	r.repairsPending.Add(1)
+	return r.endRepairWindow
+}
+
+// endRepairWindow drops one hold on the repair guard, clearing the deletion
+// notes when it was the last and nothing else needs them.
+func (r *Router) endRepairWindow() {
+	r.delMu.Lock()
+	if r.repairsPending.Add(-1) == 0 && !r.notesNeeded() {
+		r.deletedDuringSweep = nil
 	}
 	r.delMu.Unlock()
 }
@@ -543,6 +870,9 @@ func (r *Router) GetMany(ctx context.Context, names []string) ([]Entry, error) {
 	if len(names) == 0 {
 		return nil, nil
 	}
+	if r.rep > 1 {
+		return r.getManyReplicated(ctx, names)
+	}
 	groups, err := r.groupNames(names)
 	if err != nil {
 		return nil, err
@@ -564,6 +894,7 @@ func (r *Router) GetMany(ctx context.Context, names []string) ([]Entry, error) {
 		go func(id cloud.SiteID, api API, sub []string) {
 			defer wg.Done()
 			batch, err := api.GetMany(ctx, sub)
+			r.report(id, err)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -634,6 +965,9 @@ func (r *Router) PutMany(ctx context.Context, entries []Entry) ([]Entry, error) 
 	if len(entries) == 0 {
 		return nil, nil
 	}
+	if r.rep > 1 {
+		return r.putManyReplicated(ctx, entries)
+	}
 	names := make([]string, len(entries))
 	for i, e := range entries {
 		names[i] = e.Name
@@ -659,6 +993,7 @@ func (r *Router) PutMany(ctx context.Context, entries []Entry) ([]Entry, error) 
 		go func(id cloud.SiteID, api API, g *nameGroup, sub []Entry) {
 			defer wg.Done()
 			stored, err := api.PutMany(ctx, sub)
+			r.report(id, err)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -686,6 +1021,9 @@ func (r *Router) DeleteMany(ctx context.Context, names []string) (int, error) {
 	if len(names) == 0 {
 		return 0, nil
 	}
+	if r.rep > 1 {
+		return r.deleteManyReplicated(ctx, names)
+	}
 	groups, err := r.groupNames(names)
 	if err != nil {
 		return 0, err
@@ -707,6 +1045,7 @@ func (r *Router) DeleteMany(ctx context.Context, names []string) (int, error) {
 		go func(id cloud.SiteID, api API, sub []string) {
 			defer wg.Done()
 			n, err := api.DeleteMany(ctx, sub)
+			r.report(id, err)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -727,6 +1066,9 @@ func (r *Router) DeleteMany(ctx context.Context, names []string) (int, error) {
 func (r *Router) Merge(ctx context.Context, entries []Entry) (int, error) {
 	if len(entries) == 0 {
 		return 0, nil
+	}
+	if r.rep > 1 {
+		return r.mergeReplicated(ctx, entries)
 	}
 	names := make([]string, len(entries))
 	for i, e := range entries {
@@ -753,6 +1095,7 @@ func (r *Router) Merge(ctx context.Context, entries []Entry) (int, error) {
 		go func(id cloud.SiteID, api API, sub []Entry) {
 			defer wg.Done()
 			n, err := api.Merge(ctx, sub)
+			r.report(id, err)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -769,9 +1112,11 @@ func (r *Router) Merge(ctx context.Context, entries []Entry) (int, error) {
 // Entries implements API: every shard (including ones still draining) is
 // queried concurrently and the results are merged, deduplicating by name —
 // during a migration sweep an entry may briefly live on two shards, and the
-// copy with the higher version wins.
+// copy with the higher version wins. Under replication, shards whose breaker
+// is open are skipped: their content is replicated on healthy shards, so the
+// full listing survives a shard crash.
 func (r *Router) Entries(ctx context.Context) ([]Entry, error) {
-	shards := r.snapshotShards()
+	shards := r.reachableShards()
 	r.countBulk(len(shards))
 	var (
 		mu   sync.Mutex
@@ -817,7 +1162,7 @@ func (r *Router) Names(ctx context.Context) []string {
 		r.obs.suppressed.Inc()
 		return nil
 	}
-	shards := r.snapshotShards()
+	shards := r.reachableShards()
 	r.countBulk(len(shards))
 	var (
 		mu   sync.Mutex
@@ -847,8 +1192,13 @@ func (r *Router) Names(ctx context.Context) []string {
 
 // Len implements API: the shard sizes are summed, querying every shard
 // concurrently like the other full-tier fan-outs (best-effort; an entry
-// mid-migration may briefly count twice).
+// mid-migration may briefly count twice). With replication every entry lives
+// on r.rep shards, so the sum over-counts; the replicated tier counts
+// distinct names instead.
 func (r *Router) Len(ctx context.Context) int {
+	if r.rep > 1 {
+		return len(r.Names(ctx))
+	}
 	var (
 		total atomic.Int64
 		wg    sync.WaitGroup
@@ -886,6 +1236,7 @@ func (r *Router) AddShard(api API) cloud.SiteID {
 	r.shards[id] = api
 	r.placer.Add(id)
 	r.mu.Unlock()
+	r.health.track(id)
 	r.obs.shardsG.Add(1)
 	r.spawnSweep()
 	return id
@@ -1007,6 +1358,7 @@ func (r *Router) rebalance(ctx context.Context) (int, error) {
 			r.mu.Lock()
 			delete(r.shards, id)
 			r.mu.Unlock()
+			r.health.untrack(id)
 		}
 	}
 	if moved > 0 {
@@ -1015,27 +1367,55 @@ func (r *Router) rebalance(ctx context.Context) (int, error) {
 	err := r.shardErr("rebalance", errs)
 	if err == nil {
 		// Only clean sweeps count as completed; failed attempts surface via
-		// router_sweep_failures_total once the retry budget is spent.
+		// router_sweep_failures_total once the retry budget is spent. A
+		// clean sweep reconciled every shard against the deletion notes, so
+		// force-noted deletions no longer pin the note table (a force-note
+		// racing this store re-pins it and the next sweep serves it).
+		r.staleNotes.Store(false)
 		r.obs.sweepsC.Inc()
 	}
 	return moved, err
 }
 
-// sweepShard moves the entries of one shard that the current placement
-// assigns elsewhere: grouped per destination, one bulk Merge per destination
-// shard, then one bulk DeleteMany on the source for the entries that were
-// safely merged.
+// sweepShard reconciles one shard against the current placement. For every
+// entry it holds, the entry's home set (one shard classically, the first R
+// healthy successors under replication) is resolved once; copies a home is
+// missing — because a shard joined, left, crashed or returned — are grouped
+// into one bulk Merge per destination, and copies this shard no longer owns
+// are removed with one bulk DeleteMany at the end, only after every replica
+// of them was safely placed. Stale copies of names deleted while a sweep ran
+// or a shard was down are purged rather than migrated, so a returning shard
+// cannot resurrect deletions that happened during its outage.
+//
+// With replication every sweep is a full reconciliation: each entry is
+// merged to every other home, costing O(entries x (rep-1)) Merge traffic per
+// sweep even when the replicas are already identical (those merges no-op on
+// the destination after one bulk read). Filtering by the destination's name
+// list would miss replicas holding stale *content* — exactly what a
+// post-outage re-sync exists to repair — and the API has no (name, version)
+// listing to filter soundly, so sweeps pay the full pass; they only run on
+// membership changes and recoveries.
 func (r *Router) sweepShard(ctx context.Context, id cloud.SiteID, api API) (int, error) {
 	entries, err := api.Entries(ctx)
+	r.report(id, err)
 	if err != nil {
 		return 0, err
 	}
-	byDest := make(map[cloud.SiteID][]Entry)
+
 	r.mu.RLock()
+	byDest := make(map[cloud.SiteID][]Entry)
+	okToDrop := make(map[string]bool)
 	for _, e := range entries {
-		home := r.placer.Home(e.Name)
-		if home != id {
+		onThis := false
+		for _, home := range r.replicaIDsLocked(e.Name) {
+			if home == id {
+				onThis = true
+				continue
+			}
 			byDest[home] = append(byDest[home], e)
+		}
+		if !onThis {
+			okToDrop[e.Name] = true
 		}
 	}
 	dests := make(map[cloud.SiteID]API, len(byDest))
@@ -1046,42 +1426,49 @@ func (r *Router) sweepShard(ctx context.Context, id cloud.SiteID, api API) (int,
 	}
 	r.mu.RUnlock()
 
-	moved := 0
 	var errs []error
+	applied := 0
 	for dest, batch := range byDest {
+		// A destination that fails keeps the source copies of its batch: an
+		// entry leaves this shard only once every one of its replicas is
+		// safely placed.
+		failDest := func(err error) {
+			errs = append(errs, err)
+			for _, e := range batch {
+				delete(okToDrop, e.Name)
+			}
+		}
 		dapi, ok := dests[dest]
 		if !ok {
-			errs = append(errs, fmt.Errorf("destination shard %d detached mid-sweep: %w", dest, ErrUnavailable))
+			failDest(fmt.Errorf("destination shard %d detached mid-sweep: %w", dest, ErrUnavailable))
 			continue
 		}
 		// Skip entries deleted since the sweep read them: merging the stale
 		// source copy would resurrect the deletion at its new home.
-		names := make([]string, 0, len(batch))
-		kept := batch[:0:0]
-		for _, e := range batch {
-			names = append(names, e.Name)
-			kept = append(kept, e)
+		names := make([]string, len(batch))
+		for i, e := range batch {
+			names[i] = e.Name
 		}
+		kept := batch
 		if dropped := r.deletedSince(names); len(dropped) > 0 {
 			gone := make(map[string]bool, len(dropped))
 			for _, n := range dropped {
 				gone[n] = true
 			}
-			kept = kept[:0]
+			kept = batch[:0:0]
 			for _, e := range batch {
 				if !gone[e.Name] {
 					kept = append(kept, e)
 				}
 			}
 		}
-		if _, err := dapi.Merge(ctx, kept); err != nil {
-			errs = append(errs, fmt.Errorf("merge into shard %d: %w", dest, err))
+		n, err := dapi.Merge(ctx, kept)
+		r.report(dest, err)
+		if err != nil {
+			failDest(fmt.Errorf("merge into shard %d: %w", dest, err))
 			continue
 		}
-		if _, err := api.DeleteMany(ctx, names); err != nil {
-			errs = append(errs, fmt.Errorf("cleanup after move to shard %d: %w", dest, err))
-			continue
-		}
+		applied += n
 		// Post-merge check: a Delete that raced the Merge noted itself before
 		// touching any shard, so re-reading the note set here catches every
 		// deletion the Merge may have resurrected — undo it at the
@@ -1092,11 +1479,82 @@ func (r *Router) sweepShard(ctx context.Context, id cloud.SiteID, api API) (int,
 		}
 		if undo := r.deletedSince(movedNames); len(undo) > 0 {
 			if _, err := dapi.DeleteMany(ctx, undo); err != nil {
-				errs = append(errs, fmt.Errorf("undoing resurrected deletions on shard %d: %w", dest, err))
+				failDest(fmt.Errorf("undoing resurrected deletions on shard %d: %w", dest, err))
 				continue
 			}
 		}
-		moved += len(kept)
+	}
+
+	// One cleanup DeleteMany on this shard: fully-migrated entries plus —
+	// on replicated tiers — stale copies of names deleted while this shard
+	// was down or a sweep ran. Migrated entries are always safe to drop (a
+	// racing re-create writes to the name's current homes, which exclude
+	// this shard). Noted names homed *here* can race a write that just
+	// re-established them: the note set is re-read immediately before the
+	// delete, and re-checked after it — a note that vanished mid-delete
+	// means a write slipped in, and this shard's copy is restored from the
+	// name's other replicas (the racing write reached them too). Without
+	// replication the noted-name cleanup is skipped entirely: deletions
+	// during rep=1 sweeps already purge every shard at delete time, and
+	// there would be no replica to restore a raced write from.
+	drop := make([]string, 0, len(okToDrop))
+	for name := range okToDrop {
+		drop = append(drop, name)
+	}
+	var notedDrop []string
+	if r.rep > 1 {
+		allNames := make([]string, 0, len(entries))
+		for _, e := range entries {
+			if !okToDrop[e.Name] {
+				allNames = append(allNames, e.Name)
+			}
+		}
+		notedDrop = r.deletedSince(allNames)
+		drop = append(drop, notedDrop...)
+	}
+	moved := 0
+	if len(drop) > 0 {
+		if _, err := api.DeleteMany(ctx, drop); err != nil {
+			errs = append(errs, fmt.Errorf("cleanup on shard %d: %w", id, err))
+		} else {
+			moved = len(okToDrop)
+			if len(notedDrop) > 0 {
+				still := make(map[string]bool, len(notedDrop))
+				for _, name := range r.deletedSince(notedDrop) {
+					still[name] = true
+				}
+				for _, name := range notedDrop {
+					if !still[name] {
+						r.restoreRacedWrite(ctx, id, api, name)
+					}
+				}
+			}
+		}
+	}
+	if applied > 0 {
+		r.obs.repaired.Add(int64(applied))
 	}
 	return moved, errors.Join(errs...)
+}
+
+// restoreRacedWrite re-establishes this shard's copy of a name whose
+// deletion note vanished while the sweep's cleanup delete was in flight: a
+// write re-created the name concurrently, and the cleanup may have removed
+// the fresh copy from this shard. The replicated write also reached the
+// name's other homes, so the copy is recovered from the first replica that
+// still holds it (best-effort; the next sweep converges the same way).
+func (r *Router) restoreRacedWrite(ctx context.Context, id cloud.SiteID, api API, name string) {
+	refs, err := r.replicaSet(name)
+	if err != nil {
+		return
+	}
+	for _, ref := range refs {
+		if ref.id == id {
+			continue
+		}
+		if e, gerr := ref.api.Get(ctx, name); gerr == nil {
+			api.Merge(ctx, []Entry{e}) //nolint:errcheck // best-effort restore; the next sweep converges
+			return
+		}
+	}
 }
