@@ -15,13 +15,21 @@
 //     reads fail over down the replica list, and a per-shard health breaker
 //     plus background probe keeps routing away from crashed shards until a
 //     re-sync sweep repairs them — the site serves its whole key range
-//     through the loss of any R-1 shards.
+//     through the loss of any R-1 shards;
+//   - -data-dir D persists the registry to an append-only write-ahead log
+//     under D (one shard-<i> subdirectory per shard with -shards) and
+//     recovers it on the next start, so acknowledged writes survive a crash.
+//     -fsync picks the log's sync policy: always (every append, the
+//     default) or never (only at snapshot and shutdown). A replicated tier
+//     repairs a restarted durable shard from its recovered state — only the
+//     writes it missed are replayed, not the whole key range.
 //
 // Usage:
 //
 //	metaserver -addr :7070 -site 1 -name "West Europe"
 //	metaserver -addr :7070 -site 1 -shards 4
 //	metaserver -addr :7070 -site 1 -shards 4 -replication 2
+//	metaserver -addr :7070 -site 1 -shards 4 -data-dir /var/lib/geomds
 //	metaserver -addr :7070 -site 1 -shard-addrs 10.0.0.1:7071,10.0.0.2:7071
 //	metaserver -addr :7070 -site 1 -metrics-addr :9090
 //
@@ -47,6 +55,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -56,6 +65,7 @@ import (
 	"geomds/internal/metrics"
 	"geomds/internal/registry"
 	"geomds/internal/rpc"
+	"geomds/internal/store"
 )
 
 func main() {
@@ -72,6 +82,8 @@ func main() {
 		concern     = flag.String("write-concern", "all", "replicated-write acknowledgement rule: all (every replica) or quorum (majority)")
 		inflight    = flag.Int("inflight", rpc.DefaultMaxInflight, "max pipelined requests one connection may execute concurrently")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus (/metrics) and JSON (/metrics.json, /trace.json) metrics on this address; empty disables")
+		dataDir     = flag.String("data-dir", "", "persist the registry to a write-ahead log under this directory and recover from it on start; empty keeps the registry in memory")
+		fsyncMode   = flag.String("fsync", "always", "write-ahead log fsync policy with -data-dir: always (sync every append) or never (sync only at snapshot and shutdown)")
 	)
 	flag.Parse()
 
@@ -109,6 +121,43 @@ func main() {
 		// Refuse rather than silently serve a single unreplicated instance
 		// the operator believes is fault-tolerant.
 		logger.Fatal("-replication requires a sharded tier (-shards > 1 or -shard-addrs)")
+	}
+	fsync, err := store.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		logger.Fatalf("-fsync: %v", err)
+	}
+	if *dataDir != "" && *shardAddrs != "" {
+		// Persistence lives where the data lives: each remote shard process
+		// owns its log via its own -data-dir.
+		logger.Fatal("-data-dir applies to in-process instances; give each remote shard its own -data-dir instead")
+	}
+	storeOpts := []store.Option{store.WithFsync(fsync)}
+	// Persistent instances are closed on shutdown, flushing and fsyncing the
+	// log tail even under -fsync=never. This defer is registered before the
+	// router's (below), so it runs after it: no re-sync sweep races a
+	// closing log.
+	var persistent []*registry.Instance
+	defer func() {
+		for _, inst := range persistent {
+			if err := inst.Close(); err != nil {
+				logger.Printf("flushing registry log: %v", err)
+			}
+		}
+	}()
+	// newInstance builds one registry instance, in-memory or recovered from
+	// (and journaling to) its subdirectory of -data-dir.
+	newInstance := func(sub string) registry.API {
+		if *dataDir == "" {
+			return registry.NewInstance(cloud.SiteID(*site), newStore())
+		}
+		inst, err := registry.OpenInstance(cloud.SiteID(*site), newStore(), filepath.Join(*dataDir, sub), storeOpts)
+		if err != nil {
+			logger.Fatalf("open registry data dir: %v", err)
+		}
+		seq, _ := inst.DurableSeq()
+		logger.Printf("recovered %s: %d entries, log seq %d", filepath.Join(*dataDir, sub), inst.Len(context.Background()), seq)
+		persistent = append(persistent, inst)
+		return inst
 	}
 	routerOpts := []registry.RouterOption{
 		registry.WithRouterMetrics(reg),
@@ -157,7 +206,7 @@ func main() {
 	case *shards > 1:
 		insts := make([]registry.API, *shards)
 		for i := range insts {
-			insts[i] = registry.NewInstance(cloud.SiteID(*site), newStore())
+			insts[i] = newInstance(fmt.Sprintf("shard-%d", i))
 		}
 		router, err := registry.NewRouter(cloud.SiteID(*site), insts, routerOpts...)
 		if err != nil {
@@ -170,8 +219,11 @@ func main() {
 			deployment += fmt.Sprintf(", %d-way replicated (%s)", router.Replication(), writeConcern)
 		}
 	default:
-		api = registry.NewInstance(cloud.SiteID(*site), newStore())
+		api = newInstance("")
 		deployment = "single instance"
+	}
+	if *dataDir != "" {
+		deployment += fmt.Sprintf(", durable in %s (fsync=%s)", *dataDir, fsync)
 	}
 	srv := rpc.NewServer(api, logger, rpc.WithMaxInflight(*inflight), rpc.WithServerMetrics(reg))
 

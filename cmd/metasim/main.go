@@ -29,6 +29,7 @@ import (
 
 	"geomds/internal/experiments"
 	"geomds/internal/metrics"
+	"geomds/internal/store"
 	"geomds/internal/workloads"
 )
 
@@ -44,6 +45,8 @@ func main() {
 		nodes     = flag.Int("nodes", 0, "override the node count for fixed-size experiments")
 		shards    = flag.Int("shards", 0, "back every site's registry with this many shard instances behind a router (0/1 = single instance)")
 		repl      = flag.Int("replication", 0, "store every key on this many shards of each site's tier (requires -shards > 1; 0/1 = single-home placement)")
+		dataDir   = flag.String("data-dir", "", "back every registry with a write-ahead log under this directory, so runs pay real durability costs (each run logs under its own subdirectory)")
+		fsyncMode = flag.String("fsync", "always", "write-ahead log fsync policy with -data-dir: always or never")
 		csvPath   = flag.String("csv", "", "write the result series as CSV to this file")
 		seed      = flag.Int64("seed", 0, "override the random seed")
 		timeout   = flag.Duration("timeout", 0, "wall-clock deadline for the whole run; 0 means none")
@@ -76,6 +79,19 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.ShardReplication = *repl
+	}
+	if *dataDir != "" {
+		fsync, err := store.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metasim: -fsync: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.DataDir = *dataDir
+		cfg.Fsync = fsync
+		if err := cfg.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "metasim: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	if !*all && *fig == 0 && *table == 0 && !*ablations {

@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -11,6 +13,7 @@ import (
 	"geomds/internal/memcache"
 	"geomds/internal/metrics"
 	"geomds/internal/registry"
+	"geomds/internal/store"
 )
 
 // Fabric is the substrate every strategy builds on: one metadata registry
@@ -42,6 +45,12 @@ type Fabric struct {
 	shardsPerSite    int
 	shardReplication int
 
+	// owned are the close functions of everything the fabric built and is
+	// responsible for shutting down: shard routers, and the persistent
+	// instances whose write-ahead logs need a final flush. Externally
+	// provided instances (WithInstances) are never owned.
+	owned []func() error
+
 	// ackBytes is the modelled size of a small acknowledgement message.
 	ackBytes int
 	// queryBytes is the modelled size of a lookup request (key + framing).
@@ -63,6 +72,8 @@ type fabricConfig struct {
 	concurrency      int
 	shardsPerSite    int
 	shardReplication int
+	dataDir          string
+	storeOpts        []store.Option
 }
 
 // WithInstances backs specific sites with externally provided registry
@@ -144,6 +155,28 @@ func WithShardReplication(r int) FabricOption {
 	}
 }
 
+// WithShardPersistence backs every in-process registry instance with an
+// append-only write-ahead log under dir, so acknowledged metadata writes
+// survive a process crash: each site recovers from dir/site-<id> (or
+// dir/site-<id>/shard-<i> when the site is sharded) on the next start, and
+// replicated shard tiers repair a restarted shard from its recovered state
+// instead of re-syncing it from scratch. The strategies cannot tell the
+// difference — durability sits entirely below the registry API. Pass store
+// options to tune the fsync policy and compaction cadence. Sites provided
+// externally via WithInstances keep their own persistence arrangements.
+//
+// A fabric with persistence must be shut down with Close, which flushes and
+// fsyncs every log so a clean shutdown is lossless even under
+// store.FsyncNever. NewFabric panics if a data directory cannot be opened
+// (callers that need a recoverable error validate dir beforehand, as
+// experiments.Config does).
+func WithShardPersistence(dir string, opts ...store.Option) FabricOption {
+	return func(c *fabricConfig) {
+		c.dataDir = dir
+		c.storeOpts = opts
+	}
+}
+
 // WithCacheCapacity tunes the modelled capacity of each per-site cache
 // instance: the per-operation service time and the number of operations
 // served concurrently. It is ignored when WithCacheFactory is used.
@@ -220,7 +253,23 @@ func NewFabric(topo *cloud.Topology, lat *latency.Model, opts ...FabricOption) *
 	f.trace = f.metrics.Trace()
 	f.shardsPerSite = cfg.shardsPerSite
 	f.shardReplication = cfg.shardReplication
+	// newInstance builds one shard instance, memory-only or recovered from
+	// its own subdirectory of the data dir.
+	newInstance := func(s cloud.SiteID, sub string) *registry.Instance {
+		backing := cfg.cacheFactory(s)
+		if cfg.dataDir == "" {
+			return registry.NewInstance(s, backing, registry.WithCodec(cfg.codec))
+		}
+		dir := filepath.Join(cfg.dataDir, sub)
+		inst, err := registry.OpenInstance(s, backing, dir, cfg.storeOpts, registry.WithCodec(cfg.codec))
+		if err != nil {
+			panic(fmt.Sprintf("core: opening persistent registry at %s: %v", dir, err))
+		}
+		f.owned = append(f.owned, inst.Close)
+		return inst
+	}
 	for _, s := range cfg.sites {
+		siteDir := fmt.Sprintf("site-%d", s)
 		if ext, ok := cfg.instances[s]; ok && ext != nil {
 			f.instances[s] = ext
 			continue
@@ -228,7 +277,7 @@ func NewFabric(topo *cloud.Topology, lat *latency.Model, opts ...FabricOption) *
 		if cfg.shardsPerSite > 1 {
 			shards := make([]registry.API, cfg.shardsPerSite)
 			for i := range shards {
-				shards[i] = registry.NewInstance(s, cfg.cacheFactory(s), registry.WithCodec(cfg.codec))
+				shards[i] = newInstance(s, filepath.Join(siteDir, fmt.Sprintf("shard-%d", i)))
 			}
 			router, err := registry.NewRouter(s, shards,
 				registry.WithRouterMetrics(cfg.metricsReg),
@@ -237,12 +286,30 @@ func NewFabric(topo *cloud.Topology, lat *latency.Model, opts ...FabricOption) *
 				// Unreachable: shardsPerSite > 1 guarantees a non-empty tier.
 				panic(fmt.Sprintf("core: building shard router for site %d: %v", s, err))
 			}
+			// The router's sweeps must stop before the shard logs close.
+			f.owned = append([]func() error{func() error { router.Close(); return nil }}, f.owned...)
 			f.instances[s] = router
 			continue
 		}
-		f.instances[s] = registry.NewInstance(s, cfg.cacheFactory(s), registry.WithCodec(cfg.codec))
+		f.instances[s] = newInstance(s, siteDir)
 	}
 	return f
+}
+
+// Close shuts down everything the fabric owns: shard routers first (their
+// re-sync sweeps must not race the logs closing), then the persistent
+// instances, flushing and fsyncing each write-ahead log. A memory-only
+// fabric closes trivially. Close is safe to call once per fabric; the
+// instances reject operations afterwards.
+func (f *Fabric) Close() error {
+	var errs []error
+	for _, close := range f.owned {
+		if err := close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	f.owned = nil
+	return errors.Join(errs...)
 }
 
 // ShardsPerSite returns how many registry shards back each in-process site

@@ -42,6 +42,7 @@ func AblationLocalReplica(ctx context.Context, cfg Config, entriesPerNode int) (
 
 	run := func(kind core.StrategyKind) (time.Duration, float64, error) {
 		env := cfg.newEnvironment(cfg.Nodes)
+		defer env.close()
 		svc, err := cfg.newService(ctx, env, kind)
 		if err != nil {
 			return 0, 0, err
@@ -108,6 +109,7 @@ func AblationLazyVsEager(ctx context.Context, cfg Config, entriesPerNode int) (A
 
 	run := func(eager bool) (time.Duration, error) {
 		env := cfg.newEnvironment(cfg.Nodes)
+		defer env.close()
 		opts := []core.DecReplicatedOption{core.WithLazyPropagation(cfg.FlushInterval, core.DefaultMaxBatch)}
 		if eager {
 			opts = []core.DecReplicatedOption{core.WithEagerPropagation()}
@@ -224,6 +226,7 @@ func AblationScheduler(ctx context.Context, cfg Config, sc workloads.Scenario) (
 		env := cfg.newEnvironment(cfg.Nodes)
 		svc, err := cfg.newService(ctx, env, core.DecentralizedReplicated)
 		if err != nil {
+			env.close()
 			return res, err
 		}
 		wcfg := workloads.DefaultMontageConfig(sc)
@@ -232,11 +235,13 @@ func AblationScheduler(ctx context.Context, cfg Config, sc workloads.Scenario) (
 		plan, err := sched.Schedule(wf, env.dep)
 		if err != nil {
 			svc.Close()
+			env.close()
 			return res, err
 		}
 		eng := workflow.NewEngine(env.dep, svc, env.lat, workflow.EngineConfig{})
 		run, err := eng.Run(ctx, wf, plan)
 		svc.Close()
+		env.close()
 		if err != nil {
 			return res, err
 		}

@@ -12,6 +12,10 @@ package experiments
 
 import (
 	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"geomds/internal/cloud"
@@ -19,6 +23,7 @@ import (
 	"geomds/internal/dht"
 	"geomds/internal/latency"
 	"geomds/internal/metrics"
+	"geomds/internal/store"
 )
 
 // Config parameterizes every experiment.
@@ -60,6 +65,35 @@ type Config struct {
 	// out, reads fail over, and a crashed shard's key range stays served.
 	// 0 or 1 keeps single-home placement; it requires ShardsPerSite > 1.
 	ShardReplication int
+	// DataDir, when set, backs every registry instance with an on-disk
+	// write-ahead log so the run's metadata write path pays real durability
+	// costs. Each environment (one per strategy run) logs under its own
+	// subdirectory, so runs still start from empty registries. Empty keeps
+	// the in-memory layout.
+	DataDir string
+	// Fsync is the log's fsync policy when DataDir is set: store.FsyncAlways
+	// (the zero value) syncs every append, store.FsyncNever only on
+	// snapshot and close.
+	Fsync store.FsyncPolicy
+}
+
+// Validate checks the parts of the configuration that can fail at runtime
+// rather than by construction — currently that the data directory, if any,
+// can be created and written.
+func (c Config) Validate() error {
+	if c.DataDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.DataDir, 0o755); err != nil {
+		return fmt.Errorf("experiments: data dir: %w", err)
+	}
+	probe, err := os.CreateTemp(c.DataDir, ".probe-*")
+	if err != nil {
+		return fmt.Errorf("experiments: data dir not writable: %w", err)
+	}
+	probe.Close()
+	os.Remove(probe.Name())
+	return nil
 }
 
 // DefaultConfig reproduces the paper-scale experiments: full operation
@@ -131,24 +165,39 @@ type environment struct {
 	rec    *metrics.Recorder
 }
 
+// envSeq numbers the environments built by this process, giving each one
+// with persistence enabled its own subdirectory of Config.DataDir.
+var envSeq atomic.Int64
+
 // newEnvironment builds a fresh multi-site environment with the given number
 // of evenly spread nodes. Every strategy run gets its own environment so that
-// registries start empty and cache capacities are not shared across runs.
+// registries start empty and cache capacities are not shared across runs —
+// with DataDir set, each environment therefore logs under a fresh
+// run-<n> subdirectory instead of recovering the previous run's entries.
 func (c Config) newEnvironment(nodes int) *environment {
 	topo := c.topology()
 	lat := c.newLatency(topo)
 	rec := metrics.NewRecorder()
 	rec.SetSimConverter(lat.ToSimulated)
-	fabric := core.NewFabric(topo, lat,
+	opts := []core.FabricOption{
 		core.WithCacheCapacity(c.ServiceTime, c.Concurrency),
 		core.WithRecorder(rec),
 		core.WithShardsPerSite(c.ShardsPerSite),
 		core.WithShardReplication(c.ShardReplication),
-	)
+	}
+	if c.DataDir != "" {
+		dir := filepath.Join(c.DataDir, fmt.Sprintf("run-%d", envSeq.Add(1)))
+		opts = append(opts, core.WithShardPersistence(dir, store.WithFsync(c.Fsync)))
+	}
+	fabric := core.NewFabric(topo, lat, opts...)
 	dep := cloud.NewDeployment(topo)
 	dep.SpreadNodes(nodes)
 	return &environment{topo: topo, lat: lat, dep: dep, fabric: fabric, rec: rec}
 }
+
+// close shuts the environment down, flushing and closing any write-ahead
+// logs its fabric owns.
+func (e *environment) close() error { return e.fabric.Close() }
 
 // newService builds the given strategy over the environment's fabric using
 // the experiment's tuning parameters.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"geomds/internal/core"
+	"geomds/internal/registry"
 	"geomds/internal/workflow"
 	"geomds/internal/workloads"
 )
@@ -66,6 +67,44 @@ func TestNewEnvironmentAndService(t *testing.T) {
 			t.Errorf("Kind = %v, want %v", svc.Kind(), kind)
 		}
 		svc.Close()
+	}
+}
+
+func TestEnvironmentWithDataDir(t *testing.T) {
+	cfg := testConfig()
+	cfg.DataDir = t.TempDir()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Two environments over the same DataDir must not share state: each logs
+	// under its own run subdirectory and starts empty.
+	first := cfg.newEnvironment(4)
+	site := first.fabric.Sites()[0]
+	inst, err := first.fabric.Instance(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := registry.NewEntry("datadir/probe", 1, "t", registry.Location{Site: site, Node: 1})
+	if _, err := inst.Create(tctx, e); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	second := cfg.newEnvironment(4)
+	defer second.close()
+	inst, err = second.fabric.Instance(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := inst.Len(tctx); n != 0 {
+		t.Errorf("fresh environment recovered %d entries from a previous run, want 0", n)
+	}
+
+	bad := cfg
+	bad.DataDir = "/dev/null/not-a-dir"
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted an impossible data dir")
 	}
 }
 

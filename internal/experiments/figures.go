@@ -69,6 +69,7 @@ func Figure1(ctx context.Context, cfg Config) (Figure1Result, error) {
 // registry hosted at registrySite and returns the simulated elapsed time.
 func figure1Post(ctx context.Context, cfg Config, registrySite string, n int) (time.Duration, error) {
 	env := cfg.newEnvironment(1)
+	defer env.close()
 	weu, _ := env.topo.SiteByName(cloud.SiteWestEU)
 	target, ok := env.topo.SiteByName(registrySite)
 	if !ok {
@@ -311,6 +312,7 @@ func (r Figure8Result) Point(kind core.StrategyKind, nodes int) (Figure8Point, b
 // for one strategy.
 func runSynthetic(ctx context.Context, cfg Config, kind core.StrategyKind, nodes, opsPerNode int, prog *metrics.Progress) (workloads.SyntheticResult, error) {
 	env := cfg.newEnvironment(nodes)
+	defer env.close()
 	svc, err := cfg.newService(ctx, env, kind)
 	if err != nil {
 		return workloads.SyntheticResult{}, err

@@ -43,6 +43,7 @@ func AblationProvisioning(cfg Config, sc workloads.Scenario, sched workflow.Sche
 		sched = workflow.RoundRobinScheduler{}
 	}
 	env := cfg.newEnvironment(cfg.Nodes)
+	defer env.close()
 	wcfg := workloads.DefaultMontageConfig(sc)
 	wcfg.Prefix = "ablation-provision"
 	wcfg.Sizes = workloads.SkySurveySizes(cfg.Seed)

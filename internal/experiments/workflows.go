@@ -137,6 +137,7 @@ func scaledScenario(cfg Config, sc workloads.Scenario) workloads.Scenario {
 // a fresh environment.
 func runWorkflowOnce(ctx context.Context, cfg Config, wfName string, nominal, scaled workloads.Scenario, kind core.StrategyKind) (Figure10Cell, error) {
 	env := cfg.newEnvironment(cfg.Nodes)
+	defer env.close()
 	svc, err := cfg.newService(ctx, env, kind)
 	if err != nil {
 		return Figure10Cell{}, err

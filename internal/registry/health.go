@@ -38,6 +38,10 @@ type healthTracker struct {
 	preRecover   func(id cloud.SiteID)
 	abortRecover func()
 	postRecover  func(id cloud.SiteID)
+	// onDown fires once per breaker opening, right after the CAS that
+	// opened it (the router samples the shard's durable sequence number
+	// here, while the in-process handle still answers).
+	onDown func(id cloud.SiteID)
 
 	// mu guards breakers (lookups take the read lock; membership changes
 	// the write lock) and the prober lifecycle fields below.
@@ -192,6 +196,9 @@ func (h *healthTracker) markDown(id cloud.SiteID) {
 	h.nDown.Add(1)
 	h.obs.downG.Add(1)
 	h.obs.downC.Inc()
+	if h.onDown != nil {
+		h.onDown(id)
+	}
 	h.ensureProber()
 }
 

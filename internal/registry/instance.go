@@ -8,6 +8,7 @@ import (
 
 	"geomds/internal/cloud"
 	"geomds/internal/memcache"
+	"geomds/internal/store"
 )
 
 // Store is the subset of the cache-tier API the registry relies on. Both
@@ -49,6 +50,11 @@ type Instance struct {
 	codec Codec
 	// maxCASRetries bounds optimistic-concurrency retries on updates.
 	maxCASRetries int
+	// durable is the persistence layer when WithStorage wrapped the store;
+	// nil for memory-only instances. storageErr records a failed storage
+	// open so constructors can surface it.
+	durable    *store.Durable
+	storageErr error
 }
 
 // InstanceOption configures an Instance.
@@ -70,11 +76,16 @@ func WithCASRetries(n int) InstanceOption {
 }
 
 // NewInstance returns a registry instance for the given site backed by the
-// given store.
+// given store. It panics if a WithStorage option failed to open its
+// directory — construction cannot half-succeed; use OpenInstance to handle
+// the error instead.
 func NewInstance(site cloud.SiteID, store Store, opts ...InstanceOption) *Instance {
 	inst := &Instance{site: site, store: store, codec: GobCodec{}, maxCASRetries: 8}
 	for _, o := range opts {
 		o(inst)
+	}
+	if inst.storageErr != nil {
+		panic(inst.storageErr)
 	}
 	return inst
 }

@@ -422,6 +422,7 @@ func (r *Router) createReplicated(ctx context.Context, e Entry) (Entry, error) {
 		return Entry{}, err
 	}
 	defer r.repairWindow()()
+	r.noteWritten(e.Name)
 	gen := r.sweepGen.Load()
 	noted := r.clearDeleted(e.Name)
 
@@ -490,6 +491,7 @@ func (r *Router) putReplicated(ctx context.Context, e Entry) (Entry, error) {
 		return Entry{}, err
 	}
 	defer r.repairWindow()()
+	r.noteWritten(e.Name)
 	gen := r.sweepGen.Load()
 	noted := r.clearDeleted(e.Name)
 	stored, acks, errs, failed := r.fanOutWrite(refs, func(ref shardRef) (Entry, error) { return ref.api.Put(ctx, e) })
@@ -517,6 +519,7 @@ func (r *Router) addLocationReplicated(ctx context.Context, name string, loc Loc
 		return Entry{}, err
 	}
 	defer r.repairWindow()()
+	r.noteWritten(name)
 	var (
 		stored Entry
 		uerr   error
@@ -825,6 +828,7 @@ func (r *Router) putManyReplicated(ctx context.Context, entries []Entry) ([]Entr
 		return nil, err
 	}
 	defer r.repairWindow()()
+	r.noteWritten(names...)
 	r.countBulk(len(groups))
 
 	var (
@@ -960,6 +964,7 @@ func (r *Router) mergeReplicated(ctx context.Context, entries []Entry) (int, err
 		return 0, err
 	}
 	defer r.repairWindow()()
+	r.noteWritten(names...)
 	r.countBulk(len(groups))
 
 	var (

@@ -121,6 +121,20 @@ type Router struct {
 	delMu              sync.Mutex
 	deletedDuringSweep map[string]bool
 
+	// wroteDuringOutage — the names written through the replicated paths
+	// while any shard's breaker was open — feeds the delta repair of a
+	// Recoverable shard (see delta.go). It shares delMu and the clear
+	// points with deletedDuringSweep: both sets describe "what changed
+	// while something was away" and die together once nothing needs them.
+	wroteDuringOutage map[string]bool
+
+	// seqAtDown records each down shard's durable sequence number, sampled
+	// the moment its breaker opened (healthTracker.onDown); the recovery
+	// path compares it against the shard's recovered sequence number to
+	// decide between delta repair and full sweep.
+	seqMu     sync.Mutex
+	seqAtDown map[cloud.SiteID]uint64
+
 	obs routerObs
 }
 
@@ -139,6 +153,7 @@ type routerObs struct {
 	sweepsC     *metrics.Counter // router_sweeps_total: migration sweeps completed
 	sweepFails  *metrics.Counter // router_sweep_failures_total: background sweeps abandoned after retries
 	resyncs     *metrics.Counter // router_resync_sweeps_total: sweeps triggered by a shard recovering
+	deltas      *metrics.Counter // router_delta_repairs_total: recoveries served by a delta repair instead of a full sweep
 	failovers   *metrics.Counter // router_failover_reads_total: reads served by a non-primary replica
 	replicaErrs *metrics.Counter // router_replica_write_errors_total: write failures suppressed by the quorum concern
 	repairFails *metrics.Counter // router_replica_repair_failures_total: background replica repairs abandoned after retries
@@ -156,6 +171,7 @@ func newRouterObs(reg *metrics.Registry) routerObs {
 		sweepsC:     reg.Counter("router_sweeps_total"),
 		sweepFails:  reg.Counter("router_sweep_failures_total"),
 		resyncs:     reg.Counter("router_resync_sweeps_total"),
+		deltas:      reg.Counter("router_delta_repairs_total"),
 		failovers:   reg.Counter("router_failover_reads_total"),
 		replicaErrs: reg.Counter("router_replica_write_errors_total"),
 		repairFails: reg.Counter("router_replica_repair_failures_total"),
@@ -289,8 +305,17 @@ func NewRouter(site cloud.SiteID, shards []API, opts ...RouterOption) (*Router, 
 	// shard reads again), then run a re-sync sweep to repair it.
 	r.health.preRecover = func(cloud.SiteID) { r.sweepBegin() }
 	r.health.abortRecover = r.sweepEnd
-	r.health.postRecover = func(cloud.SiteID) {
+	// The moment a breaker opens, sample the shard's durable sequence number
+	// (delta.go); when it closes again, a shard that provably recovered its
+	// pre-outage state takes the delta repair, everything else the full
+	// re-sync sweep.
+	r.health.onDown = r.recordDownSeq
+	r.health.postRecover = func(id cloud.SiteID) {
 		r.obs.resyncs.Inc()
+		if seqDown, ok := r.takeDownSeq(id); ok && r.deltaEligible(id, seqDown) {
+			r.spawnDeltaRepair(id)
+			return
+		}
 		r.spawnSweep()
 	}
 	for id := range m {
@@ -764,6 +789,7 @@ func (r *Router) sweepEnd() {
 	r.delMu.Lock()
 	if r.sweeping.Add(-1) == 0 && !r.notesNeeded() {
 		r.deletedDuringSweep = nil
+		r.wroteDuringOutage = nil
 	}
 	r.delMu.Unlock()
 }
@@ -801,6 +827,7 @@ func (r *Router) endRepairWindow() {
 	r.delMu.Lock()
 	if r.repairsPending.Add(-1) == 0 && !r.notesNeeded() {
 		r.deletedDuringSweep = nil
+		r.wroteDuringOutage = nil
 	}
 	r.delMu.Unlock()
 }

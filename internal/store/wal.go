@@ -1,0 +1,270 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"geomds/internal/memcache"
+)
+
+// WAL record format. A segment file is the 8-byte magic followed by frames:
+//
+//	u32 payload length | u32 CRC-32C of payload | payload
+//
+// and each payload is one mutation record:
+//
+//	u64 sequence number | u8 op (1 = put, 2 = delete) |
+//	u32 key length | key bytes | u32 value length | value bytes
+//
+// All integers are big-endian. Sequence numbers are assigned consecutively
+// from 1 across the store's lifetime; segment file names carry the first
+// sequence number they may contain (wal-<first, hex>.log), so recovery
+// replays segments in name order.
+
+const (
+	walMagic = "GMDSWAL1"
+	opPut    = byte(1)
+	opDelete = byte(2)
+
+	frameHeaderLen = 8 // u32 length + u32 crc
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendRecordFrame appends one framed record to buf and returns the
+// extended slice.
+func appendRecordFrame(buf []byte, seq uint64, op byte, key string, value []byte) []byte {
+	hdr := len(buf)
+	buf = append(buf, make([]byte, frameHeaderLen)...)
+	buf = binary.BigEndian.AppendUint64(buf, seq)
+	buf = append(buf, op)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(value)))
+	buf = append(buf, value...)
+	payload := buf[hdr+frameHeaderLen:]
+	binary.BigEndian.PutUint32(buf[hdr:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[hdr+4:], crc32.Checksum(payload, castagnoli))
+	return buf
+}
+
+// walEntry is one decoded log record.
+type walEntry struct {
+	seq   uint64
+	op    byte
+	key   string
+	value []byte
+}
+
+// parseRecord decodes a frame payload whose checksum already passed.
+func parseRecord(payload []byte) (walEntry, error) {
+	if len(payload) < 8+1+4 {
+		return walEntry{}, fmt.Errorf("store: record payload too short (%d bytes): %w", len(payload), ErrCorrupt)
+	}
+	e := walEntry{seq: binary.BigEndian.Uint64(payload), op: payload[8]}
+	if e.op != opPut && e.op != opDelete {
+		return walEntry{}, fmt.Errorf("store: record seq %d has unknown op %d: %w", e.seq, e.op, ErrCorrupt)
+	}
+	rest := payload[9:]
+	klen := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	if klen < 0 || klen+4 > len(rest) {
+		return walEntry{}, fmt.Errorf("store: record seq %d has bad key length %d: %w", e.seq, klen, ErrCorrupt)
+	}
+	e.key = string(rest[:klen])
+	rest = rest[klen:]
+	vlen := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	if vlen != len(rest) {
+		return walEntry{}, fmt.Errorf("store: record seq %d has bad value length %d (have %d): %w", e.seq, vlen, len(rest), ErrCorrupt)
+	}
+	if vlen > 0 {
+		e.value = append([]byte(nil), rest...)
+	}
+	return e, nil
+}
+
+// readSegment decodes every frame of one segment file. final marks the last
+// (newest) segment, where a bad tail is the signature of a crash mid-append
+// and is tolerated: the function reports torn=true and validLen, the byte
+// offset the caller should truncate the file to. In any other position —
+// or anywhere in a non-final segment — damage means later records would be
+// silently dropped, so the error wraps ErrCorrupt instead.
+func readSegment(path string, final bool) (entries []walEntry, validLen int64, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("store: reading segment %s: %w", path, err)
+	}
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != string(walMagic) {
+		if final {
+			// Crash while the segment itself was being created: nothing in
+			// it can be valid. validLen < header tells the caller to drop
+			// the file entirely.
+			return nil, 0, true, nil
+		}
+		return nil, 0, false, fmt.Errorf("store: segment %s has bad magic: %w", path, ErrCorrupt)
+	}
+	off := len(walMagic)
+	for off < len(data) {
+		frameStart := off
+		tornHere := func() ([]walEntry, int64, bool, error) {
+			if final {
+				return entries, int64(frameStart), true, nil
+			}
+			return nil, 0, false, fmt.Errorf("store: segment %s corrupt at offset %d: %w", path, frameStart, ErrCorrupt)
+		}
+		if off+frameHeaderLen > len(data) {
+			return tornHere() // partial frame header at EOF
+		}
+		plen := int(binary.BigEndian.Uint32(data[off:]))
+		crc := binary.BigEndian.Uint32(data[off+4:])
+		end := off + frameHeaderLen + plen
+		if plen < 0 || end > len(data) {
+			return tornHere() // partial payload at EOF (or garbage length)
+		}
+		payload := data[off+frameHeaderLen : end]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			if final && end == len(data) {
+				return tornHere() // checksum hole in the very last frame: torn write
+			}
+			return nil, 0, false, fmt.Errorf("store: segment %s checksum mismatch at offset %d: %w", path, frameStart, ErrCorrupt)
+		}
+		e, err := parseRecord(payload)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		entries = append(entries, e)
+		off = end
+	}
+	return entries, int64(off), false, nil
+}
+
+// segment is one discovered WAL segment file.
+type segment struct {
+	path  string
+	first uint64 // first sequence number the segment may contain
+}
+
+// listSegments returns the directory's WAL segments in replay order.
+func listSegments(dir string) ([]segment, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		return nil, err
+	}
+	segs := make([]segment, 0, len(matches))
+	for _, m := range matches {
+		var first uint64
+		if _, err := fmt.Sscanf(filepath.Base(m), "wal-%016x.log", &first); err != nil {
+			continue // not ours; leave it alone
+		}
+		segs = append(segs, segment{path: m, first: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+func segmentName(first uint64) string { return fmt.Sprintf("wal-%016x.log", first) }
+
+// createSegment creates a fresh segment whose first record will carry the
+// given sequence number, writes the magic and makes the creation durable.
+func createSegment(dir string, first uint64) (*os.File, int64, error) {
+	path := filepath.Join(dir, segmentName(first))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: creating segment: %w", err)
+	}
+	if _, err := f.WriteString(walMagic); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("store: writing segment magic: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("store: syncing new segment: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("store: syncing directory: %w", err)
+	}
+	return f, int64(len(walMagic)), nil
+}
+
+// recover rebuilds the backing store: newest valid snapshot first, then a
+// strict-ordered replay of every log record past the snapshot's sequence
+// number. A torn tail in the last segment is truncated away; any other
+// damage fails the open with ErrCorrupt.
+func (d *Durable) recover() error {
+	base, err := d.loadNewestSnapshot()
+	if err != nil {
+		return err
+	}
+	segs, err := listSegments(d.dir)
+	if err != nil {
+		return fmt.Errorf("store: listing segments: %w", err)
+	}
+	last := base
+	for idx, seg := range segs {
+		final := idx == len(segs)-1
+		entries, validLen, torn, err := readSegment(seg.path, final)
+		if err != nil {
+			return err
+		}
+		if torn {
+			d.tornTails++
+			if validLen < int64(len(walMagic)) {
+				if err := os.Remove(seg.path); err != nil {
+					return fmt.Errorf("store: dropping torn segment %s: %w", seg.path, err)
+				}
+				segs = segs[:idx]
+			} else if err := os.Truncate(seg.path, validLen); err != nil {
+				return fmt.Errorf("store: truncating torn tail of %s: %w", seg.path, err)
+			}
+		}
+		for _, e := range entries {
+			if e.seq <= base {
+				continue // already covered by the snapshot
+			}
+			if e.seq != last+1 {
+				return fmt.Errorf("store: sequence gap after %d (next surviving record is %d): %w", last, e.seq, ErrCorrupt)
+			}
+			switch e.op {
+			case opPut:
+				if _, err := d.backing.Put(e.key, e.value, 0); err != nil {
+					return fmt.Errorf("store: replaying put %q (seq %d): %w", e.key, e.seq, err)
+				}
+			case opDelete:
+				if err := d.backing.Delete(e.key); err != nil && !errors.Is(err, memcache.ErrNotFound) {
+					return fmt.Errorf("store: replaying delete %q (seq %d): %w", e.key, e.seq, err)
+				}
+			}
+			last = e.seq
+		}
+	}
+	d.seq, d.recovered = last, last
+	d.sinceSnap = int(last - base)
+
+	if len(segs) > 0 {
+		active := segs[len(segs)-1]
+		f, err := os.OpenFile(active.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: opening active segment: %w", err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("store: sizing active segment: %w", err)
+		}
+		d.f, d.size = f, st.Size()
+		return nil
+	}
+	f, size, err := createSegment(d.dir, last+1)
+	if err != nil {
+		return err
+	}
+	d.f, d.size = f, size
+	return nil
+}
