@@ -9,8 +9,20 @@
 //	metactl -addr 127.0.0.1:7070 del  <name> [name...]
 //	metactl -addr 127.0.0.1:7070 ls
 //	metactl -addr 127.0.0.1:7070 stat
+//	metactl -addr 127.0.0.1:7070 watch [prefix]
+//	metactl -addr 127.0.0.1:7070 -from 1500 watch
 //	metactl -metrics-addr 127.0.0.1:9090 stats
 //	metactl -shard-addrs 127.0.0.1:7071,127.0.0.1:7072 ls
+//
+// The watch command streams the server's change feed: every committed put
+// and delete, live, one line per event, until interrupted. -from resumes
+// after a previous sequence number (the last printed seq is the resume
+// token); a cursor older than the server's retained window is served by a
+// state snapshot followed by the live tail, unless -no-fallback asks for a
+// hard feed.ErrCompacted failure instead. The server must run with change
+// feeds enabled (metaserver -feed). With -shard-addrs, every shard server is
+// watched directly and the streams are merged (events of a replicated tier
+// then appear once per replica).
 //
 // With -shard-addrs, metactl targets a sharded site directly: it builds the
 // same client-side routing tier a metaserver -shard-addrs process would, so
@@ -45,11 +57,14 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"geomds/internal/cloud"
+	"geomds/internal/feed"
 	"geomds/internal/metrics"
 	"geomds/internal/registry"
 	"geomds/internal/rpc"
@@ -71,6 +86,8 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "per-operation deadline, propagated to the server")
 	metricsAddr := flag.String("metrics-addr", "127.0.0.1:9090", "metaserver metrics endpoint (for the stats command)")
 	traceN := flag.Int("trace", 15, "number of recent trace events the stats command renders (0 = none)")
+	fromSeq := flag.Uint64("from", 0, "resume the watch command after this feed sequence number (0 = start of the retained window)")
+	noFallback := flag.Bool("no-fallback", false, "fail the watch command when -from predates the retained window instead of falling back to snapshot+tail")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -278,6 +295,15 @@ func main() {
 			fmt.Println(e.Name)
 		}
 
+	case "watch":
+		prefix := ""
+		if len(args) > 1 {
+			prefix = args[1]
+		}
+		if err := watchFeeds(clients, *fromSeq, prefix, *noFallback, opCtx); err != nil {
+			fatal(err)
+		}
+
 	case "stat":
 		// Ping first: Len is best-effort and reads 0 on failure, which must
 		// not masquerade as an empty registry. Against a sharded site every
@@ -298,6 +324,87 @@ func main() {
 		usage()
 		os.Exit(exitUsage)
 	}
+}
+
+// watchFeeds opens one watch stream per client (one for -addr, one per shard
+// for -shard-addrs), merges them, and prints each event as a line until the
+// process is interrupted or every stream ends. The handshake is bounded by
+// the per-operation deadline; the streams themselves live until interrupt.
+func watchFeeds(clients []*rpc.Client, from uint64, prefix string, noFallback bool, opCtx func() (context.Context, context.CancelFunc)) error {
+	streams := make([]*rpc.WatchStream, 0, len(clients))
+	defer func() {
+		for _, s := range streams {
+			s.Close()
+		}
+	}()
+	for _, c := range clients {
+		ctx, cancel := opCtx()
+		stream, err := c.Watch(ctx, from, rpc.WatchOptions{Prefix: prefix, NoFallback: noFallback})
+		cancel()
+		if err != nil {
+			return fmt.Errorf("watch %s: %w", c.Addr(), err)
+		}
+		streams = append(streams, stream)
+		if stream.Fallback() {
+			fmt.Fprintf(os.Stderr, "metactl: cursor %d predates the retained window of %s; streaming a state snapshot before the live tail (resuming at seq %d)\n",
+				from, c.Addr(), stream.StartSeq())
+		}
+	}
+
+	type tagged struct {
+		addr string
+		ev   feed.Event
+		live bool
+		err  error
+	}
+	merged := make(chan tagged)
+	for i, stream := range streams {
+		go func(addr string, s *rpc.WatchStream) {
+			for ev := range s.Events() {
+				merged <- tagged{addr: addr, ev: ev, live: true}
+			}
+			merged <- tagged{addr: addr, err: s.Err()}
+		}(clients[i].Addr(), stream)
+	}
+
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(interrupt)
+	shardTag := len(streams) > 1
+	for remaining := len(streams); remaining > 0; {
+		select {
+		case <-interrupt:
+			return nil
+		case m := <-merged:
+			if !m.live {
+				remaining--
+				if m.err != nil {
+					return fmt.Errorf("watch %s: %w", m.addr, m.err)
+				}
+				continue
+			}
+			op := "put"
+			if m.ev.Op == feed.OpDelete {
+				op = "del"
+			}
+			var tags []string
+			if shardTag {
+				tags = append(tags, m.addr)
+			}
+			if m.ev.Origin != "" {
+				tags = append(tags, m.ev.Origin)
+			}
+			if m.ev.Sync {
+				tags = append(tags, "sync")
+			}
+			suffix := ""
+			if len(tags) > 0 {
+				suffix = "  (" + strings.Join(tags, ", ") + ")"
+			}
+			fmt.Printf("%8d  %s  %s%s\n", m.ev.Seq, op, m.ev.Name, suffix)
+		}
+	}
+	return nil
 }
 
 // renderStats scrapes the metaserver's metrics endpoint and renders the
@@ -344,6 +451,8 @@ commands:
   del <name> [name...]              delete entries (many names go as one batch)
   ls                                list entry names
   stat                              print server statistics
+  watch [prefix]                    stream the change feed (requires
+                                    metaserver -feed; see -from, -no-fallback)
   stats                             render live metrics from -metrics-addr
                                     (requires metaserver -metrics-addr; see
                                     also -trace to bound the event listing)

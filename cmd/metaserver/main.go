@@ -22,7 +22,15 @@
 //     -fsync picks the log's sync policy: always (every append, the
 //     default) or never (only at snapshot and shutdown). A replicated tier
 //     repairs a restarted durable shard from its recovered state — only the
-//     writes it missed are replayed, not the whole key range.
+//     writes it missed are replayed, not the whole key range;
+//   - -feed publishes every committed put and delete on a change feed that
+//     clients stream with the Watch protocol (metactl watch). Durable
+//     instances reuse the WAL's sequence numbers, so resume tokens survive
+//     restarts; with -shards the per-shard feeds are relayed into one
+//     combined feed. -feed-capacity bounds the retained event window a
+//     disconnected watcher can resume inside before the snapshot fallback
+//     kicks in. -feed does not compose with -shard-addrs: remote shard
+//     processes own their feeds, watch them directly.
 //
 // Usage:
 //
@@ -61,6 +69,7 @@ import (
 	"time"
 
 	"geomds/internal/cloud"
+	"geomds/internal/feed"
 	"geomds/internal/memcache"
 	"geomds/internal/metrics"
 	"geomds/internal/registry"
@@ -84,6 +93,8 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus (/metrics) and JSON (/metrics.json, /trace.json) metrics on this address; empty disables")
 		dataDir     = flag.String("data-dir", "", "persist the registry to a write-ahead log under this directory and recover from it on start; empty keeps the registry in memory")
 		fsyncMode   = flag.String("fsync", "always", "write-ahead log fsync policy with -data-dir: always (sync every append) or never (sync only at snapshot and shutdown)")
+		feedOn      = flag.Bool("feed", false, "publish every committed put and delete on a change feed served to Watch subscribers (metactl watch)")
+		feedCap     = flag.Int("feed-capacity", feed.DefaultCapacity, "events the change feed retains for resuming watchers; older cursors take the snapshot fallback")
 	)
 	flag.Parse()
 
@@ -131,6 +142,16 @@ func main() {
 		// owns its log via its own -data-dir.
 		logger.Fatal("-data-dir applies to in-process instances; give each remote shard its own -data-dir instead")
 	}
+	if *feedOn && *shardAddrs != "" {
+		// Feeds live where the commits happen: each remote shard process
+		// publishes its own feed; watch the shard servers directly.
+		logger.Fatal("-feed applies to in-process instances; run each remote shard with its own -feed and watch it directly")
+	}
+	var instOpts []registry.InstanceOption
+	if *feedOn {
+		instOpts = append(instOpts, registry.WithChangeFeed(
+			feed.WithCapacity(*feedCap), feed.WithLogMetrics(reg)))
+	}
 	storeOpts := []store.Option{store.WithFsync(fsync)}
 	// Persistent instances are closed on shutdown, flushing and fsyncing the
 	// log tail even under -fsync=never. This defer is registered before the
@@ -148,9 +169,9 @@ func main() {
 	// (and journaling to) its subdirectory of -data-dir.
 	newInstance := func(sub string) registry.API {
 		if *dataDir == "" {
-			return registry.NewInstance(cloud.SiteID(*site), newStore())
+			return registry.NewInstance(cloud.SiteID(*site), newStore(), instOpts...)
 		}
-		inst, err := registry.OpenInstance(cloud.SiteID(*site), newStore(), filepath.Join(*dataDir, sub), storeOpts)
+		inst, err := registry.OpenInstance(cloud.SiteID(*site), newStore(), filepath.Join(*dataDir, sub), storeOpts, instOpts...)
 		if err != nil {
 			logger.Fatalf("open registry data dir: %v", err)
 		}
@@ -224,6 +245,9 @@ func main() {
 	}
 	if *dataDir != "" {
 		deployment += fmt.Sprintf(", durable in %s (fsync=%s)", *dataDir, fsync)
+	}
+	if *feedOn {
+		deployment += fmt.Sprintf(", change feed (last %d events retained)", *feedCap)
 	}
 	srv := rpc.NewServer(api, logger, rpc.WithMaxInflight(*inflight), rpc.WithServerMetrics(reg))
 

@@ -26,6 +26,7 @@ type Controller struct {
 	syncEvery   time.Duration
 	lazyFlush   time.Duration
 	lazyBatch   int
+	feedSync    bool
 
 	mu      sync.Mutex
 	current MetadataService
@@ -66,6 +67,16 @@ func WithControllerLazy(flushInterval time.Duration, maxBatch int) ControllerOpt
 		c.lazyFlush = flushInterval
 		c.lazyBatch = maxBatch
 	}
+}
+
+// WithControllerFeedSync makes the eventually consistent strategies converge
+// through the fabric's change feeds instead of polling: the replicated
+// strategy is built WithFeedSync and the hybrid strategy WithFeedPropagation.
+// Requires a fabric built WithChangeFeeds — Use fails with ErrNoFeed
+// otherwise. Strategies without a polling agent (centralized, decentralized)
+// are unaffected.
+func WithControllerFeedSync() ControllerOption {
+	return func(c *Controller) { c.feedSync = true }
 }
 
 // NewController returns a controller over the given fabric.
@@ -142,11 +153,18 @@ func (c *Controller) build(kind StrategyKind) (MetadataService, error) {
 	case Centralized:
 		return NewCentralized(c.fabric, c.centralHome)
 	case Replicated:
-		return NewReplicated(c.fabric, c.agentSite, WithSyncInterval(c.syncEvery))
+		opts := []ReplicatedOption{WithSyncInterval(c.syncEvery)}
+		if c.feedSync {
+			opts = append(opts, WithFeedSync())
+		}
+		return NewReplicated(c.fabric, c.agentSite, opts...)
 	case Decentralized:
 		return NewDecentralized(c.fabric, c.placer)
 	case DecentralizedReplicated:
 		opts := []DecReplicatedOption{WithLazyPropagation(c.lazyFlush, c.lazyBatch)}
+		if c.feedSync {
+			opts = append(opts, WithFeedPropagation())
+		}
 		if c.placer != nil {
 			opts = append(opts, WithPlacer(c.placer))
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -31,7 +32,10 @@ type DecReplicatedService struct {
 	// lazy selects batched asynchronous propagation to the home site.
 	lazy       bool
 	propagator *Propagator
-	closed     atomic.Bool
+	// feedSync replaces the propagator in feed mode (WithFeedPropagation):
+	// home copies converge by consuming the sites' change feeds.
+	feedSync *feedSyncer
+	closed   atomic.Bool
 
 	localHits   atomic.Int64
 	remoteReads atomic.Int64
@@ -48,6 +52,7 @@ type DecReplicatedOption func(*decRepConfig)
 type decRepConfig struct {
 	placer        dht.Placer
 	eager         bool
+	feed          bool
 	flushInterval time.Duration
 	maxBatch      int
 }
@@ -68,8 +73,22 @@ func WithEagerPropagation() DecReplicatedOption {
 func WithLazyPropagation(flushInterval time.Duration, maxBatch int) DecReplicatedOption {
 	return func(c *decRepConfig) {
 		c.eager = false
+		c.feed = false
 		c.flushInterval = flushInterval
 		c.maxBatch = maxBatch
+	}
+}
+
+// WithFeedPropagation keeps writes asynchronous like the lazy scheme but
+// replaces the interval-driven propagator with a consumer of the sites'
+// change feeds: a locally committed write reaches its hashed home site as
+// soon as its feed event arrives, rather than on the next flush tick.
+// Writers still perceive only the local latency. Requires a fabric built
+// WithChangeFeeds; NewDecReplicated fails with ErrNoFeed otherwise.
+func WithFeedPropagation() DecReplicatedOption {
+	return func(c *decRepConfig) {
+		c.eager = false
+		c.feed = true
 	}
 }
 
@@ -96,9 +115,85 @@ func NewDecReplicated(fabric *Fabric, opts ...DecReplicatedOption) (*DecReplicat
 		remotesC: fabric.Metrics().Counter("core_dr_remote_reads_total"),
 	}
 	if s.lazy {
-		s.propagator = NewPropagator(fabric, cfg.flushInterval, cfg.maxBatch)
+		if cfg.feed {
+			fs, err := newFeedSyncer(fabric, s.applyFeed)
+			if err != nil {
+				return nil, fmt.Errorf("decentralized-rep: %w", err)
+			}
+			s.feedSync = fs
+		} else {
+			s.propagator = NewPropagator(fabric, cfg.flushInterval, cfg.maxBatch)
+		}
 	}
 	return s, nil
+}
+
+// FeedDriven reports whether home-site propagation consumes change feeds
+// (WithFeedPropagation) instead of the interval-driven propagator.
+func (s *DecReplicatedService) FeedDriven() bool { return s.feedSync != nil }
+
+// applyFeed routes one micro-batch of mutations committed at site from to the
+// home sites of the touched names. Events already at their home (from ==
+// home) drop out — which is also what stops the echo: applying a put at the
+// home republishes it on the home's feed, and that event's home is its own
+// origin.
+func (s *DecReplicatedService) applyFeed(ctx context.Context, from cloud.SiteID, puts []registry.Entry, dels []string) int {
+	type group struct {
+		puts []registry.Entry
+		dels []string
+	}
+	byHome := make(map[cloud.SiteID]*group)
+	add := func(home cloud.SiteID) *group {
+		g := byHome[home]
+		if g == nil {
+			g = &group{}
+			byHome[home] = g
+		}
+		return g
+	}
+	for _, e := range puts {
+		if home := s.placer.Home(e.Name); home != from {
+			g := add(home)
+			g.puts = append(g.puts, e)
+		}
+	}
+	for _, name := range dels {
+		if home := s.placer.Home(name); home != from {
+			g := add(home)
+			g.dels = append(g.dels, name)
+		}
+	}
+	var (
+		applied atomic.Int64
+		wg      sync.WaitGroup
+	)
+	for home, g := range byHome {
+		inst, err := s.fabric.Instance(home)
+		if err != nil {
+			continue
+		}
+		batchBytes := len(g.dels) * s.fabric.queryBytes
+		for _, e := range g.puts {
+			batchBytes += s.fabric.EntrySize(e)
+		}
+		wg.Add(1)
+		go func(home cloud.SiteID, inst registry.API, g *group, batchBytes int) {
+			defer wg.Done()
+			start := time.Now()
+			if _, err := s.fabric.call(ctx, from, home, batchBytes, s.fabric.ackBytes); err != nil {
+				return
+			}
+			n, _ := inst.Merge(ctx, g.puts)
+			if len(g.dels) > 0 {
+				m, _ := inst.DeleteMany(ctx, g.dels)
+				n += m
+			}
+			applied.Add(int64(n))
+			s.fabric.record(metrics.OpSync, start, s.fabric.Topology().DistanceClass(from, home).Remote())
+		}(home, inst, g, batchBytes)
+	}
+	wg.Wait()
+	return int(applied.Load())
 }
 
 // Kind implements MetadataService.
@@ -154,8 +249,12 @@ func (s *DecReplicatedService) Create(ctx context.Context, from cloud.SiteID, e 
 			// Lazy mode (paper §III-D): the home copy is propagated in a
 			// later batch; the writer only perceives the local latency.
 			// Writes are optimistic: concurrent creates of the same name at
-			// different sites converge at the home via the merge.
-			s.propagator.Enqueue(from, home, stored)
+			// different sites converge at the home via the merge. In feed
+			// mode the local commit's feed event carries the propagation —
+			// there is nothing to enqueue.
+			if s.propagator != nil {
+				s.propagator.Enqueue(from, home, stored)
+			}
 		} else {
 			// Eager mode: a second, synchronous round trip stores the entry
 			// at its hashed home site (the existence check happens there as
@@ -287,8 +386,11 @@ func (s *DecReplicatedService) AddLocation(ctx context.Context, from cloud.SiteI
 		return registry.Entry{}, opErr("addlocation", from, name, err)
 	}
 	if s.lazy && localErr == nil {
-		// Local update succeeded; propagate the new state lazily.
-		s.propagator.Enqueue(from, home, updated)
+		// Local update succeeded; propagate the new state lazily (the feed
+		// event of the local commit carries it in feed mode).
+		if s.propagator != nil {
+			s.propagator.Enqueue(from, home, updated)
+		}
 		s.fabric.record(metrics.OpUpdate, start, false)
 		return updated, nil
 	}
@@ -341,8 +443,10 @@ func (s *DecReplicatedService) Delete(ctx context.Context, from cloud.SiteID, na
 	}
 	if s.lazy && localErr == nil {
 		// The local delete succeeded; the home copy is removed in a later
-		// batch.
-		s.propagator.EnqueueDelete(from, home, name)
+		// batch (or by the local delete's feed event in feed mode).
+		if s.propagator != nil {
+			s.propagator.EnqueueDelete(from, home, name)
+		}
 		s.fabric.record(metrics.OpDelete, start, false)
 		return nil
 	}
@@ -373,6 +477,9 @@ func (s *DecReplicatedService) Flush(ctx context.Context) error {
 	if s.closed.Load() {
 		return opErr("flush", 0, "", ErrClosed)
 	}
+	if s.feedSync != nil {
+		return opErr("flush", 0, "", s.feedSync.Flush(ctx))
+	}
 	if s.propagator != nil {
 		return opErr("flush", 0, "", s.propagator.FlushNow(ctx))
 	}
@@ -386,6 +493,9 @@ func (s *DecReplicatedService) Close() error {
 	}
 	if s.propagator != nil {
 		s.propagator.Close()
+	}
+	if s.feedSync != nil {
+		s.feedSync.Close()
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"geomds/internal/cloud"
+	"geomds/internal/feed"
 	"geomds/internal/latency"
 	"geomds/internal/memcache"
 	"geomds/internal/metrics"
@@ -74,6 +75,8 @@ type fabricConfig struct {
 	shardReplication int
 	dataDir          string
 	storeOpts        []store.Option
+	changeFeeds      bool
+	feedOpts         []feed.LogOption
 }
 
 // WithInstances backs specific sites with externally provided registry
@@ -177,6 +180,23 @@ func WithShardPersistence(dir string, opts ...store.Option) FabricOption {
 	}
 }
 
+// WithChangeFeeds attaches a change feed to every in-process registry
+// instance the fabric builds: each committed put and delete is published as a
+// sequenced feed event (riding the WAL sequence when the site is persistent,
+// so resume tokens survive restarts). Feeds are what the push-based
+// replication modes (WithFeedSync on the replicated strategy, feed
+// propagation on the hybrid strategy) and the workflow engine's reactive
+// lookups consume instead of polling. Sharded sites expose their router's
+// relay feed, which re-sequences the per-shard feeds into one ordered stream.
+// Sites provided externally via WithInstances must bring their own feeds
+// (e.g. an rpc.Client watch source). Extra log options tune capacity.
+func WithChangeFeeds(opts ...feed.LogOption) FabricOption {
+	return func(c *fabricConfig) {
+		c.changeFeeds = true
+		c.feedOpts = opts
+	}
+}
+
 // WithCacheCapacity tunes the modelled capacity of each per-site cache
 // instance: the per-operation service time and the number of operations
 // served concurrently. It is ignored when WithCacheFactory is used.
@@ -257,11 +277,21 @@ func NewFabric(topo *cloud.Topology, lat *latency.Model, opts ...FabricOption) *
 	// its own subdirectory of the data dir.
 	newInstance := func(s cloud.SiteID, sub string) *registry.Instance {
 		backing := cfg.cacheFactory(s)
+		instOpts := []registry.InstanceOption{registry.WithCodec(cfg.codec)}
+		if cfg.changeFeeds {
+			feedOpts := append([]feed.LogOption{feed.WithLogMetrics(cfg.metricsReg)}, cfg.feedOpts...)
+			instOpts = append(instOpts, registry.WithChangeFeed(feedOpts...))
+		}
 		if cfg.dataDir == "" {
-			return registry.NewInstance(s, backing, registry.WithCodec(cfg.codec))
+			inst := registry.NewInstance(s, backing, instOpts...)
+			if cfg.changeFeeds {
+				// Feeding instances own a subscriber list that Close drains.
+				f.owned = append(f.owned, inst.Close)
+			}
+			return inst
 		}
 		dir := filepath.Join(cfg.dataDir, sub)
-		inst, err := registry.OpenInstance(s, backing, dir, cfg.storeOpts, registry.WithCodec(cfg.codec))
+		inst, err := registry.OpenInstance(s, backing, dir, cfg.storeOpts, instOpts...)
 		if err != nil {
 			panic(fmt.Sprintf("core: opening persistent registry at %s: %v", dir, err))
 		}
@@ -359,6 +389,48 @@ func (f *Fabric) Instance(site cloud.SiteID) (registry.API, error) {
 		return nil, fmt.Errorf("%w: site %d", ErrNoSuchSite, site)
 	}
 	return inst, nil
+}
+
+// Codec returns the entry codec the fabric's instances encode with. Feed
+// consumers use it to decode the entry payload carried by put events.
+func (f *Fabric) Codec() registry.Codec { return f.codec }
+
+// Feed returns the change-feed surface of the given site's registry
+// deployment. It fails when the site does not participate in the fabric or
+// its instance exposes no feed (the fabric was built without WithChangeFeeds,
+// or an external instance does not implement registry.ChangeFeeder).
+func (f *Fabric) Feed(site cloud.SiteID) (registry.ChangeFeeder, error) {
+	inst, err := f.Instance(site)
+	if err != nil {
+		return nil, err
+	}
+	feeder, ok := inst.(registry.ChangeFeeder)
+	if !ok || feeder.ChangeFeed() == nil {
+		return nil, fmt.Errorf("core: site %d exposes no change feed (fabric built without WithChangeFeeds?): %w", site, ErrNoFeed)
+	}
+	return feeder, nil
+}
+
+// FeedSources returns one feed.Source per fabric site, named "site-<id>",
+// ready to fan into a feed.Combiner: Subscribe tails the site's change feed
+// from a cursor and Snapshot captures its current state for the
+// cursor-too-old fallback. It fails if any site exposes no feed.
+func (f *Fabric) FeedSources() ([]feed.Source, error) {
+	sources := make([]feed.Source, 0, len(f.sites))
+	for _, site := range f.sites {
+		feeder, err := f.Feed(site)
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, feed.Source{
+			Name: fmt.Sprintf("site-%d", site),
+			Subscribe: func(ctx context.Context, from uint64) (feed.Stream, error) {
+				return feeder.ChangeFeed().Subscribe(from)
+			},
+			Snapshot: feeder.FeedSnapshot,
+		})
+	}
+	return sources, nil
 }
 
 // TotalEntries sums the number of entries stored across every instance

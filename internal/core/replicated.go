@@ -37,6 +37,11 @@ type ReplicatedService struct {
 	agentSite cloud.SiteID
 	interval  time.Duration
 
+	// wantFeed selects the push-based agent (WithFeedSync); feedSync is the
+	// running consumer, nil in the default polling mode.
+	wantFeed bool
+	feedSync *feedSyncer
+
 	// life is cancelled on Close, aborting the agent's in-flight round.
 	life     context.Context
 	lifeStop context.CancelFunc
@@ -77,6 +82,19 @@ func WithSyncInterval(d time.Duration) ReplicatedOption {
 	}
 }
 
+// WithFeedSync replaces the polling synchronization agent with a push-based
+// consumer of the sites' change feeds: every committed local mutation is
+// applied to the other replicas as soon as its feed event arrives, instead of
+// waiting for the next agent round. Updates become globally visible after one
+// WAN exchange rather than up to a full sync interval, and an idle system
+// exchanges nothing at all. Requires a fabric built WithChangeFeeds (or
+// external instances implementing registry.ChangeFeeder); NewReplicated
+// fails with ErrNoFeed otherwise. The polling agent remains the default —
+// and the baseline the feed path is benchmarked against.
+func WithFeedSync() ReplicatedOption {
+	return func(s *ReplicatedService) { s.wantFeed = true }
+}
+
 // NewReplicated builds the replicated strategy with the synchronization agent
 // hosted in the given datacenter. The agent starts immediately and runs until
 // Close.
@@ -105,8 +123,74 @@ func NewReplicated(fabric *Fabric, agentSite cloud.SiteID, opts ...ReplicatedOpt
 	for _, o := range opts {
 		o(s)
 	}
+	if s.wantFeed {
+		fs, err := newFeedSyncer(fabric, s.applyFeed)
+		if err != nil {
+			lifeStop()
+			return nil, fmt.Errorf("replicated: %w", err)
+		}
+		s.feedSync = fs
+		close(s.done) // no agent loop to wait for on Close
+		return s, nil
+	}
 	go s.agentLoop()
 	return s, nil
+}
+
+// FeedDriven reports whether the service propagates through change feeds
+// (WithFeedSync) instead of the polling agent.
+func (s *ReplicatedService) FeedDriven() bool { return s.feedSync != nil }
+
+// applyFeed pushes one micro-batch of mutations committed at site from to
+// every other replica, mirroring the polling agent's push phase: the batch
+// travels as one modelled frame per destination and lands as bulk Merge and
+// DeleteMany calls. Echoed batches apply as no-ops (Merge skips equal
+// entries, DeleteMany skips absent names) and emit no further events.
+func (s *ReplicatedService) applyFeed(ctx context.Context, from cloud.SiteID, puts []registry.Entry, dels []string) int {
+	if len(puts) == 0 && len(dels) == 0 {
+		return 0
+	}
+	batchBytes := len(dels) * s.fabric.queryBytes
+	for _, e := range puts {
+		batchBytes += s.fabric.EntrySize(e)
+	}
+	var (
+		applied atomic.Int64
+		wg      sync.WaitGroup
+	)
+	for _, site := range s.fabric.Sites() {
+		if site == from {
+			continue
+		}
+		inst, err := s.fabric.Instance(site)
+		if err != nil {
+			continue
+		}
+		wg.Add(1)
+		go func(site cloud.SiteID, inst registry.API) {
+			defer wg.Done()
+			start := time.Now()
+			if _, err := s.fabric.call(ctx, from, site, batchBytes, s.fabric.ackBytes); err != nil {
+				return
+			}
+			n, _ := inst.Merge(ctx, puts)
+			if len(dels) > 0 {
+				m, _ := inst.DeleteMany(ctx, dels)
+				n += m
+			}
+			applied.Add(int64(n))
+			s.fabric.record(metrics.OpSync, start, s.fabric.Topology().DistanceClass(from, site).Remote())
+		}(site, inst)
+	}
+	wg.Wait()
+	n := applied.Load()
+	if n > 0 {
+		s.mu.Lock()
+		s.entriesSynced += n
+		s.mu.Unlock()
+		s.syncedC.Add(n)
+	}
+	return int(n)
 }
 
 // Kind implements MetadataService.
@@ -159,7 +243,9 @@ func (s *ReplicatedService) Create(ctx context.Context, from cloud.SiteID, e reg
 		return registry.Entry{}, opErr("create", from, e.Name, err)
 	}
 	stored, err := inst.Create(ctx, e)
-	if err == nil {
+	if err == nil && s.feedSync == nil {
+		// Polling mode queues the name for the agent's next round; in feed
+		// mode the commit's feed event carries the update by itself.
 		s.mu.Lock()
 		s.pendingCreates[from] = append(s.pendingCreates[from], e.Name)
 		s.mu.Unlock()
@@ -212,7 +298,7 @@ func (s *ReplicatedService) AddLocation(ctx context.Context, from cloud.SiteID, 
 		return registry.Entry{}, opErr("addlocation", from, name, err)
 	}
 	e, err := inst.AddLocation(ctx, name, loc)
-	if err == nil {
+	if err == nil && s.feedSync == nil {
 		s.mu.Lock()
 		s.pendingCreates[from] = append(s.pendingCreates[from], name)
 		s.mu.Unlock()
@@ -239,7 +325,7 @@ func (s *ReplicatedService) Delete(ctx context.Context, from cloud.SiteID, name 
 		return opErr("delete", from, name, err)
 	}
 	err = inst.Delete(ctx, name)
-	if err == nil {
+	if err == nil && s.feedSync == nil {
 		s.mu.Lock()
 		s.pendingDeletes[from] = append(s.pendingDeletes[from], name)
 		s.mu.Unlock()
@@ -252,9 +338,14 @@ func (s *ReplicatedService) Delete(ctx context.Context, from cloud.SiteID, name 
 // Flush runs one synchronization round immediately and returns when every
 // instance has been updated (or the context is cancelled mid-round, in which
 // case the drained updates are re-queued and the context's error returned).
+// In feed mode it instead waits until every event committed before the call
+// has been applied to all replicas.
 func (s *ReplicatedService) Flush(ctx context.Context) error {
 	if s.isClosed() {
 		return opErr("flush", s.agentSite, "", ErrClosed)
+	}
+	if s.feedSync != nil {
+		return opErr("flush", s.agentSite, "", s.feedSync.Flush(ctx))
 	}
 	return opErr("flush", s.agentSite, "", s.syncRound(ctx))
 }
@@ -273,6 +364,9 @@ func (s *ReplicatedService) Close() error {
 	s.lifeStop()
 	close(s.stop)
 	<-s.done
+	if s.feedSync != nil {
+		s.feedSync.Close()
+	}
 	return nil
 }
 

@@ -75,6 +75,12 @@ type Config struct {
 	// (the zero value) syncs every append, store.FsyncNever only on
 	// snapshot and close.
 	Fsync store.FsyncPolicy
+	// FeedSync switches the eventually consistent strategies from polling to
+	// push: every registry instance exposes a change feed and the replicated
+	// and hybrid strategies converge by consuming it (SyncInterval and
+	// FlushInterval then only bound the polling fall-back). False keeps the
+	// paper's polling agents as the baseline.
+	FeedSync bool
 }
 
 // Validate checks the parts of the configuration that can fail at runtime
@@ -189,6 +195,9 @@ func (c Config) newEnvironment(nodes int) *environment {
 		dir := filepath.Join(c.DataDir, fmt.Sprintf("run-%d", envSeq.Add(1)))
 		opts = append(opts, core.WithShardPersistence(dir, store.WithFsync(c.Fsync)))
 	}
+	if c.FeedSync {
+		opts = append(opts, core.WithChangeFeeds())
+	}
 	fabric := core.NewFabric(topo, lat, opts...)
 	dep := cloud.NewDeployment(topo)
 	dep.SpreadNodes(nodes)
@@ -203,12 +212,16 @@ func (e *environment) close() error { return e.fabric.Close() }
 // the experiment's tuning parameters.
 func (c Config) newService(ctx context.Context, env *environment, kind core.StrategyKind) (core.MetadataService, error) {
 	central := c.centralSite(env.topo)
-	ctrl := core.NewController(env.fabric,
+	ctrlOpts := []core.ControllerOption{
 		core.WithCentralSite(central),
 		core.WithAgentSite(central),
 		core.WithControllerPlacer(dht.NewModuloPlacer(env.fabric.Sites())),
 		core.WithControllerSyncInterval(c.SyncInterval),
 		core.WithControllerLazy(c.FlushInterval, core.DefaultMaxBatch),
-	)
+	}
+	if c.FeedSync {
+		ctrlOpts = append(ctrlOpts, core.WithControllerFeedSync())
+	}
+	ctrl := core.NewController(env.fabric, ctrlOpts...)
 	return ctrl.Use(ctx, kind)
 }

@@ -52,6 +52,25 @@ func TestConfigHelpers(t *testing.T) {
 	}
 }
 
+func TestConfigFeedSync(t *testing.T) {
+	cfg := testConfig()
+	cfg.FeedSync = true
+	env := cfg.newEnvironment(8)
+	defer env.close()
+	svc, err := cfg.newService(tctx, env, core.Replicated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	rs, ok := svc.(*core.ReplicatedService)
+	if !ok || !rs.FeedDriven() {
+		t.Fatalf("FeedSync config built %T (feed-driven=%v), want a feed-driven replicated service", svc, ok)
+	}
+	if _, err := env.fabric.FeedSources(); err != nil {
+		t.Fatalf("FeedSync environment exposes no feed sources: %v", err)
+	}
+}
+
 func TestNewEnvironmentAndService(t *testing.T) {
 	cfg := testConfig()
 	env := cfg.newEnvironment(8)

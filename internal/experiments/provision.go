@@ -1,17 +1,17 @@
-// Package provision implements the data-provisioning optimization sketched in
-// §III-C and §VII of the paper: because the metadata registry knows, ahead of
-// time, which files a task will need, where they are (or will be) produced
-// and where the task is scheduled, data can be pushed towards the consumer's
-// datacenter *before* the task starts, hiding the wide-area transfer behind
-// the producer/consumer gap instead of paying it as idle time.
-//
-// The package takes a workflow, a task schedule and the cloud topology and
-// produces a prefetch Plan: one planned transfer per (file, consumer site)
-// pair whose producer runs in a different datacenter. It can then estimate
-// how much task idle time the plan removes, and register the prefetched
+// Data-provisioning optimization sketched in §III-C and §VII of the paper:
+// because the metadata registry knows, ahead of time, which files a task
+// will need, where they are (or will be) produced and where the task is
+// scheduled, data can be pushed towards the consumer's datacenter *before*
+// the task starts, hiding the wide-area transfer behind the producer/consumer
+// gap instead of paying it as idle time. PlanProvisioning takes a workflow,
+// a task schedule and the cloud topology and produces a ProvisionPlan: one
+// planned transfer per (file, consumer site) pair whose producer runs in a
+// different datacenter; EvaluateProvisioning estimates how much task idle
+// time the plan removes and ApplyProvisioning registers the prefetched
 // copies in the metadata service so subsequent lookups resolve to local
-// replicas.
-package provision
+// replicas. (Folded in from the former internal/provision package, which
+// only this package consumed.)
+package experiments
 
 import (
 	"context"
@@ -26,9 +26,9 @@ import (
 	"geomds/internal/workflow"
 )
 
-// Transfer is one planned data movement: a file produced in one datacenter
+// ProvisionTransfer is one planned data movement: a file produced in one datacenter
 // that a scheduled task will read from another datacenter.
-type Transfer struct {
+type ProvisionTransfer struct {
 	// File is the file to move.
 	File string
 	// Size is the file's size in bytes.
@@ -50,7 +50,7 @@ type Transfer struct {
 
 // Duration estimates the wide-area transfer time of this movement on the
 // given topology (latency plus size over the link's bandwidth).
-func (t Transfer) Duration(topo *cloud.Topology) time.Duration {
+func (t ProvisionTransfer) Duration(topo *cloud.Topology) time.Duration {
 	link := topo.Link(t.From, t.To)
 	d := link.RTT
 	if link.BandwidthMBps > 0 && t.Size > 0 {
@@ -62,19 +62,19 @@ func (t Transfer) Duration(topo *cloud.Topology) time.Duration {
 
 // Slack is the time window available to hide the transfer: the gap between
 // the moment the file exists and the moment a consumer may need it.
-func (t Transfer) Slack() time.Duration { return t.NeededBy - t.EarliestStart }
+func (t ProvisionTransfer) Slack() time.Duration { return t.NeededBy - t.EarliestStart }
 
-// Plan is the set of transfers needed to make every remote input of a
+// ProvisionPlan is the set of transfers needed to make every remote input of a
 // scheduled workflow locally available before its consumer starts.
-type Plan struct {
+type ProvisionPlan struct {
 	// Workflow is the planned workflow's name.
 	Workflow string
 	// Transfers lists the planned movements, ordered by EarliestStart.
-	Transfers []Transfer
+	Transfers []ProvisionTransfer
 }
 
 // TotalBytes returns the total volume moved by the plan.
-func (p Plan) TotalBytes() int64 {
+func (p ProvisionPlan) TotalBytes() int64 {
 	var sum int64
 	for _, t := range p.Transfers {
 		sum += t.Size
@@ -82,22 +82,22 @@ func (p Plan) TotalBytes() int64 {
 	return sum
 }
 
-// Build computes the prefetch plan for a workflow under a given schedule.
+// PlanProvisioning computes the prefetch plan for a workflow under a given schedule.
 // A transfer is planned for every (file, consumer-site) pair where the file
 // is produced (or staged) in a different site than the consumer. Estimated
 // task start/finish times come from a critical-path pass that only accounts
 // for compute time — the optimistic schedule the provisioner tries to
 // preserve by hiding transfers.
-func Build(w *workflow.Workflow, sched workflow.Schedule, dep *cloud.Deployment) (Plan, error) {
+func PlanProvisioning(w *workflow.Workflow, sched workflow.Schedule, dep *cloud.Deployment) (ProvisionPlan, error) {
 	if err := w.Validate(); err != nil {
-		return Plan{}, err
+		return ProvisionPlan{}, err
 	}
 	if err := sched.Validate(w, dep); err != nil {
-		return Plan{}, err
+		return ProvisionPlan{}, err
 	}
 	order, err := w.TopoSort()
 	if err != nil {
-		return Plan{}, err
+		return ProvisionPlan{}, err
 	}
 
 	// Estimated per-task start/finish times: a task starts when its last
@@ -148,14 +148,14 @@ func Build(w *workflow.Workflow, sched workflow.Schedule, dep *cloud.Deployment)
 		file string
 		to   cloud.SiteID
 	}
-	grouped := make(map[key]*Transfer)
+	grouped := make(map[key]*ProvisionTransfer)
 	for _, id := range order {
 		task, _ := w.Task(id)
 		consumerSite := dep.SiteOf(sched[id])
 		for _, in := range task.Inputs {
 			from, known := producedAt[in]
 			if !known {
-				return Plan{}, fmt.Errorf("provision: input %q of task %q has no known producer", in, id)
+				return ProvisionPlan{}, fmt.Errorf("provision: input %q of task %q has no known producer", in, id)
 			}
 			if from == consumerSite {
 				continue // already local
@@ -167,7 +167,7 @@ func Build(w *workflow.Workflow, sched workflow.Schedule, dep *cloud.Deployment)
 				if p := w.Producer(in); p != nil {
 					producer = p.ID
 				}
-				tr = &Transfer{
+				tr = &ProvisionTransfer{
 					File:          in,
 					Size:          producedSize[in],
 					From:          from,
@@ -185,7 +185,7 @@ func Build(w *workflow.Workflow, sched workflow.Schedule, dep *cloud.Deployment)
 		}
 	}
 
-	plan := Plan{Workflow: w.Name, Transfers: make([]Transfer, 0, len(grouped))}
+	plan := ProvisionPlan{Workflow: w.Name, Transfers: make([]ProvisionTransfer, 0, len(grouped))}
 	for _, tr := range grouped {
 		sort.Strings(tr.Consumers)
 		plan.Transfers = append(plan.Transfers, *tr)
@@ -203,12 +203,12 @@ func Build(w *workflow.Workflow, sched workflow.Schedule, dep *cloud.Deployment)
 	return plan, nil
 }
 
-// Estimate summarizes the benefit of executing the plan: for every transfer,
+// ProvisionEstimate summarizes the benefit of executing the plan: for every transfer,
 // the idle time a consumer would have suffered fetching the file on demand
 // (the full transfer duration) versus the residual idle time when the
 // transfer starts as soon as the file exists (only the part that does not fit
 // in the producer/consumer slack).
-type Estimate struct {
+type ProvisionEstimate struct {
 	// Transfers is the number of planned movements.
 	Transfers int
 	// Bytes is the total volume moved.
@@ -223,16 +223,16 @@ type Estimate struct {
 
 // IdleReduction returns the fraction of on-demand idle time removed by the
 // plan, in [0, 1]. It returns 0 when there is nothing to hide.
-func (e Estimate) IdleReduction() float64 {
+func (e ProvisionEstimate) IdleReduction() float64 {
 	if e.OnDemandIdle <= 0 {
 		return 0
 	}
 	return float64(e.OnDemandIdle-e.ResidualIdle) / float64(e.OnDemandIdle)
 }
 
-// Evaluate computes the Estimate of a plan on the given topology.
-func Evaluate(plan Plan, topo *cloud.Topology) Estimate {
-	est := Estimate{Transfers: len(plan.Transfers), Bytes: plan.TotalBytes()}
+// EvaluateProvisioning computes the ProvisionEstimate of a plan on the given topology.
+func EvaluateProvisioning(plan ProvisionPlan, topo *cloud.Topology) ProvisionEstimate {
+	est := ProvisionEstimate{Transfers: len(plan.Transfers), Bytes: plan.TotalBytes()}
 	for _, tr := range plan.Transfers {
 		d := tr.Duration(topo)
 		est.OnDemandIdle += d
@@ -246,12 +246,12 @@ func Evaluate(plan Plan, topo *cloud.Topology) Estimate {
 	return est
 }
 
-// Apply registers the planned copies in the metadata service: for every
+// ApplyProvisioning registers the planned copies in the metadata service: for every
 // transfer it records an additional location of the file at the destination
 // site, which is exactly what makes subsequent lookups from that site resolve
 // locally under the hybrid strategy. Entries that do not exist yet (their
 // producer has not run) are skipped and reported in pending.
-func Apply(ctx context.Context, plan Plan, svc core.MetadataService, dep *cloud.Deployment) (applied int, pending []string, err error) {
+func ApplyProvisioning(ctx context.Context, plan ProvisionPlan, svc core.MetadataService, dep *cloud.Deployment) (applied int, pending []string, err error) {
 	for _, tr := range plan.Transfers {
 		nodes := dep.NodesAt(tr.To)
 		node := registry.NoNode

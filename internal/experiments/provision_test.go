@@ -1,4 +1,4 @@
-package provision
+package experiments
 
 import (
 	"context"
@@ -38,7 +38,7 @@ func crossSiteFixture(t *testing.T) (*workflow.Workflow, workflow.Schedule, *clo
 
 func TestBuildCrossSitePlan(t *testing.T) {
 	w, sched, dep := crossSiteFixture(t)
-	plan, err := Build(w, sched, dep)
+	plan, err := PlanProvisioning(w, sched, dep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestBuildCrossSitePlan(t *testing.T) {
 	// Two transfers: the external input staged elsewhere than its consumer's
 	// site may or may not need a move depending on stage-in placement, but
 	// the intermediate file definitely does.
-	var inter *Transfer
+	var inter *ProvisionTransfer
 	for i := range plan.Transfers {
 		if plan.Transfers[i].File == "intermediate.dat" {
 			inter = &plan.Transfers[i]
@@ -83,14 +83,14 @@ func TestBuildLocalScheduleNeedsNoTransfers(t *testing.T) {
 	w := workflow.New("local")
 	w.MustAddTask(workflow.Task{ID: "a", Outputs: []workflow.FileSpec{{Name: "x", Size: 1024}}})
 	w.MustAddTask(workflow.Task{ID: "b", Inputs: []string{"x"}})
-	plan, err := Build(w, workflow.Schedule{"a": n0, "b": n1}, dep)
+	plan, err := PlanProvisioning(w, workflow.Schedule{"a": n0, "b": n1}, dep)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(plan.Transfers) != 0 {
 		t.Errorf("expected no transfers for a single-site schedule, got %d", len(plan.Transfers))
 	}
-	est := Evaluate(plan, topo)
+	est := EvaluateProvisioning(plan, topo)
 	if est.OnDemandIdle != 0 || est.IdleReduction() != 0 {
 		t.Errorf("empty plan estimate should be zero: %+v", est)
 	}
@@ -98,19 +98,19 @@ func TestBuildLocalScheduleNeedsNoTransfers(t *testing.T) {
 
 func TestBuildRejectsInvalidInput(t *testing.T) {
 	w, sched, dep := crossSiteFixture(t)
-	if _, err := Build(w, workflow.Schedule{"produce": sched["produce"]}, dep); err == nil {
+	if _, err := PlanProvisioning(w, workflow.Schedule{"produce": sched["produce"]}, dep); err == nil {
 		t.Error("incomplete schedule should fail")
 	}
 	bad := workflow.New("bad")
 	bad.MustAddTask(workflow.Task{ID: "t", Inputs: []string{"ghost"}})
-	if _, err := Build(bad, workflow.Schedule{"t": 0}, dep); err == nil {
+	if _, err := PlanProvisioning(bad, workflow.Schedule{"t": 0}, dep); err == nil {
 		t.Error("invalid workflow should fail")
 	}
 }
 
 func TestTransferDurationAndSlack(t *testing.T) {
 	topo := cloud.Azure4DC()
-	tr := Transfer{File: "f", Size: 80 << 20, From: 1, To: 2, EarliestStart: 10 * time.Second, NeededBy: 25 * time.Second}
+	tr := ProvisionTransfer{File: "f", Size: 80 << 20, From: 1, To: 2, EarliestStart: 10 * time.Second, NeededBy: 25 * time.Second}
 	d := tr.Duration(topo)
 	if d <= topo.Link(1, 2).RTT {
 		t.Errorf("duration %v should include the bandwidth term", d)
@@ -122,13 +122,13 @@ func TestTransferDurationAndSlack(t *testing.T) {
 
 func TestEvaluateHidesTransfersWithSlack(t *testing.T) {
 	topo := cloud.Azure4DC()
-	plan := Plan{Transfers: []Transfer{
+	plan := ProvisionPlan{Transfers: []ProvisionTransfer{
 		// Plenty of slack: fully hidden.
 		{File: "a", Size: 1 << 20, From: 0, To: 3, EarliestStart: 0, NeededBy: time.Hour},
 		// No slack at all: nothing hidden.
 		{File: "b", Size: 1 << 20, From: 0, To: 3, EarliestStart: time.Minute, NeededBy: time.Minute},
 	}}
-	est := Evaluate(plan, topo)
+	est := EvaluateProvisioning(plan, topo)
 	if est.Transfers != 2 || est.FullyHidden != 1 {
 		t.Errorf("estimate = %+v", est)
 	}
@@ -142,7 +142,7 @@ func TestEvaluateHidesTransfersWithSlack(t *testing.T) {
 
 func TestApplyRegistersCopies(t *testing.T) {
 	w, sched, dep := crossSiteFixture(t)
-	plan, err := Build(w, sched, dep)
+	plan, err := PlanProvisioning(w, sched, dep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func TestApplyRegistersCopies(t *testing.T) {
 	defer svc.Close()
 
 	// Nothing published yet: every transfer is pending.
-	applied, pending, err := Apply(context.Background(), plan, svc, dep)
+	applied, pending, err := ApplyProvisioning(context.Background(), plan, svc, dep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestApplyRegistersCopies(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	applied, pending, err = Apply(context.Background(), plan, svc, dep)
+	applied, pending, err = ApplyProvisioning(context.Background(), plan, svc, dep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,11 +206,11 @@ func TestBuildWithGeneratedWorkflowAndSchedulers(t *testing.T) {
 	rr, _ := (workflow.RoundRobinScheduler{}).Schedule(w, dep)
 	loc, _ := (workflow.LocalityScheduler{}).Schedule(w, dep)
 
-	planRR, err := Build(w, rr, dep)
+	planRR, err := PlanProvisioning(w, rr, dep)
 	if err != nil {
 		t.Fatal(err)
 	}
-	planLoc, err := Build(w, loc, dep)
+	planLoc, err := PlanProvisioning(w, loc, dep)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"geomds/internal/provision"
 	"geomds/internal/workflow"
 	"geomds/internal/workloads"
 )
@@ -53,7 +52,7 @@ func AblationProvisioning(cfg Config, sc workloads.Scenario, sched workflow.Sche
 	if err != nil {
 		return AblationProvisioningResult{}, err
 	}
-	est := provision.Evaluate(plan, env.topo)
+	est := EvaluateProvisioning(plan, env.topo)
 	return AblationProvisioningResult{
 		Workflow:      wf.Name,
 		Scheduler:     sched.Name(),
@@ -66,12 +65,12 @@ func AblationProvisioning(cfg Config, sc workloads.Scenario, sched workflow.Sche
 	}, nil
 }
 
-func buildPlan(wf *workflow.Workflow, sched workflow.Scheduler, env *environment) (provision.Plan, error) {
+func buildPlan(wf *workflow.Workflow, sched workflow.Scheduler, env *environment) (ProvisionPlan, error) {
 	assignment, err := sched.Schedule(wf, env.dep)
 	if err != nil {
-		return provision.Plan{}, err
+		return ProvisionPlan{}, err
 	}
-	return provision.Build(wf, assignment, env.dep)
+	return PlanProvisioning(wf, assignment, env.dep)
 }
 
 // Render formats the provisioning ablation.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"geomds/internal/cloud"
+	"geomds/internal/feed"
 	"geomds/internal/memcache"
 	"geomds/internal/store"
 )
@@ -55,6 +56,11 @@ type Instance struct {
 	// open so constructors can surface it.
 	durable    *store.Durable
 	storageErr error
+	// Change-feed state (see feed.go): wantFeed/feedOpts record a
+	// WithChangeFeed option until the constructor materializes feedLog.
+	wantFeed bool
+	feedOpts []feed.LogOption
+	feedLog  *feed.Log
 }
 
 // InstanceOption configures an Instance.
@@ -87,6 +93,7 @@ func NewInstance(site cloud.SiteID, store Store, opts ...InstanceOption) *Instan
 	if inst.storageErr != nil {
 		panic(inst.storageErr)
 	}
+	inst.finishFeed()
 	return inst
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"geomds/internal/cloud"
 	"geomds/internal/dht"
+	"geomds/internal/feed"
 	"geomds/internal/metrics"
 )
 
@@ -134,6 +135,15 @@ type Router struct {
 	// decide between delta repair and full sweep.
 	seqMu     sync.Mutex
 	seqAtDown map[cloud.SiteID]uint64
+
+	// relay is the tier's combined change feed — every shard's events
+	// re-sequenced into one log — enabled when all initial shards implement
+	// ChangeFeeder (see feed.go). taps holds the per-shard pump goroutines,
+	// started when a shard joins and stopped when it is detached after
+	// draining (or at Close).
+	relay *feed.Log
+	tapMu sync.Mutex
+	taps  map[cloud.SiteID]*relayTap
 
 	obs routerObs
 }
@@ -321,6 +331,7 @@ func NewRouter(site cloud.SiteID, shards []API, opts ...RouterOption) (*Router, 
 	for id := range m {
 		r.health.track(id)
 	}
+	r.initRelay(m)
 	r.obs.shardsG.Add(int64(len(shards)))
 	r.obs.replicaG.Add(int64(rep))
 	return r, nil
@@ -330,10 +341,14 @@ func NewRouter(site cloud.SiteID, shards []API, opts ...RouterOption) (*Router, 
 // placement).
 func (r *Router) Replication() int { return r.rep }
 
-// Close stops the router's background health prober. Operations issued after
-// Close still work; only probing (and therefore automatic recovery of down
-// shards) stops. Idempotent.
-func (r *Router) Close() { r.health.close() }
+// Close stops the router's background health prober and, when the tier has
+// a change feed, drains and closes the relay. Operations issued after Close
+// still work; only probing (and therefore automatic recovery of down
+// shards) and the combined feed stop. Idempotent.
+func (r *Router) Close() {
+	r.health.close()
+	r.closeRelay()
+}
 
 // probeKey is the reserved name health probes read. It never exists; a
 // healthy shard answers ErrNotFound, a dead one a transport error.
@@ -1264,6 +1279,7 @@ func (r *Router) AddShard(api API) cloud.SiteID {
 	r.placer.Add(id)
 	r.mu.Unlock()
 	r.health.track(id)
+	r.startTap(id, api)
 	r.obs.shardsG.Add(1)
 	r.spawnSweep()
 	return id
@@ -1386,6 +1402,11 @@ func (r *Router) rebalance(ctx context.Context) (int, error) {
 			delete(r.shards, id)
 			r.mu.Unlock()
 			r.health.untrack(id)
+			// The tap outlived the drain on purpose: the sweep's deletes at
+			// the old home were published through it, so a watch saw the
+			// key move rather than vanish. Now the shard is empty and
+			// detached, the tap can go.
+			r.stopTap(id)
 		}
 	}
 	if moved > 0 {

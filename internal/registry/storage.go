@@ -61,6 +61,7 @@ func OpenInstance(site cloud.SiteID, backing Store, dir string, storeOpts []stor
 	if inst.storageErr != nil {
 		return nil, inst.storageErr
 	}
+	inst.finishFeed()
 	return inst, nil
 }
 
@@ -69,6 +70,9 @@ func OpenInstance(site cloud.SiteID, backing Store, dir string, storeOpts []stor
 // lossless. Memory-only instances close to a no-op. Idempotent; mutations
 // after Close fail with store.ErrClosed.
 func (i *Instance) Close() error {
+	if i.feedLog != nil {
+		i.feedLog.Close()
+	}
 	if i.durable == nil {
 		return nil
 	}

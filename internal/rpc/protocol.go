@@ -182,15 +182,25 @@ type RequestFrame struct {
 	Req Request
 	// Batch is the payload of a FrameBatch frame.
 	Batch BatchRequest
+	// Watch is the payload of a FrameWatch frame (see watch.go). The field
+	// is a version-2 extension; gob tolerates its absence in frames from
+	// older clients.
+	Watch WatchRequest
 }
 
 // ResponseFrame is the server-to-client envelope.
 type ResponseFrame struct {
 	Header Header
-	// Resp is the payload of a FrameSingle frame.
+	// Resp is the payload of a FrameSingle frame. Watch frames reuse it
+	// for their success/error status.
 	Resp Response
 	// Batch is the payload of a FrameBatch frame.
 	Batch BatchResponse
+	// Watch is the payload of the FrameWatch acknowledgement (see
+	// watch.go); a version-2 extension like RequestFrame.Watch.
+	Watch WatchAck
+	// Events is the payload of a FrameWatchEvent frame.
+	Events []WatchEvent
 }
 
 // Op identifies the requested registry operation.

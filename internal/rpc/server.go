@@ -85,6 +85,7 @@ func newServerObs(reg *metrics.Registry) serverObs {
 		for _, code := range []ErrCode{
 			ErrNotFound, ErrExists, ErrConflict, ErrInvalid, ErrInternal,
 			ErrBadOp, ErrUnavailable, ErrDeadline, ErrCanceled,
+			ErrCursorTooOld, ErrFeedLagged, ErrFeedClosed,
 		} {
 			obs.errsByCode[code] = reg.Counter("rpc_server_errors_" + strings.ReplaceAll(string(code), "-", "_") + "_total")
 		}
@@ -266,16 +267,19 @@ func (s *Server) Close() error {
 // legacy in-order contract.
 func (s *Server) handle(conn net.Conn) {
 	var (
-		wmu   sync.Mutex // serializes response-frame writes
-		wg    sync.WaitGroup
-		slots = make(chan struct{}, s.maxInflight)
+		wmu     sync.Mutex // serializes response-frame writes
+		wg      sync.WaitGroup
+		slots   = make(chan struct{}, s.maxInflight)
+		watches = newConnWatches()
 	)
 	s.obs.conns.Add(1)
 	defer s.obs.conns.Add(-1)
 	defer func() {
 		// Close before waiting: a response writer stuck on a stalled client
-		// is only unblocked by the close.
+		// is only unblocked by the close. Watch streams block on their feed
+		// rather than the connection, so cancel them explicitly.
 		conn.Close()
+		watches.cancelAll()
 		wg.Wait()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -313,6 +317,18 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				return
 			}
+			continue
+		}
+
+		switch rf.Header.Kind {
+		case FrameWatch:
+			// A watch is long-lived: it gets its own goroutine outside the
+			// in-flight slots so idle subscriptions never starve pipelined
+			// request/response traffic.
+			s.startWatch(conn, &wmu, &wg, watches, rf)
+			continue
+		case FrameWatchCancel:
+			watches.cancel(rf.Header.ID)
 			continue
 		}
 
@@ -461,6 +477,11 @@ func (s *Server) execute(ctx context.Context, req Request) Response {
 		return Response{OK: true, N: n}
 	case OpLen:
 		return Response{OK: true, N: s.reg.Len(ctx)}
+	case OpWatch:
+		// Watching is a streaming exchange: it cannot be expressed in the
+		// one-response-per-request protocol, so version-1 clients (and
+		// version-2 single/batch frames) naming the op are refused cleanly.
+		return Response{OK: false, Err: ErrBadOp, Detail: "watch requires version-2 streaming frames"}
 	default:
 		return Response{OK: false, Err: ErrBadOp, Detail: fmt.Sprintf("unknown op %q", req.Op)}
 	}

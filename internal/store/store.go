@@ -164,6 +164,9 @@ type Durable struct {
 	failed    error // sticky I/O failure: the log state is unknown, fail stop
 	buf       []byte
 
+	// sink observes journaled mutations under mu (the change-feed tap).
+	sink EventSink
+
 	appends, syncs, snapshots, snapSkipped, tornTails, compactErrs int64
 }
 
@@ -243,11 +246,43 @@ func (d *Durable) Close() error {
 	return firstErr
 }
 
+// Exported record kinds, for EventSink consumers.
+const (
+	// OpPut marks an upsert record.
+	OpPut = opPut
+	// OpDelete marks a removal record.
+	OpDelete = opDelete
+)
+
+// EventSink receives every state-changing journaled mutation with its WAL
+// sequence number. It is invoked under the store's mutation mutex, so the
+// emission order is exactly the log order; sinks must be fast and must not
+// call back into the store. Deletes of absent keys — journaled for frame
+// batching but changing no state — are suppressed, so sequence numbers seen
+// by a sink may have holes. sync reports that the mutation arrived through
+// the bulk-apply path (PutBatch/DeleteBatch, i.e. a replication batch or
+// migration sweep) rather than a primary single-key write.
+type EventSink func(seq uint64, op byte, key string, value []byte, sync bool)
+
+// SetEventSink installs the sink that observes journaled mutations (the
+// change feed's tap). Install it before the store serves mutations —
+// typically right after Open — so no committed write goes unobserved.
+func (d *Durable) SetEventSink(fn EventSink) {
+	d.mu.Lock()
+	d.sink = fn
+	d.mu.Unlock()
+}
+
 // rec is one mutation to journal.
 type rec struct {
 	op    byte
 	key   string
 	value []byte
+	// noEvent suppresses the EventSink for records that change no state
+	// (deletes of absent keys).
+	noEvent bool
+	// sync marks records journaled by the bulk-apply path (see EventSink).
+	sync bool
 }
 
 // appendLocked journals the records, assigning consecutive sequence
@@ -293,6 +328,17 @@ func (d *Durable) appendLocked(recs ...rec) error {
 	}
 	d.appends += int64(len(recs))
 	d.sinceSnap += len(recs)
+	if d.sink != nil {
+		// Emit under mu, after the batch is durably on disk, so feed order
+		// is exactly log order and no acknowledged write goes unpublished.
+		seq := prevSeq
+		for _, rc := range recs {
+			seq++
+			if !rc.noEvent {
+				d.sink(seq, rc.op, rc.key, rc.value, rc.sync)
+			}
+		}
+	}
 	if d.sinceSnap >= d.opts.compactEvery {
 		// Compaction is best effort: a failed snapshot leaves the log
 		// longer, not the data wrong.
@@ -369,7 +415,7 @@ func (d *Durable) PutBatch(kvs []memcache.KV) ([]memcache.Item, error) {
 	}
 	recs := make([]rec, len(kvs))
 	for i, kv := range kvs {
-		recs[i] = rec{op: opPut, key: kv.Key, value: kv.Value}
+		recs[i] = rec{op: opPut, key: kv.Key, value: kv.Value, sync: true}
 	}
 	if err := d.appendLocked(recs...); err != nil {
 		return items, err
@@ -387,6 +433,16 @@ func (d *Durable) DeleteBatch(keys []string) (int, error) {
 	if d.closed {
 		return 0, ErrClosed
 	}
+	// The sink only reports state changes, so record which keys actually
+	// exist before the batch removes them. Checked under mu, so no mutation
+	// can race the check.
+	var existed []bool
+	if d.sink != nil {
+		existed = make([]bool, len(keys))
+		for i, k := range keys {
+			existed[i] = d.backing.Contains(k)
+		}
+	}
 	n, err := d.backing.DeleteBatch(keys)
 	if err != nil {
 		return n, err
@@ -396,7 +452,7 @@ func (d *Durable) DeleteBatch(keys []string) (int, error) {
 	}
 	recs := make([]rec, len(keys))
 	for i, k := range keys {
-		recs[i] = rec{op: opDelete, key: k}
+		recs[i] = rec{op: opDelete, key: k, noEvent: existed != nil && !existed[i], sync: true}
 	}
 	if err := d.appendLocked(recs...); err != nil {
 		return n, err
