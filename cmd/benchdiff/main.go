@@ -2,7 +2,8 @@
 // benchmark run's machine-readable results (BENCH_*.json, written by the
 // -benchjson flag of the repository's benchmarks) against the baselines
 // committed under bench/, and fails when throughput regresses beyond the
-// tolerance band or a baselined benchmark produced no fresh result.
+// tolerance band, p99 latency rises beyond its own band, or a baselined
+// benchmark produced no fresh result.
 //
 // Usage:
 //
@@ -17,6 +18,10 @@
 //	                0.40 — CI runs a short fixed -benchtime on shared
 //	                runners, so the band is generous; the gate exists to
 //	                catch hard regressions, not 5% noise)
+//	-p99-tolerance f  allowed fractional p99 latency rise before failing
+//	                (default 1.0, i.e. a doubling — tails are far noisier
+//	                than means on shared runners; 0 disables the latency
+//	                gate; baselines without a p99 figure are skipped)
 //	-update         instead of comparing, copy the fresh results over the
 //	                baselines (run locally to re-baseline after an
 //	                intentional perf change, then commit bench/)
@@ -39,6 +44,7 @@ func main() {
 	baselineDir := flag.String("baseline", "bench", "directory of committed baseline BENCH_*.json files")
 	freshDir := flag.String("fresh", "", "directory of the fresh run's BENCH_*.json files")
 	tolerance := flag.Float64("tolerance", 0.40, "allowed fractional ops/s drop before the gate fails")
+	p99Tolerance := flag.Float64("p99-tolerance", 1.0, "allowed fractional p99 latency rise before the gate fails (0 disables)")
 	update := flag.Bool("update", false, "overwrite the baselines with the fresh results instead of comparing")
 	flag.Parse()
 
@@ -49,6 +55,10 @@ func main() {
 	}
 	if *tolerance < 0 || *tolerance >= 1 {
 		fmt.Fprintln(os.Stderr, "benchdiff: -tolerance must be in [0, 1)")
+		os.Exit(2)
+	}
+	if *p99Tolerance < 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: -p99-tolerance must be >= 0")
 		os.Exit(2)
 	}
 
@@ -80,18 +90,24 @@ func main() {
 		fatal(fmt.Errorf("no committed baselines in %s — run benchdiff -update to create them", *baselineDir))
 	}
 
-	comparisons, ok := experiments.CompareBenchResults(baseline, fresh, *tolerance)
-	fmt.Printf("perf trajectory vs %s (tolerance %.0f%%):\n", *baselineDir, *tolerance*100)
+	comparisons, ok := experiments.CompareBenchResults(baseline, fresh, *tolerance, *p99Tolerance)
+	fmt.Printf("perf trajectory vs %s (ops/s tolerance %.0f%%, p99 tolerance %.0f%%):\n",
+		*baselineDir, *tolerance*100, *p99Tolerance*100)
 	for _, c := range comparisons {
+		p99 := ""
+		if c.Baseline.LatencyNs.P99 > 0 && !c.Missing {
+			p99 = fmt.Sprintf("  p99 %.2f -> %.2f ms (%+.1f%%)",
+				float64(c.Baseline.LatencyNs.P99)/1e6, float64(c.Fresh.LatencyNs.P99)/1e6, c.P99Delta*100)
+		}
 		switch {
 		case c.Missing:
 			fmt.Printf("  MISSING  %-40s baseline %10.0f ops/s, no fresh result\n", c.Name, c.Baseline.OpsPerSec)
-		case c.Regressed:
-			fmt.Printf("  REGRESS  %-40s %10.0f -> %10.0f ops/s  (%+.1f%%)\n",
-				c.Name, c.Baseline.OpsPerSec, c.Fresh.OpsPerSec, c.Delta*100)
+		case c.Regressed || c.P99Regressed:
+			fmt.Printf("  REGRESS  %-40s %10.0f -> %10.0f ops/s  (%+.1f%%)%s\n",
+				c.Name, c.Baseline.OpsPerSec, c.Fresh.OpsPerSec, c.Delta*100, p99)
 		default:
-			fmt.Printf("  ok       %-40s %10.0f -> %10.0f ops/s  (%+.1f%%)\n",
-				c.Name, c.Baseline.OpsPerSec, c.Fresh.OpsPerSec, c.Delta*100)
+			fmt.Printf("  ok       %-40s %10.0f -> %10.0f ops/s  (%+.1f%%)%s\n",
+				c.Name, c.Baseline.OpsPerSec, c.Fresh.OpsPerSec, c.Delta*100, p99)
 		}
 	}
 	for _, name := range sortedNames(fresh) {

@@ -45,6 +45,7 @@ func main() {
 		nodes     = flag.Int("nodes", 0, "override the node count for fixed-size experiments")
 		shards    = flag.Int("shards", 0, "back every site's registry with this many shard instances behind a router (0/1 = single instance)")
 		repl      = flag.Int("replication", 0, "store every key on this many shards of each site's tier (requires -shards > 1; 0/1 = single-home placement)")
+		keydist   = flag.String("keydist", "", "key distribution for the synthetic readers: uniform (default), zipfian[:s], or hotspot[:frac,weight]")
 		dataDir   = flag.String("data-dir", "", "back every registry with a write-ahead log under this directory, so runs pay real durability costs (each run logs under its own subdirectory)")
 		fsyncMode = flag.String("fsync", "always", "write-ahead log fsync policy with -data-dir: always or never")
 		csvPath   = flag.String("csv", "", "write the result series as CSV to this file")
@@ -79,6 +80,14 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.ShardReplication = *repl
+	}
+	if *keydist != "" {
+		dist, err := workloads.ParseKeyDist(*keydist)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metasim: -keydist: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.KeyDist = dist
 	}
 	if *dataDir != "" {
 		fsync, err := store.ParseFsyncPolicy(*fsyncMode)
@@ -274,6 +283,12 @@ func runAblations(ctx context.Context, cfg experiments.Config) error {
 	fmt.Print(lazy.Render())
 
 	fmt.Print(experiments.AblationHashingChurn(0).Render())
+
+	dist, err := experiments.AblationKeyDistribution(ctx, cfg, 0, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Print(dist.Render())
 
 	capa, err := experiments.AblationRegistryCapacity(ctx, cfg, cfg.ServiceTime, cfg.Nodes, cfg.ScaledOps(1000, 20))
 	if err != nil {

@@ -55,6 +55,7 @@ type decRepConfig struct {
 	feed          bool
 	flushInterval time.Duration
 	maxBatch      int
+	propOpts      []PropagatorOption
 }
 
 // WithPlacer selects the hashing scheme used to pick home sites (default
@@ -76,6 +77,16 @@ func WithLazyPropagation(flushInterval time.Duration, maxBatch int) DecReplicate
 		c.feed = false
 		c.flushInterval = flushInterval
 		c.maxBatch = maxBatch
+	}
+}
+
+// WithAdaptiveLazyBatch arms the lazy propagator's adaptive batch sizing
+// (see WithAdaptiveBatch): the early-flush limit moves within [min, max]
+// driven by the windowed p95 of observed flush-round latencies against
+// target. It only matters for the lazy propagation scheme.
+func WithAdaptiveLazyBatch(min, max int, target time.Duration) DecReplicatedOption {
+	return func(c *decRepConfig) {
+		c.propOpts = append(c.propOpts, WithAdaptiveBatch(min, max, target))
 	}
 }
 
@@ -122,7 +133,7 @@ func NewDecReplicated(fabric *Fabric, opts ...DecReplicatedOption) (*DecReplicat
 			}
 			s.feedSync = fs
 		} else {
-			s.propagator = NewPropagator(fabric, cfg.flushInterval, cfg.maxBatch)
+			s.propagator = NewPropagator(fabric, cfg.flushInterval, cfg.maxBatch, cfg.propOpts...)
 		}
 	}
 	return s, nil

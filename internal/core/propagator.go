@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,8 +30,24 @@ type Propagator struct {
 	// batch before being pushed.
 	flushInterval time.Duration
 	// maxBatch flushes a destination's batch once it reaches this many
-	// entries, even before the interval elapses.
+	// entries, even before the interval elapses. With adaptive sizing armed
+	// (WithAdaptiveBatch) it is only the starting point; curBatch holds the
+	// live limit.
 	maxBatch int
+
+	// Adaptive batch sizing (WithAdaptiveBatch): the early-flush limit moves
+	// between minBatch and capBatch, AIMD-style, driven by the windowed p95
+	// of observed flush-round latencies against targetRound — rounds running
+	// long halve the limit (smaller, more frequent flushes), rounds with
+	// ample headroom grow it additively (better amortization).
+	adaptive    bool
+	minBatch    int
+	capBatch    int
+	targetRound time.Duration
+	curBatch    atomic.Int64
+	roundMu     sync.Mutex
+	rounds      []time.Duration // ring of recent round latencies
+	roundSeen   int
 
 	// life is cancelled when the propagator closes, aborting in-flight
 	// background flush rounds.
@@ -56,6 +73,7 @@ type Propagator struct {
 	flushesC     *metrics.Counter   // propagator_flushes_total
 	propagatedC  *metrics.Counter   // propagator_propagated_total
 	requeuedC    *metrics.Counter   // propagator_requeued_total: entries put back by a cancelled flush
+	batchG       *metrics.Gauge     // propagator_batch_size: current early-flush limit
 }
 
 // destination identifies one pending propagation stream: updates produced at
@@ -72,9 +90,43 @@ const DefaultFlushInterval = 500 * time.Millisecond
 // flush of one destination's batch.
 const DefaultMaxBatch = 64
 
+// PropagatorOption tunes a Propagator at construction.
+type PropagatorOption func(*Propagator)
+
+// adaptiveWindow is how many recent flush rounds the adaptive batch sizer's
+// p95 looks back over.
+const adaptiveWindow = 16
+
+// WithAdaptiveBatch replaces the fixed early-flush limit with an adaptive
+// one moving in [min, max], driven by the windowed p95 of observed
+// flush-round latencies (wall clock, the propagator_flush_latency_ns view):
+// rounds running past target halve the limit so batches shrink and flush
+// sooner; rounds finishing under half the target grow it additively. The
+// limit starts at the constructor's maxBatch, clamped into [min, max].
+// Non-positive parameters take min 8, max DefaultMaxBatch*4 and target 50ms.
+func WithAdaptiveBatch(min, max int, target time.Duration) PropagatorOption {
+	return func(p *Propagator) {
+		if min <= 0 {
+			min = 8
+		}
+		if max < min {
+			max = DefaultMaxBatch * 4
+			if max < min {
+				max = min
+			}
+		}
+		if target <= 0 {
+			target = 50 * time.Millisecond
+		}
+		p.adaptive = true
+		p.minBatch, p.capBatch, p.targetRound = min, max, target
+		p.rounds = make([]time.Duration, adaptiveWindow)
+	}
+}
+
 // NewPropagator starts a lazy-update propagator over the fabric. It runs
 // until Close.
-func NewPropagator(fabric *Fabric, flushInterval time.Duration, maxBatch int) *Propagator {
+func NewPropagator(fabric *Fabric, flushInterval time.Duration, maxBatch int, opts ...PropagatorOption) *Propagator {
 	if flushInterval <= 0 {
 		flushInterval = DefaultFlushInterval
 	}
@@ -97,9 +149,79 @@ func NewPropagator(fabric *Fabric, flushInterval time.Duration, maxBatch int) *P
 		flushesC:      fabric.Metrics().Counter("propagator_flushes_total"),
 		propagatedC:   fabric.Metrics().Counter("propagator_propagated_total"),
 		requeuedC:     fabric.Metrics().Counter("propagator_requeued_total"),
+		batchG:        fabric.Metrics().Gauge("propagator_batch_size"),
 	}
+	for _, o := range opts {
+		o(p)
+	}
+	if p.adaptive {
+		start := p.maxBatch
+		if start < p.minBatch {
+			start = p.minBatch
+		}
+		if start > p.capBatch {
+			start = p.capBatch
+		}
+		p.curBatch.Store(int64(start))
+	}
+	p.batchG.Set(int64(p.batchLimit()))
 	go p.loop()
 	return p
+}
+
+// batchLimit returns the current early-flush limit: the live adaptive value,
+// or the fixed maxBatch.
+func (p *Propagator) batchLimit() int {
+	if p.adaptive {
+		return int(p.curBatch.Load())
+	}
+	return p.maxBatch
+}
+
+// BatchLimit exposes the current early-flush limit (fixed or adaptive).
+func (p *Propagator) BatchLimit() int { return p.batchLimit() }
+
+// adaptBatch feeds one completed flush round's latency into the adaptive
+// sizer. Empty rounds say nothing about per-batch cost and are skipped.
+func (p *Propagator) adaptBatch(round time.Duration, drained int) {
+	if !p.adaptive || drained == 0 {
+		return
+	}
+	p.roundMu.Lock()
+	p.rounds[p.roundSeen%len(p.rounds)] = round
+	p.roundSeen++
+	n := p.roundSeen
+	if n > len(p.rounds) {
+		n = len(p.rounds)
+	}
+	window := make([]time.Duration, n)
+	copy(window, p.rounds[:n])
+	p.roundMu.Unlock()
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	p95 := metrics.Percentile(window, 95)
+
+	cur := p.curBatch.Load()
+	next := cur
+	switch {
+	case p95 > p.targetRound:
+		next = cur / 2 // multiplicative decrease: flush smaller, sooner
+	case p95 <= p.targetRound/2:
+		step := cur / 4 // additive-ish increase toward better amortization
+		if step < 1 {
+			step = 1
+		}
+		next = cur + step
+	}
+	if next < int64(p.minBatch) {
+		next = int64(p.minBatch)
+	}
+	if next > int64(p.capBatch) {
+		next = int64(p.capBatch)
+	}
+	if next != cur {
+		p.curBatch.Store(next)
+		p.batchG.Set(next)
+	}
 }
 
 // Enqueue schedules the entry, produced at site from, for application at site
@@ -126,7 +248,7 @@ func (p *Propagator) Enqueue(from, to cloud.SiteID, e registry.Entry) {
 		p.deletes[d] = kept
 	}
 	p.batches[d] = append(p.batches[d], e)
-	full := len(p.batches[d])+len(p.deletes[d]) >= p.maxBatch
+	full := len(p.batches[d])+len(p.deletes[d]) >= p.batchLimit()
 	p.mu.Unlock()
 	p.queueDepth.Add(int64(delta))
 	if full {
@@ -157,7 +279,7 @@ func (p *Propagator) EnqueueDelete(from, to cloud.SiteID, name string) {
 		p.batches[d] = kept
 	}
 	p.deletes[d] = append(p.deletes[d], name)
-	full := len(p.batches[d])+len(p.deletes[d]) >= p.maxBatch
+	full := len(p.batches[d])+len(p.deletes[d]) >= p.batchLimit()
 	p.mu.Unlock()
 	p.queueDepth.Add(int64(delta))
 	if full {
@@ -295,7 +417,9 @@ func (p *Propagator) FlushNow(ctx context.Context) error {
 	p.mu.Unlock()
 	p.flushesC.Inc()
 	p.propagatedC.Add(applied.Load())
-	p.flushLatency.ObserveDuration(time.Since(flushStart))
+	round := time.Since(flushStart)
+	p.flushLatency.ObserveDuration(round)
+	p.adaptBatch(round, drained)
 	return nil
 }
 

@@ -202,6 +202,50 @@ func AblationRegistryCapacity(ctx context.Context, cfg Config, serviceTime time.
 	return res, nil
 }
 
+// AblationKeyDistributionResult compares the synthetic benchmark under
+// uniform, Zipfian and hot-spot read skew: skewed reads concentrate load on
+// the shards homing the popular keys, so throughput and mean node time
+// degrade relative to uniform — the contention profile the tail-latency
+// machinery (hedged reads, coalescing) is built against.
+type AblationKeyDistributionResult struct {
+	Strategy core.StrategyKind
+	// Runs holds one synthetic result per distribution, in Distributions
+	// order.
+	Distributions []workloads.KeyDist
+	Runs          []workloads.SyntheticResult
+}
+
+// AblationKeyDistribution runs the synthetic benchmark under the hybrid
+// strategy with uniform, Zipfian and hot-spot reader key picks. Zero nodes or
+// opsPerNode fall back to the config's node count and a reduced operation
+// budget.
+func AblationKeyDistribution(ctx context.Context, cfg Config, nodes, opsPerNode int) (AblationKeyDistributionResult, error) {
+	if nodes <= 0 {
+		nodes = cfg.Nodes
+	}
+	if opsPerNode <= 0 {
+		opsPerNode = cfg.scaled(1000, 20)
+	}
+	res := AblationKeyDistributionResult{
+		Strategy: core.DecentralizedReplicated,
+		Distributions: []workloads.KeyDist{
+			{Kind: workloads.KeyUniform},
+			{Kind: workloads.KeyZipfian},
+			{Kind: workloads.KeyHotspot},
+		},
+	}
+	for _, dist := range res.Distributions {
+		runCfg := cfg
+		runCfg.KeyDist = dist
+		run, err := runSynthetic(ctx, runCfg, res.Strategy, nodes, opsPerNode, nil)
+		if err != nil {
+			return res, fmt.Errorf("keydist ablation %s: %w", dist, err)
+		}
+		res.Runs = append(res.Runs, run)
+	}
+	return res, nil
+}
+
 // AblationSchedulerResult compares workflow makespans under locality-aware,
 // round-robin and random task placement.
 type AblationSchedulerResult struct {

@@ -148,18 +148,28 @@ type BenchComparison struct {
 	Missing bool
 	// Regressed marks a fresh throughput below the tolerance band.
 	Regressed bool
+	// P99Delta is the fractional p99 latency change:
+	// (fresh-baseline)/baseline. Positive is slower.
+	P99Delta float64
+	// P99Regressed marks a fresh p99 above the latency tolerance band — the
+	// tail-latency side of the gate.
+	P99Regressed bool
 }
 
 // CompareBenchResults diffs a fresh benchmark run against committed
-// baselines. A benchmark regresses when its fresh ops/s falls more than
-// tolerance (a fraction, e.g. 0.4 = 40%) below the baseline; baselines with
-// no fresh counterpart count as failures too, so a benchmark cannot vanish
-// from the trajectory unnoticed, and a zero-throughput baseline fails
-// outright rather than vacuously passing everything. Fresh results without a baseline are
-// ignored here — the caller decides whether to report them as new.
-// Comparisons are returned sorted by name; ok reports whether the gate
-// passes.
-func CompareBenchResults(baseline, fresh map[string]BenchResult, tolerance float64) (comparisons []BenchComparison, ok bool) {
+// baselines, gating throughput and tail latency together. A benchmark
+// regresses when its fresh ops/s falls more than tolerance (a fraction, e.g.
+// 0.4 = 40%) below the baseline, or when its fresh p99 latency rises more
+// than p99Tolerance (e.g. 1.0 = doubling) above the baseline's; baselines
+// with no fresh counterpart count as failures too, so a benchmark cannot
+// vanish from the trajectory unnoticed, and a zero-throughput baseline fails
+// outright rather than vacuously passing everything. A baseline with no p99
+// figure (older result files, zero-op runs) skips only the latency check —
+// there is nothing to hold the tail to. A non-positive p99Tolerance disables
+// the latency gate. Fresh results without a baseline are ignored here — the
+// caller decides whether to report them as new. Comparisons are returned
+// sorted by name; ok reports whether the gate passes.
+func CompareBenchResults(baseline, fresh map[string]BenchResult, tolerance, p99Tolerance float64) (comparisons []BenchComparison, ok bool) {
 	names := make([]string, 0, len(baseline))
 	for name := range baseline {
 		names = append(names, name)
@@ -180,10 +190,14 @@ func CompareBenchResults(baseline, fresh map[string]BenchResult, tolerance float
 				// zero — so it fails the gate until re-baselined.
 				cmp.Regressed = true
 			}
+			if base.LatencyNs.P99 > 0 {
+				cmp.P99Delta = float64(f.LatencyNs.P99-base.LatencyNs.P99) / float64(base.LatencyNs.P99)
+				cmp.P99Regressed = p99Tolerance > 0 && cmp.P99Delta > p99Tolerance
+			}
 		} else {
 			cmp.Missing = true
 		}
-		if cmp.Missing || cmp.Regressed {
+		if cmp.Missing || cmp.Regressed || cmp.P99Regressed {
 			ok = false
 		}
 		comparisons = append(comparisons, cmp)

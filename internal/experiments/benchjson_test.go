@@ -125,7 +125,7 @@ func TestCompareBenchResults(t *testing.T) {
 		"slower": {Name: "slower", OpsPerSec: 500},  // -50%: hard regression
 		"extra":  {Name: "extra", OpsPerSec: 1},     // new benchmark: ignored
 	}
-	cmps, ok := CompareBenchResults(baseline, fresh, 0.40)
+	cmps, ok := CompareBenchResults(baseline, fresh, 0.40, 1.0)
 	if ok {
 		t.Fatal("gate passed despite a regression and a vanished benchmark")
 	}
@@ -150,7 +150,7 @@ func TestCompareBenchResults(t *testing.T) {
 	}
 
 	// An unchanged tree passes.
-	if _, ok := CompareBenchResults(baseline, baseline, 0.40); !ok {
+	if _, ok := CompareBenchResults(baseline, baseline, 0.40, 1.0); !ok {
 		t.Fatal("identical baseline and fresh results must pass the gate")
 	}
 	// Comparisons come back sorted for stable CI logs.
@@ -166,11 +166,54 @@ func TestCompareBenchResults(t *testing.T) {
 func TestCompareBenchResultsZeroBaseline(t *testing.T) {
 	baseline := map[string]BenchResult{"broken": {Name: "broken", OpsPerSec: 0}}
 	fresh := map[string]BenchResult{"broken": {Name: "broken", OpsPerSec: 0}}
-	cmps, ok := CompareBenchResults(baseline, fresh, 0.40)
+	cmps, ok := CompareBenchResults(baseline, fresh, 0.40, 1.0)
 	if ok {
 		t.Fatal("zero baseline must fail the gate until re-baselined")
 	}
 	if len(cmps) != 1 || !cmps[0].Regressed {
 		t.Fatalf("zero baseline should be flagged regressed: %+v", cmps)
+	}
+}
+
+// TestCompareBenchResultsP99Gate pins the tail-latency side of the gate: a
+// fresh p99 above the latency tolerance band fails even when throughput
+// holds, a baseline with no p99 figure skips only the latency check, and a
+// non-positive p99 tolerance disables it.
+func TestCompareBenchResultsP99Gate(t *testing.T) {
+	lat := func(p99 int64) BenchLatency { return BenchLatency{P50: p99 / 4, P90: p99 / 2, P99: p99, Max: 2 * p99} }
+	baseline := map[string]BenchResult{
+		"steady_tail": {Name: "steady_tail", OpsPerSec: 1000, LatencyNs: lat(1_000_000)},
+		"fat_tail":    {Name: "fat_tail", OpsPerSec: 1000, LatencyNs: lat(1_000_000)},
+		"no_tail":     {Name: "no_tail", OpsPerSec: 1000}, // older baseline, P99 == 0
+	}
+	fresh := map[string]BenchResult{
+		"steady_tail": {Name: "steady_tail", OpsPerSec: 1000, LatencyNs: lat(1_500_000)}, // +50%: inside the band
+		"fat_tail":    {Name: "fat_tail", OpsPerSec: 1000, LatencyNs: lat(3_000_000)},    // +200%: hard regression
+		"no_tail":     {Name: "no_tail", OpsPerSec: 1000, LatencyNs: lat(9_000_000)},     // nothing to hold it to
+	}
+	cmps, ok := CompareBenchResults(baseline, fresh, 0.40, 1.0)
+	if ok {
+		t.Fatal("gate passed despite a p99 regression")
+	}
+	byName := make(map[string]BenchComparison, len(cmps))
+	for _, c := range cmps {
+		byName[c.Name] = c
+	}
+	if c := byName["steady_tail"]; c.P99Regressed || c.Regressed {
+		t.Errorf("steady_tail (+50%% p99 at 100%% tolerance) should pass: %+v", c)
+	}
+	if c := byName["fat_tail"]; !c.P99Regressed || c.P99Delta < 1.9 {
+		t.Errorf("fat_tail (+200%% p99) should regress the latency gate: %+v", c)
+	}
+	if c := byName["fat_tail"]; c.Regressed {
+		t.Errorf("fat_tail held throughput; only the tail should regress: %+v", c)
+	}
+	if c := byName["no_tail"]; c.P99Regressed {
+		t.Errorf("a baseline without a p99 figure must skip the latency check: %+v", c)
+	}
+
+	// A non-positive p99 tolerance turns the latency gate off entirely.
+	if _, ok := CompareBenchResults(baseline, fresh, 0.40, 0); !ok {
+		t.Fatal("p99 tolerance 0 should disable the latency gate")
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"geomds/internal/latency"
 	"geomds/internal/metrics"
 	"geomds/internal/store"
+	"geomds/internal/workloads"
 )
 
 // Config parameterizes every experiment.
@@ -81,6 +82,11 @@ type Config struct {
 	// FlushInterval then only bound the polling fall-back). False keeps the
 	// paper's polling agents as the baseline.
 	FeedSync bool
+	// KeyDist shapes which entries the synthetic workload's readers look up:
+	// the zero value keeps the paper's uniform picks, Zipfian and hot-spot
+	// skews concentrate reads on a small popular set so tail-latency
+	// machinery (hedging, coalescing) has contention to bite on.
+	KeyDist workloads.KeyDist
 }
 
 // Validate checks the parts of the configuration that can fail at runtime

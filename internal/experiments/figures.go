@@ -325,6 +325,7 @@ func runSynthetic(ctx context.Context, cfg Config, kind core.StrategyKind, nodes
 		OpsPerNode: opsPerNode,
 		Seed:       cfg.Seed,
 		Prefix:     fmt.Sprintf("%s-n%d-o%d", kind.Short(), nodes, opsPerNode),
+		KeyDist:    cfg.KeyDist,
 	}, prog)
 }
 

@@ -275,6 +275,17 @@ func (r AblationCapacityResult) Render() string {
 		r.ServiceTime, r.CentralizedThroughput, r.DecentralizedThroughput)
 }
 
+// Render formats the key-distribution ablation.
+func (r AblationKeyDistributionResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: reader key distribution under %s\n", r.Strategy)
+	for i, run := range r.Runs {
+		fmt.Fprintf(&b, "  %-16s throughput %7.0f ops/s  mean node time %s s  retries %d\n",
+			r.Distributions[i], run.Throughput, seconds(run.MeanNodeTime), run.Retries)
+	}
+	return b.String()
+}
+
 // Render formats the scheduler ablation.
 func (r AblationSchedulerResult) Render() string {
 	var b strings.Builder

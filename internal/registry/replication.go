@@ -688,6 +688,13 @@ func (r *Router) getReplicated(ctx context.Context, name string) (Entry, error) 
 	if err != nil {
 		return Entry{}, err
 	}
+	// With hedging armed and a second healthy replica resolved, race the
+	// primary against a deferred hedge instead of waiting out a slow shard.
+	// Mid-sweep reads keep the serial path: its full-tier fallback owns the
+	// off-home-copy semantics.
+	if th := r.hedgeThreshold(); th > 0 && len(refs) > 1 && !r.sweepActive() {
+		return r.getHedged(ctx, name, refs, th)
+	}
 	var (
 		notFound error
 		errs     []error

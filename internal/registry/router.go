@@ -145,6 +145,16 @@ type Router struct {
 	tapMu sync.Mutex
 	taps  map[cloud.SiteID]*relayTap
 
+	// hedge holds the tail-latency read-hedging configuration; readLat is
+	// the streaming latency histogram its threshold derives from (always
+	// non-nil when hedging is armed, even with instrumentation disabled).
+	hedge   hedgeSettings
+	readLat *metrics.Histogram
+
+	// flights coalesces concurrent identical Gets when the router was built
+	// WithRouterReadCoalescing; nil otherwise.
+	flights *flightGroup
+
 	obs routerObs
 }
 
@@ -168,6 +178,9 @@ type routerObs struct {
 	replicaErrs *metrics.Counter // router_replica_write_errors_total: write failures suppressed by the quorum concern
 	repairFails *metrics.Counter // router_replica_repair_failures_total: background replica repairs abandoned after retries
 	suppressed  *metrics.Counter // router_suppressed_errors_total: errors swallowed by best-effort ops
+	hedged      *metrics.Counter // router_hedged_reads_total: hedge legs fired by a slow primary
+	hedgeWins   *metrics.Counter // router_hedge_wins_total: hedged reads answered by the hedge leg
+	coalesced   *metrics.Counter // router_coalesced_reads_total: Gets that joined another caller's in-flight read
 }
 
 func newRouterObs(reg *metrics.Registry) routerObs {
@@ -186,6 +199,9 @@ func newRouterObs(reg *metrics.Registry) routerObs {
 		replicaErrs: reg.Counter("router_replica_write_errors_total"),
 		repairFails: reg.Counter("router_replica_repair_failures_total"),
 		suppressed:  reg.Counter("router_suppressed_errors_total"),
+		hedged:      reg.Counter("router_hedged_reads_total"),
+		hedgeWins:   reg.Counter("router_hedge_wins_total"),
+		coalesced:   reg.Counter("router_coalesced_reads_total"),
 	}
 }
 
@@ -222,6 +238,10 @@ type routerConfig struct {
 	concern         WriteConcern
 	healthThreshold int
 	probeInterval   time.Duration
+	hedge           bool
+	hedgeMin        time.Duration
+	hedgeMax        time.Duration
+	coalesce        bool
 }
 
 // WithRouterPlacer selects how keys map to shards. The factory receives the
@@ -273,6 +293,40 @@ func WithRouterHealth(threshold int, probeInterval time.Duration) RouterOption {
 	}
 }
 
+// WithRouterHedgedReads arms tail-latency read hedging on the replicated
+// tier: a single-key Get whose primary has not answered within a threshold
+// derived from the router's streaming read-latency histogram (the observed
+// p95, clamped into [min, max]) fires the same read at the next healthy
+// replica, takes the first answer and cancels the loser via its context
+// (router_hedged_reads_total / router_hedge_wins_total). Non-positive bounds
+// take DefaultHedgeMin / DefaultHedgeMax; max below min is raised to min. It
+// has no effect without WithRouterReplication — a single-home tier has no
+// replica to hedge at.
+func WithRouterHedgedReads(min, max time.Duration) RouterOption {
+	return func(c *routerConfig) {
+		if min <= 0 {
+			min = DefaultHedgeMin
+		}
+		if max <= 0 {
+			max = DefaultHedgeMax
+		}
+		if max < min {
+			max = min
+		}
+		c.hedge = true
+		c.hedgeMin, c.hedgeMax = min, max
+	}
+}
+
+// WithRouterReadCoalescing collapses concurrent identical single-key Gets
+// into one downstream read whose answer fans out to every caller
+// (router_coalesced_reads_total). The shared read runs under its own
+// context: one caller cancelling gets its own ctx.Err() while the flight
+// carries on for the rest, and only the last caller leaving cancels it.
+func WithRouterReadCoalescing() RouterOption {
+	return func(c *routerConfig) { c.coalesce = true }
+}
+
 // NewRouter builds a routing tier for the given site over the given shard
 // instances. Shards are assigned IDs 0..n-1 in input order; AddShard hands
 // out the following IDs.
@@ -306,6 +360,18 @@ func NewRouter(site cloud.SiteID, shards []API, opts ...RouterOption) (*Router, 
 		concern: cfg.concern,
 		health:  newHealthTracker(cfg.healthThreshold, cfg.probeInterval, cfg.metrics),
 		obs:     newRouterObs(cfg.metrics),
+	}
+	r.readLat = cfg.metrics.Histogram("router_read_latency_ns")
+	if cfg.hedge {
+		r.hedge = hedgeSettings{enabled: true, min: cfg.hedgeMin, max: cfg.hedgeMax}
+		if r.readLat == nil {
+			// Threshold derivation needs the histogram even when
+			// instrumentation is disabled.
+			r.readLat = new(metrics.Histogram)
+		}
+	}
+	if cfg.coalesce {
+		r.flights = newFlightGroup(r.obs.coalesced)
 	}
 	r.health.probe = r.probeShard
 	// A recovering shard re-enters placement missing everything written while
@@ -606,6 +672,15 @@ func (r *Router) sweepFallbackGet(ctx context.Context, name string, tried map[cl
 // unreachable shard mid-sweep surfaces as ErrUnavailable rather than
 // reading an existing entry as absent.
 func (r *Router) Get(ctx context.Context, name string) (Entry, error) {
+	if r.flights == nil {
+		return r.getTimed(ctx, name)
+	}
+	return r.flights.do(ctx, name, r.getTimed)
+}
+
+// getRouted is the uncoalesced, untimed read path: the replicated read (with
+// hedging when armed) or the single-home read with its mid-sweep fallback.
+func (r *Router) getRouted(ctx context.Context, name string) (Entry, error) {
 	if r.rep > 1 {
 		return r.getReplicated(ctx, name)
 	}

@@ -1,0 +1,497 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"geomds/internal/cloud"
+	"geomds/internal/metrics"
+)
+
+// gateShard wraps a shard so tests can hold selected Gets open: while block
+// is set, a Get parks until release is closed or its context ends, recording
+// which way it left. Everything else passes through.
+type gateShard struct {
+	API
+	block     atomic.Bool
+	entered   chan struct{} // one token per Get that parked at the gate
+	release   chan struct{}
+	cancelled atomic.Int64 // parked Gets whose context ended first
+	gets      atomic.Int64
+}
+
+func newGateShard(inner API) *gateShard {
+	return &gateShard{API: inner, entered: make(chan struct{}, 64), release: make(chan struct{})}
+}
+
+func (g *gateShard) Get(ctx context.Context, name string) (Entry, error) {
+	if name == probeKey {
+		return g.API.Get(ctx, name)
+	}
+	g.gets.Add(1)
+	if g.block.Load() {
+		select {
+		case g.entered <- struct{}{}:
+		default:
+		}
+		select {
+		case <-g.release:
+		case <-ctx.Done():
+			g.cancelled.Add(1)
+			return Entry{}, ctx.Err()
+		}
+	}
+	return g.API.Get(ctx, name)
+}
+
+// newHedgeRouter builds a replicated tier of gate-wrapped shards with
+// hedging armed at a fixed threshold and its own metrics registry, and
+// resolves one key's primary and hedge-target gates.
+func newHedgeRouter(t *testing.T, n int, threshold time.Duration, opts ...RouterOption) (*Router, *metrics.Registry, map[cloud.SiteID]*gateShard) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	gates := make(map[cloud.SiteID]*gateShard, n)
+	apis := make([]API, n)
+	for i := range apis {
+		g := newGateShard(newShard(7))
+		gates[cloud.SiteID(i)] = g
+		apis[i] = g
+	}
+	opts = append([]RouterOption{
+		WithRouterReplication(2),
+		WithRouterMetrics(reg),
+		// A slow prober: shards a test marks down stay down for its whole
+		// duration instead of being revived mid-assertion.
+		WithRouterHealth(2, time.Minute),
+		WithRouterHedgedReads(threshold, threshold),
+	}, opts...)
+	r, err := NewRouter(7, apis, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r, reg, gates
+}
+
+// eventually polls cond until it holds or the deadline passes.
+func eventually(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestRouterHedgeWinsCancelsPrimary(t *testing.T) {
+	ctx := context.Background()
+	r, reg, gates := newHedgeRouter(t, 3, time.Millisecond)
+
+	const name = "tail/hedge-wins"
+	refs, err := r.replicaSet(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary, hedgeTarget := gates[refs[0].id], gates[refs[1].id]
+	if _, err := r.Put(ctx, testEntry(name)); err != nil {
+		t.Fatal(err)
+	}
+
+	primary.block.Store(true)
+	start := time.Now()
+	e, err := r.Get(ctx, name)
+	if err != nil {
+		t.Fatalf("hedged Get: %v", err)
+	}
+	if e.Name != name {
+		t.Fatalf("hedged Get returned %q", e.Name)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hedged Get waited out the blocked primary (%v)", elapsed)
+	}
+	if got := reg.Counter("router_hedged_reads_total").Value(); got != 1 {
+		t.Fatalf("router_hedged_reads_total = %d, want 1", got)
+	}
+	if got := reg.Counter("router_hedge_wins_total").Value(); got != 1 {
+		t.Fatalf("router_hedge_wins_total = %d, want 1", got)
+	}
+	if hedgeTarget.gets.Load() == 0 {
+		t.Fatal("hedge target never saw the read")
+	}
+	// The losing primary leg must have been cancelled, not left dangling.
+	eventually(t, "primary leg cancellation", func() bool { return primary.cancelled.Load() == 1 })
+}
+
+func TestRouterPrimaryWinsCancelsHedge(t *testing.T) {
+	ctx := context.Background()
+	// Threshold 1ns: the hedge fires essentially immediately, then loses to
+	// the primary because the hedge target is gated shut.
+	r, reg, gates := newHedgeRouter(t, 3, time.Nanosecond)
+
+	const name = "tail/primary-wins"
+	refs, err := r.replicaSet(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary, hedgeTarget := gates[refs[0].id], gates[refs[1].id]
+	if _, err := r.Put(ctx, testEntry(name)); err != nil {
+		t.Fatal(err)
+	}
+
+	hedgeTarget.block.Store(true)
+	e, err := r.Get(ctx, name)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if e.Name != name {
+		t.Fatalf("Get returned %q", e.Name)
+	}
+	if got := reg.Counter("router_hedge_wins_total").Value(); got != 0 {
+		t.Fatalf("router_hedge_wins_total = %d, want 0 (primary answered)", got)
+	}
+	if primary.cancelled.Load() != 0 {
+		t.Fatal("winning primary leg was cancelled")
+	}
+	// The losing hedge leg must be cancelled once the primary answers.
+	eventually(t, "hedge leg cancellation", func() bool { return hedgeTarget.cancelled.Load() == 1 })
+}
+
+func TestRouterHedgeNeverFiresAtBreakerOpenReplica(t *testing.T) {
+	ctx := context.Background()
+	r, reg, gates := newHedgeRouter(t, 3, time.Millisecond)
+
+	const name = "tail/skip-open-breaker"
+	refs, err := r.replicaSet(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary, natural := gates[refs[0].id], gates[refs[1].id]
+
+	// Open the natural hedge target's breaker, write (the entry lands on the
+	// primary and the healthy substitute replica), then hold the primary
+	// open past the threshold: the hedge must go to the substitute, never
+	// the breaker-open shard.
+	r.MarkShardDown(refs[1].id)
+	if _, err := r.Put(ctx, testEntry(name)); err != nil {
+		t.Fatal(err)
+	}
+	naturalGetsBefore := natural.gets.Load()
+	primary.block.Store(true)
+	defer close(primary.release)
+
+	e, err := r.Get(ctx, name)
+	if err != nil {
+		t.Fatalf("Get with breaker-open natural replica: %v", err)
+	}
+	if e.Name != name {
+		t.Fatalf("Get returned %q", e.Name)
+	}
+	if got := reg.Counter("router_hedged_reads_total").Value(); got != 1 {
+		t.Fatalf("router_hedged_reads_total = %d, want 1", got)
+	}
+	if got := natural.gets.Load(); got != naturalGetsBefore {
+		t.Fatalf("breaker-open replica received %d hedge read(s)", got-naturalGetsBefore)
+	}
+}
+
+func TestRouterHedgeNeedsASecondHealthyReplica(t *testing.T) {
+	ctx := context.Background()
+	// Two shards at replication 2: with one down, every key's healthy
+	// replica set is a single shard — there is nowhere to hedge.
+	r, reg, gates := newHedgeRouter(t, 2, time.Millisecond)
+
+	const name = "tail/no-healthy-hedge-target"
+	refs, err := r.replicaSet(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Put(ctx, testEntry(name)); err != nil {
+		t.Fatal(err)
+	}
+	r.MarkShardDown(refs[1].id)
+
+	// Delay (don't block) the primary so a buggy hedge would have time to
+	// fire at the down shard.
+	primary := gates[refs[0].id]
+	primary.block.Store(true)
+	go func() {
+		<-primary.entered
+		time.Sleep(5 * time.Millisecond)
+		close(primary.release)
+	}()
+
+	e, err := r.Get(ctx, name)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if e.Name != name {
+		t.Fatalf("Get returned %q", e.Name)
+	}
+	if got := reg.Counter("router_hedged_reads_total").Value(); got != 0 {
+		t.Fatalf("router_hedged_reads_total = %d, want 0 with a lone healthy replica", got)
+	}
+}
+
+func TestRouterHedgeNotFoundStaysAuthoritative(t *testing.T) {
+	ctx := context.Background()
+	r, reg, gates := newHedgeRouter(t, 3, time.Millisecond)
+
+	const name = "tail/absent-everywhere"
+	refs, err := r.replicaSet(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary := gates[refs[0].id]
+	primary.block.Store(true)
+
+	// The hedge replica answers "not found"; that answer is authoritative
+	// and must be returned without waiting out the blocked primary.
+	start := time.Now()
+	_, err = r.Get(ctx, name)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get = %v, want ErrNotFound", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("authoritative miss took %v", elapsed)
+	}
+	if got := reg.Counter("router_hedge_wins_total").Value(); got != 1 {
+		t.Fatalf("router_hedge_wins_total = %d, want 1", got)
+	}
+	eventually(t, "primary leg cancellation", func() bool { return primary.cancelled.Load() == 1 })
+}
+
+// newCoalescingRouter builds a single-shard router with read coalescing over
+// a gate-wrapped, call-counted shard.
+func newCoalescingRouter(t *testing.T, inner API) (*Router, *metrics.Registry, *gateShard) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	gate := newGateShard(inner)
+	r, err := NewRouter(7, []API{gate}, WithRouterMetrics(reg), WithRouterReadCoalescing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r, reg, gate
+}
+
+func TestRouterCoalescesConcurrentGets(t *testing.T) {
+	ctx := context.Background()
+	const name = "tail/coalesce"
+	inst := newShard(7)
+	counting := newCountingShard(inst)
+	r, reg, gate := newCoalescingRouter(t, counting)
+	if _, err := r.Put(ctx, testEntry(name)); err != nil {
+		t.Fatal(err)
+	}
+	baseline := counting.Calls("Get")
+
+	gate.block.Store(true)
+	const waiters = 16
+	var (
+		wg   sync.WaitGroup
+		errs [waiters]error
+		got  [waiters]Entry
+	)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = r.Get(ctx, name)
+		}(i)
+	}
+	<-gate.entered // the flight owner reached the shard
+	// Joining increments the counter before blocking, so once it reads
+	// waiters-1 every other caller is parked on the shared flight.
+	coalescedC := reg.Counter("router_coalesced_reads_total")
+	eventually(t, "every other caller to join the flight", func() bool {
+		return coalescedC.Value() == waiters-1
+	})
+	close(gate.release)
+	wg.Wait()
+
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		if got[i].Name != name {
+			t.Fatalf("waiter %d got %q", i, got[i].Name)
+		}
+	}
+	if calls := counting.Calls("Get") - baseline; calls != 1 {
+		t.Fatalf("%d concurrent Gets issued %d downstream reads, want 1", waiters, calls)
+	}
+}
+
+func TestRouterCoalescedErrorReachesEveryWaiter(t *testing.T) {
+	ctx := context.Background()
+	const name = "tail/coalesce-error"
+	kill := &killableShard{API: newShard(7)}
+	r, _, gate := newCoalescingRouter(t, kill)
+
+	gate.block.Store(true)
+	const waiters = 8
+	var (
+		wg   sync.WaitGroup
+		errs [waiters]error
+	)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = r.Get(ctx, name)
+		}(i)
+	}
+	<-gate.entered
+	// Kill the shard while everyone is parked on the flight, then let the
+	// downstream read proceed into the failure.
+	kill.kill()
+	close(gate.release)
+	wg.Wait()
+
+	for i := 0; i < waiters; i++ {
+		if !errors.Is(errs[i], ErrUnavailable) {
+			t.Fatalf("waiter %d: %v, want ErrUnavailable fan-out", i, errs[i])
+		}
+	}
+}
+
+func TestRouterCoalescedCancellationDoesNotPoisonFlight(t *testing.T) {
+	ctx := context.Background()
+	const name = "tail/coalesce-cancel"
+	inst := newShard(7)
+	r, reg, gate := newCoalescingRouter(t, inst)
+	if _, err := r.Put(ctx, testEntry(name)); err != nil {
+		t.Fatal(err)
+	}
+
+	gate.block.Store(true)
+	ownerDone := make(chan error, 1)
+	go func() {
+		_, err := r.Get(ctx, name)
+		ownerDone <- err
+	}()
+	<-gate.entered
+
+	joinCtx, joinCancel := context.WithCancel(context.Background())
+	joinDone := make(chan error, 1)
+	go func() {
+		_, err := r.Get(joinCtx, name)
+		joinDone <- err
+	}()
+	coalescedC := reg.Counter("router_coalesced_reads_total")
+	eventually(t, "second caller to join the flight", func() bool { return coalescedC.Value() == 1 })
+
+	// Cancel the joiner: it gets its own context error immediately while
+	// the shared flight keeps running for the owner.
+	joinCancel()
+	if err := <-joinDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled joiner got %v, want context.Canceled", err)
+	}
+	select {
+	case err := <-ownerDone:
+		t.Fatalf("flight owner returned early with %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	close(gate.release)
+	if err := <-ownerDone; err != nil {
+		t.Fatalf("flight owner: %v", err)
+	}
+	if gate.cancelled.Load() != 0 {
+		t.Fatal("joiner cancellation leaked into the downstream read")
+	}
+}
+
+func TestRouterCoalescedFlightCancelledWhenLastWaiterLeaves(t *testing.T) {
+	const name = "tail/coalesce-abandon"
+	inst := newShard(7)
+	r, _, gate := newCoalescingRouter(t, inst)
+
+	gate.block.Store(true)
+	callCtx, callCancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Get(callCtx, name)
+		done <- err
+	}()
+	<-gate.entered
+
+	// The only caller gives up: the downstream read must be cancelled, not
+	// left holding shard resources.
+	callCancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning caller got %v, want context.Canceled", err)
+	}
+	eventually(t, "abandoned flight cancellation", func() bool { return gate.cancelled.Load() == 1 })
+
+	// A fresh Get after the abandonment starts a new flight and succeeds.
+	gate.block.Store(false)
+	if _, err := r.Put(context.Background(), testEntry(name)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := r.Get(context.Background(), name)
+	if err != nil || e.Name != name {
+		t.Fatalf("fresh Get after abandonment: %v (%q)", err, e.Name)
+	}
+}
+
+// TestRouterHedgedZipfianTierStaysConsistent drives a hedged + coalesced
+// replicated tier from many goroutines hammering a tiny hot set (the
+// skewed-workload shape the tail program targets) and checks every read
+// returns the committed value. It doubles as the race-detector workout the
+// nightly chaos loop runs.
+func TestRouterHedgedZipfianTierStaysConsistent(t *testing.T) {
+	ctx := context.Background()
+	reg := metrics.NewRegistry()
+	apis := make([]API, 4)
+	for i := range apis {
+		apis[i] = newShard(7)
+	}
+	r, err := NewRouter(7, apis,
+		WithRouterReplication(2),
+		WithRouterMetrics(reg),
+		WithRouterHedgedReads(50*time.Microsecond, time.Millisecond),
+		WithRouterReadCoalescing(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+
+	const hotKeys = 8
+	names := make([]string, hotKeys)
+	for i := range names {
+		names[i] = fmt.Sprintf("tail/hot/%d", i)
+		if _, err := r.Put(ctx, testEntry(names[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				name := names[(g+i)%hotKeys]
+				e, gerr := r.Get(ctx, name)
+				if gerr != nil {
+					t.Errorf("goroutine %d: Get(%s): %v", g, name, gerr)
+					return
+				}
+				if e.Name != name {
+					t.Errorf("goroutine %d: Get(%s) returned %q", g, name, e.Name)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

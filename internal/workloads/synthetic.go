@@ -42,6 +42,10 @@ type SyntheticConfig struct {
 	Seed int64
 	// Prefix namespaces entry names so repeated runs do not collide.
 	Prefix string
+	// KeyDist shapes which entries the readers request. The zero value keeps
+	// the paper's uniform draws; Zipfian and hot-spot skews concentrate reads
+	// on a small set of hot entries (tail-latency scenarios).
+	KeyDist KeyDist
 }
 
 // withDefaults fills unset fields.
@@ -167,7 +171,10 @@ func RunSynthetic(ctx context.Context, svc core.MetadataService, dep *cloud.Depl
 		}(wi, node)
 	}
 
-	// Readers get random entries among those that should already exist.
+	// Readers get random entries among those that should already exist. One
+	// read-only sampler is shared across readers; each reader draws from it
+	// with its own seeded rand source, so runs stay deterministic per seed.
+	sampler := NewKeySampler(cfg.KeyDist, len(writers)*cfg.OpsPerNode)
 	for ri, node := range readers {
 		wg.Add(1)
 		go func(ri int, node cloud.Node) {
@@ -184,10 +191,19 @@ func RunSynthetic(ctx context.Context, svc core.MetadataService, dep *cloud.Depl
 				if maxIdx >= cfg.OpsPerNode {
 					maxIdx = cfg.OpsPerNode - 1
 				}
-				w := rng.Intn(len(writers))
-				idx := 0
-				if maxIdx > 0 {
-					idx = rng.Intn(maxIdx + 1)
+				var w, idx int
+				if cfg.KeyDist.Kind == KeyUniform {
+					w = rng.Intn(len(writers))
+					if maxIdx > 0 {
+						idx = rng.Intn(maxIdx + 1)
+					}
+				} else {
+					// Rank the currently visible keyspace so that low ranks —
+					// the hot keys — are the entries every writer posted
+					// first: rank r maps to writer r%W, index r/W.
+					rank := sampler.Rank(rng, len(writers)*(maxIdx+1))
+					w = rank % len(writers)
+					idx = rank / len(writers)
 				}
 				name := entryName(cfg.Prefix, w, idx)
 				found := false

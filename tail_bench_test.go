@@ -1,0 +1,188 @@
+package geomds
+
+// This file benchmarks the tail-latency machinery under the workload it was
+// built for: a Zipfian-skewed read mix on a 4-shard, 2-way replicated tier
+// where one shard answers reads slowly (a straggler, not a failure — its
+// breaker stays closed, so failover never kicks in). Two sub-benchmarks run
+// the identical mix:
+//
+//   - baseline: the feature-off router. Every read homed on the straggler
+//     waits out its full delay, so the straggler's key share sets the p99.
+//   - hedged: hedged reads (fixed ~1ms threshold via the clamp band) plus
+//     read coalescing. Reads stuck on the straggler re-issue to the healthy
+//     replica after the threshold and take the faster answer; concurrent
+//     reads of the same hot key share one downstream call.
+//
+// Run with:
+//
+//	go test -bench=TailLatencySkewedMix -benchtime=2000x
+//	go test -bench=TailLatencySkewedMix -benchtime=2000x -benchjson .
+//
+// The recorded BENCH_tail_zipfian_{baseline,hedged}.json ride the CI
+// perf-trajectory gate (cmd/benchdiff), which now checks p99 latency next to
+// ops/s — so the hedging win is pinned against a committed baseline, and a
+// change that quietly fattens the tail fails the push. On runs long enough
+// to measure (>=1000 ops per variant) the parent benchmark also asserts the
+// hedged p99 beats the feature-off p99 outright.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"geomds/internal/cloud"
+	"geomds/internal/experiments"
+	"geomds/internal/memcache"
+	"geomds/internal/registry"
+	"geomds/internal/workloads"
+)
+
+// benchSlowShard wraps a shard instance and stretches every Get by a fixed
+// delay — a straggler replica (overloaded box, GC pause, noisy neighbor)
+// that still answers correctly and so never trips the health breaker. The
+// sleep respects context cancellation so a hedged winner can cut the
+// straggler's leg short.
+type benchSlowShard struct {
+	registry.API
+	delay time.Duration
+}
+
+func (s *benchSlowShard) Get(ctx context.Context, name string) (registry.Entry, error) {
+	select {
+	case <-time.After(s.delay):
+	case <-ctx.Done():
+		return registry.Entry{}, ctx.Err()
+	}
+	return s.API.Get(ctx, name)
+}
+
+// runTailBench runs the Zipfian read mix against a 4-shard, 2-way replicated
+// tier with one straggler shard, with or without the tail-latency features,
+// and returns the recorded result.
+func runTailBench(b *testing.B, name string, hedged bool) experiments.BenchResult {
+	const (
+		nShards           = 4
+		replication       = 2
+		straggler         = 2
+		stragglerGetDelay = 10 * time.Millisecond
+		hedgeAfter        = time.Millisecond
+		preload           = 1024
+	)
+	apis := make([]registry.API, nShards)
+	for i := range apis {
+		inst := registry.NewInstance(1, memcache.New(memcache.Config{
+			ServiceTime: benchShardServiceTime,
+			Concurrency: benchShardConcurrency,
+			Metrics:     nil,
+		}))
+		if i == straggler {
+			apis[i] = &benchSlowShard{API: inst, delay: stragglerGetDelay}
+		} else {
+			apis[i] = inst
+		}
+	}
+	opts := []registry.RouterOption{
+		registry.WithRouterMetrics(nil),
+		registry.WithRouterReplication(replication),
+		registry.WithRouterHealth(3, 5*time.Millisecond),
+	}
+	if hedged {
+		// min == max pins the hedge threshold at 1ms regardless of what the
+		// latency histogram has seen, keeping the two variants comparable
+		// from the first operation.
+		opts = append(opts,
+			registry.WithRouterHedgedReads(hedgeAfter, hedgeAfter),
+			registry.WithRouterReadCoalescing())
+	}
+	tier, err := registry.NewRouter(1, apis, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tier.Close()
+
+	entries := make([]registry.Entry, preload)
+	for i := range entries {
+		entries[i] = registry.NewEntry(fmt.Sprintf("bench/tail/preload/%d", i), 4096, "bench",
+			registry.Location{Site: 1, Node: cloud.NodeID(i % 16)})
+	}
+	if _, err := tier.PutMany(bctx, entries); err != nil {
+		b.Fatal(err)
+	}
+
+	sampler := workloads.NewKeySampler(workloads.KeyDist{Kind: workloads.KeyZipfian}, preload)
+	rec := experiments.NewBenchRecorder(name)
+	var (
+		workerSeq atomic.Int64
+		seq       atomic.Int64
+		readFails atomic.Int64
+	)
+	b.SetParallelism(8)
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(42 + workerSeq.Add(1)))
+		for pb.Next() {
+			i := seq.Add(1)
+			key := fmt.Sprintf("bench/tail/preload/%d", sampler.Rank(rng, preload))
+			opStart := time.Now()
+			if i%10 == 0 {
+				if _, err := tier.AddLocation(bctx, key,
+					registry.Location{Site: 1, Node: cloud.NodeID(i % 16)}); err != nil {
+					b.Errorf("addlocation %q: %v", key, err)
+				}
+			} else {
+				if _, err := tier.Get(bctx, key); err != nil {
+					readFails.Add(1)
+				}
+			}
+			rec.Observe(time.Since(opStart))
+		}
+	})
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	if n := readFails.Load(); n > 0 {
+		b.Fatalf("%d reads failed; the straggler is slow, not broken", n)
+	}
+
+	res := rec.Result(elapsed)
+	b.ReportMetric(res.OpsPerSec, "ops/s")
+	b.ReportMetric(float64(res.LatencyNs.P99)/1e6, "p99_ms")
+	if *benchJSONDir != "" {
+		path, err := res.WriteJSON(*benchJSONDir)
+		if err != nil {
+			b.Fatalf("writing benchmark JSON: %v", err)
+		}
+		b.Logf("machine-readable result written to %s", path)
+	}
+	return res
+}
+
+// BenchmarkTailLatencySkewedMix measures the Zipfian mix with the
+// tail-latency features off (baseline) and on (hedged reads + coalescing),
+// and on runs long enough for a stable p99 asserts that hedging actually cut
+// the tail: the whole point of re-issuing a slow read to the healthy replica
+// is that the straggler's delay stops being the p99.
+func BenchmarkTailLatencySkewedMix(b *testing.B) {
+	results := make(map[string]experiments.BenchResult, 2)
+	b.Run("baseline", func(b *testing.B) {
+		results["baseline"] = runTailBench(b, "tail_zipfian_baseline", false)
+	})
+	b.Run("hedged", func(b *testing.B) {
+		results["hedged"] = runTailBench(b, "tail_zipfian_hedged", true)
+	})
+
+	base, hedged := results["baseline"], results["hedged"]
+	if base.Ops < 1000 || hedged.Ops < 1000 {
+		return // too short for a trustworthy p99; -benchtime=2000x is the measured mode
+	}
+	b.Logf("p99 baseline %.2f ms -> hedged %.2f ms",
+		float64(base.LatencyNs.P99)/1e6, float64(hedged.LatencyNs.P99)/1e6)
+	if hedged.LatencyNs.P99 >= base.LatencyNs.P99 {
+		b.Errorf("hedged p99 %.2f ms did not beat the feature-off p99 %.2f ms",
+			float64(hedged.LatencyNs.P99)/1e6, float64(base.LatencyNs.P99)/1e6)
+	}
+}
