@@ -150,7 +150,11 @@ func BenchmarkFigure9WorkflowShapes(b *testing.B) {
 // counts per scenario derived from the generators.
 func BenchmarkTableIScenarios(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.TableI().Rows
+		tbl, err := experiments.TableI()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := tbl.Rows
 		mi := rows[len(rows)-1]
 		b.ReportMetric(float64(mi.TotalOpsBuzz), "buzzflow_mi_ops")
 		b.ReportMetric(float64(mi.TotalOpsMontage), "montage_mi_ops")

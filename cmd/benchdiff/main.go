@@ -22,6 +22,10 @@
 //	                (default 1.0, i.e. a doubling — tails are far noisier
 //	                than means on shared runners; 0 disables the latency
 //	                gate; baselines without a p99 figure are skipped)
+//	-allocs-tolerance f  allowed fractional allocs/op rise before failing
+//	                (default 0.10 — allocation counts are deterministic,
+//	                so the band is tight; 0 disables the allocation gate;
+//	                baselines without an allocs/op figure are skipped)
 //	-update         instead of comparing, copy the fresh results over the
 //	                baselines (run locally to re-baseline after an
 //	                intentional perf change, then commit bench/)
@@ -45,6 +49,7 @@ func main() {
 	freshDir := flag.String("fresh", "", "directory of the fresh run's BENCH_*.json files")
 	tolerance := flag.Float64("tolerance", 0.40, "allowed fractional ops/s drop before the gate fails")
 	p99Tolerance := flag.Float64("p99-tolerance", 1.0, "allowed fractional p99 latency rise before the gate fails (0 disables)")
+	allocsTolerance := flag.Float64("allocs-tolerance", 0.10, "allowed fractional allocs/op rise before the gate fails (0 disables)")
 	update := flag.Bool("update", false, "overwrite the baselines with the fresh results instead of comparing")
 	flag.Parse()
 
@@ -59,6 +64,10 @@ func main() {
 	}
 	if *p99Tolerance < 0 {
 		fmt.Fprintln(os.Stderr, "benchdiff: -p99-tolerance must be >= 0")
+		os.Exit(2)
+	}
+	if *allocsTolerance < 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: -allocs-tolerance must be >= 0")
 		os.Exit(2)
 	}
 
@@ -90,24 +99,28 @@ func main() {
 		fatal(fmt.Errorf("no committed baselines in %s — run benchdiff -update to create them", *baselineDir))
 	}
 
-	comparisons, ok := experiments.CompareBenchResults(baseline, fresh, *tolerance, *p99Tolerance)
-	fmt.Printf("perf trajectory vs %s (ops/s tolerance %.0f%%, p99 tolerance %.0f%%):\n",
-		*baselineDir, *tolerance*100, *p99Tolerance*100)
+	comparisons, ok := experiments.CompareBenchResults(baseline, fresh, *tolerance, *p99Tolerance, *allocsTolerance)
+	fmt.Printf("perf trajectory vs %s (ops/s tolerance %.0f%%, p99 tolerance %.0f%%, allocs tolerance %.0f%%):\n",
+		*baselineDir, *tolerance*100, *p99Tolerance*100, *allocsTolerance*100)
 	for _, c := range comparisons {
-		p99 := ""
+		detail := ""
 		if c.Baseline.LatencyNs.P99 > 0 && !c.Missing {
-			p99 = fmt.Sprintf("  p99 %.2f -> %.2f ms (%+.1f%%)",
+			detail = fmt.Sprintf("  p99 %.2f -> %.2f ms (%+.1f%%)",
 				float64(c.Baseline.LatencyNs.P99)/1e6, float64(c.Fresh.LatencyNs.P99)/1e6, c.P99Delta*100)
+		}
+		if c.Baseline.AllocsPerOp > 0 && !c.Missing {
+			detail += fmt.Sprintf("  allocs %.1f -> %.1f /op (%+.1f%%)",
+				c.Baseline.AllocsPerOp, c.Fresh.AllocsPerOp, c.AllocsDelta*100)
 		}
 		switch {
 		case c.Missing:
 			fmt.Printf("  MISSING  %-40s baseline %10.0f ops/s, no fresh result\n", c.Name, c.Baseline.OpsPerSec)
-		case c.Regressed || c.P99Regressed:
+		case c.Regressed || c.P99Regressed || c.AllocsRegressed:
 			fmt.Printf("  REGRESS  %-40s %10.0f -> %10.0f ops/s  (%+.1f%%)%s\n",
-				c.Name, c.Baseline.OpsPerSec, c.Fresh.OpsPerSec, c.Delta*100, p99)
+				c.Name, c.Baseline.OpsPerSec, c.Fresh.OpsPerSec, c.Delta*100, detail)
 		default:
 			fmt.Printf("  ok       %-40s %10.0f -> %10.0f ops/s  (%+.1f%%)%s\n",
-				c.Name, c.Baseline.OpsPerSec, c.Fresh.OpsPerSec, c.Delta*100, p99)
+				c.Name, c.Baseline.OpsPerSec, c.Fresh.OpsPerSec, c.Delta*100, detail)
 		}
 	}
 	for _, name := range sortedNames(fresh) {

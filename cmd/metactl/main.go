@@ -35,6 +35,13 @@
 // -write-concern) too so writes reach every replica and reads fail over the
 // same way the server-side router does.
 //
+// The -cache flag interposes a feed-coherent near cache (internal/readcache)
+// between the commands and the wire: repeated reads within one invocation are
+// answered locally, kept coherent by one watch stream per dialed server. The
+// cache serves through to the origin until its streams connect, and forever
+// when the server runs without -feed, so -cache never weakens consistency —
+// it only removes round trips once coherence is established.
+//
 // The -timeout flag is a real per-operation deadline: it bounds the dial and
 // each command's context, and the deadline is propagated over the wire so
 // the server abandons work metactl has given up on. Exit codes distinguish
@@ -66,6 +73,7 @@ import (
 	"geomds/internal/cloud"
 	"geomds/internal/feed"
 	"geomds/internal/metrics"
+	"geomds/internal/readcache"
 	"geomds/internal/registry"
 	"geomds/internal/rpc"
 )
@@ -88,6 +96,7 @@ func main() {
 	traceN := flag.Int("trace", 15, "number of recent trace events the stats command renders (0 = none)")
 	fromSeq := flag.Uint64("from", 0, "resume the watch command after this feed sequence number (0 = start of the retained window)")
 	noFallback := flag.Bool("no-fallback", false, "fail the watch command when -from predates the retained window instead of falling back to snapshot+tail")
+	cacheOn := flag.Bool("cache", false, "serve reads through a feed-coherent near cache kept coherent by the server's change feed (requires metaserver -feed; without one reads serve through uncached)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -217,6 +226,26 @@ func main() {
 			c.Close()
 		}
 	}()
+
+	// -cache interposes a feed-coherent near cache between the commands and
+	// the wire: reads answered from the cache skip the round trip, and the
+	// servers' change feeds (one watch stream per dialed server) invalidate
+	// it. Until the streams connect — or forever, when the server runs
+	// without -feed — the cache serves through to the origin, so commands
+	// never observe weaker consistency than without the flag.
+	if *cacheOn {
+		// Invalidation mode, not apply-in-place: feed event bytes carry the
+		// entry as submitted, before the store assigned its version, so
+		// re-installing them would serve stale Version fields.
+		nc := readcache.New(api, readcache.Options{})
+		sources := make([]feed.Source, 0, len(clients))
+		for _, c := range clients {
+			sources = append(sources, c.FeedSource(c.Addr()))
+		}
+		nc.AttachFeed(context.Background(), sources)
+		defer nc.Close()
+		api = nc
+	}
 
 	ctx, cancel := opCtx()
 	defer cancel()
@@ -422,6 +451,14 @@ func renderStats(ctx context.Context, metricsAddr string, traceN int) error {
 		}
 	}
 	fmt.Printf("metrics from %s:\n%s", base, metrics.RenderReport(snap, events))
+	// The near-cache counters render above with everything else; the ratio
+	// operators actually watch is derived here so nobody does the division
+	// in their head.
+	hits, misses := snap.Counters["readcache_hits_total"], snap.Counters["readcache_misses_total"]
+	if reads := hits + misses; reads > 0 {
+		fmt.Printf("near cache hit ratio: %.1f%% (%d of %d reads)\n",
+			100*float64(hits)/float64(reads), hits, reads)
+	}
 	return nil
 }
 
@@ -443,7 +480,7 @@ func getJSON(ctx context.Context, url string, v any) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: metactl [-addr host:port | -shard-addrs a,b,c [-replication r]] [-pool n] [-timeout d] <command>
+	fmt.Fprintln(os.Stderr, `usage: metactl [-addr host:port | -shard-addrs a,b,c [-replication r]] [-cache] [-pool n] [-timeout d] <command>
 
 commands:
   put <name> <size> <site> [node]   publish a metadata entry

@@ -30,7 +30,16 @@
 //     combined feed. -feed-capacity bounds the retained event window a
 //     disconnected watcher can resume inside before the snapshot fallback
 //     kicks in. -feed does not compose with -shard-addrs: remote shard
-//     processes own their feeds, watch them directly.
+//     processes own their feeds, watch them directly;
+//   - -cache serves reads through a feed-coherent near cache
+//     (internal/readcache) in front of the deployment, so hot keys skip the
+//     cache tier's modelled service time and, behind a routing tier, the
+//     extra network hop. With -feed the cache is push-invalidated by the
+//     change feed and serves through (uncached, never stale) whenever its
+//     feed stream is down; without -feed it bounds staleness by the
+//     -cache-staleness TTL instead. The readcache hit/miss/invalidation
+//     counters and occupancy gauge report to -metrics-addr, so `metactl
+//     stats` shows the hit ratio.
 //
 // Usage:
 //
@@ -72,6 +81,7 @@ import (
 	"geomds/internal/feed"
 	"geomds/internal/memcache"
 	"geomds/internal/metrics"
+	"geomds/internal/readcache"
 	"geomds/internal/registry"
 	"geomds/internal/rpc"
 	"geomds/internal/store"
@@ -95,6 +105,8 @@ func main() {
 		fsyncMode   = flag.String("fsync", "always", "write-ahead log fsync policy with -data-dir: always (sync every append) or never (sync only at snapshot and shutdown)")
 		feedOn      = flag.Bool("feed", false, "publish every committed put and delete on a change feed served to Watch subscribers (metactl watch)")
 		feedCap     = flag.Int("feed-capacity", feed.DefaultCapacity, "events the change feed retains for resuming watchers; older cursors take the snapshot fallback")
+		cacheOn     = flag.Bool("cache", false, "serve reads through a feed-coherent near cache in front of the deployment; coherent via the change feed with -feed, TTL-bounded without it")
+		cacheTTL    = flag.Duration("cache-staleness", 0, "max staleness the near cache may serve without a change feed (0 = the readcache default; ignored with -feed, where the feed is the bound)")
 	)
 	flag.Parse()
 
@@ -141,6 +153,9 @@ func main() {
 		// Persistence lives where the data lives: each remote shard process
 		// owns its log via its own -data-dir.
 		logger.Fatal("-data-dir applies to in-process instances; give each remote shard its own -data-dir instead")
+	}
+	if *cacheTTL < 0 {
+		logger.Fatal("-cache-staleness must be >= 0 (0 selects the readcache default)")
 	}
 	if *feedOn && *shardAddrs != "" {
 		// Feeds live where the commits happen: each remote shard process
@@ -248,6 +263,40 @@ func main() {
 	}
 	if *feedOn {
 		deployment += fmt.Sprintf(", change feed (last %d events retained)", *feedCap)
+	}
+	// -cache interposes a feed-coherent near cache between the RPC server and
+	// the deployment: hot reads skip the cache tier's modelled service time
+	// (and, behind a routing tier, the extra network hop). With a change feed
+	// the cache is push-invalidated and serves through whenever its stream is
+	// down; without one it falls back to the TTL staleness bound. Its
+	// readcache_{hits,misses,...}_total counters report to the shared metrics
+	// registry, so the hit ratio shows up in `metactl stats`.
+	if *cacheOn {
+		// Invalidation mode, not apply-in-place: feed event bytes carry the
+		// entry as submitted, before the store assigned its version, so
+		// re-installing them would serve stale Version fields.
+		nc := readcache.New(api, readcache.Options{
+			Metrics:      reg,
+			MaxStaleness: *cacheTTL,
+		})
+		defer nc.Close()
+		if f, ok := api.(registry.ChangeFeeder); ok && f.ChangeFeed() != nil {
+			nc.AttachFeed(context.Background(), []feed.Source{{
+				Name: "origin",
+				Subscribe: func(ctx context.Context, from uint64) (feed.Stream, error) {
+					return f.ChangeFeed().Subscribe(from)
+				},
+				Snapshot: f.FeedSnapshot,
+			}})
+			deployment += ", near cache (feed-coherent)"
+		} else {
+			ttl := *cacheTTL
+			if ttl == 0 {
+				ttl = readcache.DefaultMaxStaleness
+			}
+			deployment += fmt.Sprintf(", near cache (staleness <= %s; run -feed for push invalidation)", ttl)
+		}
+		api = nc
 	}
 	srv := rpc.NewServer(api, logger, rpc.WithMaxInflight(*inflight), rpc.WithServerMetrics(reg))
 

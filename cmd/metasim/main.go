@@ -46,6 +46,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "back every site's registry with this many shard instances behind a router (0/1 = single instance)")
 		repl      = flag.Int("replication", 0, "store every key on this many shards of each site's tier (requires -shards > 1; 0/1 = single-home placement)")
 		keydist   = flag.String("keydist", "", "key distribution for the synthetic readers: uniform (default), zipfian[:s], or hotspot[:frac,weight]")
+		cacheOn   = flag.Bool("cache", false, "front every site's registry with a feed-coherent near cache (reads served locally, invalidated by the change feed)")
 		dataDir   = flag.String("data-dir", "", "back every registry with a write-ahead log under this directory, so runs pay real durability costs (each run logs under its own subdirectory)")
 		fsyncMode = flag.String("fsync", "always", "write-ahead log fsync policy with -data-dir: always or never")
 		csvPath   = flag.String("csv", "", "write the result series as CSV to this file")
@@ -80,6 +81,9 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.ShardReplication = *repl
+	}
+	if *cacheOn {
+		cfg.NearCache = true
 	}
 	if *keydist != "" {
 		dist, err := workloads.ParseKeyDist(*keydist)
@@ -133,7 +137,10 @@ func main() {
 	case *ablations:
 		err = runAblations(ctx, cfg)
 	case *table == 1:
-		fmt.Print(experiments.TableI().Render())
+		var tbl experiments.TableIResult
+		if tbl, err = experiments.TableI(); err == nil {
+			fmt.Print(tbl.Render())
+		}
 	case *fig != 0:
 		csv, err = runFigure(ctx, cfg, *fig)
 	default:
@@ -250,7 +257,11 @@ func runFigure(ctx context.Context, cfg experiments.Config, fig int) (csv string
 }
 
 func runAll(ctx context.Context, cfg experiments.Config) (string, error) {
-	fmt.Print(experiments.TableI().Render())
+	tbl, err := experiments.TableI()
+	if err != nil {
+		return "", err
+	}
+	fmt.Print(tbl.Render())
 	fmt.Println()
 	var lastCSV string
 	for _, fig := range []int{1, 5, 6, 7, 8, 9, 10} {

@@ -13,6 +13,7 @@ import (
 	"geomds/internal/latency"
 	"geomds/internal/memcache"
 	"geomds/internal/metrics"
+	"geomds/internal/readcache"
 	"geomds/internal/registry"
 	"geomds/internal/store"
 )
@@ -77,6 +78,8 @@ type fabricConfig struct {
 	storeOpts        []store.Option
 	changeFeeds      bool
 	feedOpts         []feed.LogOption
+	nearCache        bool
+	nearCacheOpts    readcache.Options
 }
 
 // WithInstances backs specific sites with externally provided registry
@@ -194,6 +197,26 @@ func WithChangeFeeds(opts ...feed.LogOption) FabricOption {
 	return func(c *fabricConfig) {
 		c.changeFeeds = true
 		c.feedOpts = opts
+	}
+}
+
+// WithNearCache fronts every site's registry deployment with a feed-coherent
+// near cache (internal/readcache): repeated Gets of unchanged entries answer
+// from local memory instead of paying the instance's service time (or the
+// wire, for sites provided via WithInstances), and repeated not-founds are
+// answered by negative entries. When the fabric was built with
+// WithChangeFeeds the cache subscribes to each site's own feed and applies
+// put events in place using the fabric codec (overridable via opts.Codec),
+// so entries can be stale only within the feed-delivery window; a site
+// without a feed falls back to the cache's max-staleness TTL. The zero
+// Options value selects the defaults (capacity, shards, TTL policy); the
+// cache reports readcache_* series to the fabric's metrics registry unless
+// opts.Metrics overrides it. Strategies cannot tell a cached site from a raw
+// one — the cache implements registry.API and forwards the feed surface.
+func WithNearCache(opts readcache.Options) FabricOption {
+	return func(c *fabricConfig) {
+		c.nearCache = true
+		c.nearCacheOpts = opts
 	}
 }
 
@@ -322,6 +345,32 @@ func NewFabric(topo *cloud.Topology, lat *latency.Model, opts ...FabricOption) *
 			continue
 		}
 		f.instances[s] = newInstance(s, siteDir)
+	}
+	if cfg.nearCache {
+		for _, s := range cfg.sites {
+			inst := f.instances[s]
+			opts := cfg.nearCacheOpts
+			if opts.Metrics == nil {
+				opts.Metrics = cfg.metricsReg
+			}
+			if opts.Codec == nil {
+				opts.Codec = cfg.codec
+			}
+			cache := readcache.New(inst, opts)
+			if feeder, ok := inst.(registry.ChangeFeeder); ok && feeder.ChangeFeed() != nil {
+				cache.AttachFeed(context.Background(), []feed.Source{{
+					Name: fmt.Sprintf("site-%d", s),
+					Subscribe: func(ctx context.Context, from uint64) (feed.Stream, error) {
+						return feeder.ChangeFeed().Subscribe(from)
+					},
+					Snapshot: feeder.FeedSnapshot,
+				}}, feed.WithCombinerMetrics(cfg.metricsReg))
+			}
+			f.instances[s] = cache
+			// The cache's feed consumer must detach before the instance
+			// feeds close.
+			f.owned = append([]func() error{cache.Close}, f.owned...)
+		}
 	}
 	return f
 }

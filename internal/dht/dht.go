@@ -54,7 +54,7 @@ type DynamicPlacer interface {
 // decisions from this value so that placements are stable across processes.
 func Hash64(key string) uint64 {
 	h := fnv.New64a()
-	h.Write([]byte(key))
+	h.Write([]byte(key)) //nolint:errcheck // fnv's Write never fails
 	return h.Sum64()
 }
 

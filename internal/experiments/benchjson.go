@@ -25,6 +25,11 @@ type BenchResult struct {
 	OpsPerSec float64 `json:"ops_per_sec"`
 	// LatencyNs holds per-operation latency quantiles in nanoseconds.
 	LatencyNs BenchLatency `json:"latency_ns"`
+	// AllocsPerOp is the heap allocations one operation costs (0 when the
+	// run did not measure them). Transport benchmarks record it so the
+	// benchdiff gate can hold the wire hot path's allocation count the same
+	// way it holds throughput.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
 // BenchLatency is the latency quantile block of a BenchResult.
@@ -154,6 +159,12 @@ type BenchComparison struct {
 	// P99Regressed marks a fresh p99 above the latency tolerance band — the
 	// tail-latency side of the gate.
 	P99Regressed bool
+	// AllocsDelta is the fractional allocations-per-op change:
+	// (fresh-baseline)/baseline. Positive is more allocations.
+	AllocsDelta float64
+	// AllocsRegressed marks fresh allocations per op above the allocation
+	// tolerance band — the allocation side of the gate.
+	AllocsRegressed bool
 }
 
 // CompareBenchResults diffs a fresh benchmark run against committed
@@ -166,10 +177,14 @@ type BenchComparison struct {
 // outright rather than vacuously passing everything. A baseline with no p99
 // figure (older result files, zero-op runs) skips only the latency check —
 // there is nothing to hold the tail to. A non-positive p99Tolerance disables
-// the latency gate. Fresh results without a baseline are ignored here — the
-// caller decides whether to report them as new. Comparisons are returned
-// sorted by name; ok reports whether the gate passes.
-func CompareBenchResults(baseline, fresh map[string]BenchResult, tolerance, p99Tolerance float64) (comparisons []BenchComparison, ok bool) {
+// the latency gate. Allocations gate the same way: a benchmark regresses
+// when its fresh allocs/op rises more than allocsTolerance above a baseline
+// that recorded them; baselines without an allocation figure skip the check,
+// and a non-positive allocsTolerance disables it. Fresh results without a
+// baseline are ignored here — the caller decides whether to report them as
+// new. Comparisons are returned sorted by name; ok reports whether the gate
+// passes.
+func CompareBenchResults(baseline, fresh map[string]BenchResult, tolerance, p99Tolerance, allocsTolerance float64) (comparisons []BenchComparison, ok bool) {
 	names := make([]string, 0, len(baseline))
 	for name := range baseline {
 		names = append(names, name)
@@ -194,10 +209,14 @@ func CompareBenchResults(baseline, fresh map[string]BenchResult, tolerance, p99T
 				cmp.P99Delta = float64(f.LatencyNs.P99-base.LatencyNs.P99) / float64(base.LatencyNs.P99)
 				cmp.P99Regressed = p99Tolerance > 0 && cmp.P99Delta > p99Tolerance
 			}
+			if base.AllocsPerOp > 0 {
+				cmp.AllocsDelta = (f.AllocsPerOp - base.AllocsPerOp) / base.AllocsPerOp
+				cmp.AllocsRegressed = allocsTolerance > 0 && cmp.AllocsDelta > allocsTolerance
+			}
 		} else {
 			cmp.Missing = true
 		}
-		if cmp.Missing || cmp.Regressed || cmp.P99Regressed {
+		if cmp.Missing || cmp.Regressed || cmp.P99Regressed || cmp.AllocsRegressed {
 			ok = false
 		}
 		comparisons = append(comparisons, cmp)

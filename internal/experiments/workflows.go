@@ -66,9 +66,15 @@ type TableIResult struct {
 	Rows []workloads.TableIRow
 }
 
-// TableI recomputes Table I.
-func TableI() TableIResult {
-	return TableIResult{Rows: workloads.TableI()}
+// TableI recomputes Table I. It fails only when a workflow generator
+// produces an invalid DAG, which is a bug worth surfacing, not hiding in a
+// zeroed table.
+func TableI() (TableIResult, error) {
+	rows, err := workloads.TableI()
+	if err != nil {
+		return TableIResult{}, err
+	}
+	return TableIResult{Rows: rows}, nil
 }
 
 // ---------------------------------------------------------------------------

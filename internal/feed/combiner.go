@@ -96,6 +96,18 @@ func WithHealthFunc(fn func(source string, healthy bool)) CombinerOption {
 	return func(c *Combiner) { c.health = fn }
 }
 
+// WithStreamStateFunc installs a callback invoked (from the source's
+// goroutine) on every stream transition: connected=true after each successful
+// subscribe (including the snapshot fallback), connected=false the moment a
+// live stream ends — lag drop, compaction, shard restart, transport loss —
+// before the resubscribe loop starts its backoff. Unlike WithHealthFunc,
+// which only fires at the failure threshold, this reports every gap in
+// delivery; the near cache uses it to flush and serve through while a gap is
+// open, because events published inside the gap were never delivered.
+func WithStreamStateFunc(fn func(source string, connected bool)) CombinerOption {
+	return func(c *Combiner) { c.streamState = fn }
+}
+
 // WithCombinerBuffer sets the output channel's buffer (default 64).
 func WithCombinerBuffer(n int) CombinerOption {
 	return func(c *Combiner) {
@@ -114,12 +126,13 @@ func WithCombinerBuffer(n int) CombinerOption {
 // channel as long as cursors stay inside the sources' retained windows, and
 // at-least-once (via the snapshot fallback) beyond that.
 type Combiner struct {
-	sources    []Source
-	backoff    time.Duration
-	backoffMax time.Duration
-	threshold  int
-	outBuf     int
-	health     func(string, bool)
+	sources     []Source
+	backoff     time.Duration
+	backoffMax  time.Duration
+	threshold   int
+	outBuf      int
+	health      func(string, bool)
+	streamState func(string, bool)
 
 	resumes   *metrics.Counter
 	fallbacks *metrics.Counter
@@ -244,6 +257,9 @@ func (c *Combiner) run(ctx context.Context, src Source) {
 			c.resumes.Inc()
 		}
 		first = false
+		if c.streamState != nil {
+			c.streamState(src.Name, true)
+		}
 	consume:
 		for {
 			select {
@@ -251,6 +267,9 @@ func (c *Combiner) run(ctx context.Context, src Source) {
 				if !ok {
 					// The stream ended (lag, shard restart, transport
 					// loss); loop to resubscribe from the cursor.
+					if c.streamState != nil {
+						c.streamState(src.Name, false)
+					}
 					break consume
 				}
 				select {

@@ -120,7 +120,8 @@ func (h *HACache) PutBatch(kvs []KV) ([]Item, error) {
 	if err != nil {
 		return items, err
 	}
-	_, _ = replica.PutBatch(kvs)
+	_, merr := replica.PutBatch(kvs)
+	h.mirror(merr)
 	return items, nil
 }
 
@@ -134,6 +135,9 @@ func (h *HACache) DeleteBatch(keys []string) (int, error) {
 	if err != nil {
 		return n, err
 	}
-	_, _ = replica.DeleteBatch(keys)
+	// DeleteBatch treats absent keys as success, so any replica error is
+	// real divergence.
+	_, merr := replica.DeleteBatch(keys)
+	h.mirror(merr)
 	return n, nil
 }

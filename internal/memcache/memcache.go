@@ -270,7 +270,9 @@ func (c *Cache) Get(key string) (Item, error) {
 }
 
 // Contains reports whether key is present (and unexpired) without counting as
-// a Get in the statistics.
+// a Get in the statistics. Like Keys and Snapshot it bypasses the modelled
+// service capacity (no worker slot, no service time) and works on a stopped
+// cache — it is a control-plane probe, not a data-plane read.
 func (c *Cache) Contains(key string) bool {
 	sh := c.shardFor(key)
 	sh.mu.RLock()
@@ -331,8 +333,17 @@ func (c *Cache) store(key string, value []byte, ttl time.Duration, expected *uin
 			return cur, fmt.Errorf("cas %q: have version %d, want %d: %w", key, curVersion, *expected, ErrVersionConflict)
 		}
 	}
-	if !exists && c.cfg.MaxItems > 0 && int(c.items.Load()) >= c.cfg.MaxItems {
-		return Item{}, fmt.Errorf("put %q: %w", key, ErrCapacity)
+	reserved := false
+	if !exists && c.cfg.MaxItems > 0 {
+		// Reserve the slot with the same atomic add that commits it: a
+		// load-then-add would let two inserts on different shards (each under
+		// its own shard lock) both pass the bound and overshoot MaxItems.
+		if int(c.items.Add(1)) > c.cfg.MaxItems {
+			c.items.Add(-1)
+			return Item{}, fmt.Errorf("put %q: %w", key, ErrCapacity)
+		}
+		c.obs.items.Add(1)
+		reserved = true
 	}
 
 	it := Item{Key: key, Value: append([]byte(nil), value...), Version: cur.Version + 1}
@@ -343,7 +354,9 @@ func (c *Cache) store(key string, value []byte, ttl time.Duration, expected *uin
 	if exists {
 		c.bytes.Add(int64(len(value)) - int64(len(cur.Value)))
 	} else {
-		c.addItems(1)
+		if !reserved {
+			c.addItems(1)
+		}
 		c.bytes.Add(int64(len(value)))
 	}
 	return it, nil
@@ -384,7 +397,9 @@ func (c *Cache) removeExpired(key string, version uint64) {
 	}
 }
 
-// Keys returns all live (unexpired) keys in unspecified order.
+// Keys returns all live (unexpired) keys in unspecified order. It bypasses
+// the modelled service capacity and works on a stopped cache: it serves
+// control-plane sweeps (re-sync, migration), not the measured data path.
 func (c *Cache) Keys() []string {
 	now := c.cfg.Now()
 	var keys []string
@@ -401,7 +416,9 @@ func (c *Cache) Keys() []string {
 }
 
 // Snapshot returns a copy of every live item; the synchronization agent uses
-// it to pull the full content of a registry instance.
+// it to pull the full content of a registry instance. Like Keys it bypasses
+// the modelled service capacity and works on a stopped cache, which failover
+// repopulation (HACache.FailPrimary) depends on.
 func (c *Cache) Snapshot() []Item {
 	now := c.cfg.Now()
 	var items []Item

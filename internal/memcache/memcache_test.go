@@ -409,3 +409,75 @@ func TestVersionMonotonicityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Mirror failures must be counted, not swallowed: a replica that rejects a
+// write the primary accepted has silently diverged, and a failover would
+// lose the entry.
+func TestHACacheCountsMirrorFailures(t *testing.T) {
+	// NewHA calls the factory twice, primary first; cap only the replica so
+	// the second write diverges.
+	calls := 0
+	h := NewHA(func() *Cache {
+		calls++
+		if calls == 2 {
+			return New(Config{MaxItems: 1})
+		}
+		return New(Config{})
+	})
+	if _, err := h.Put("a", []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.MirrorFailures(); got != 0 {
+		t.Fatalf("MirrorFailures after in-capacity put = %d, want 0", got)
+	}
+	if _, err := h.Put("b", []byte("v"), 0); err != nil {
+		t.Fatalf("primary write must succeed even when the mirror fails: %v", err)
+	}
+	if got := h.MirrorFailures(); got != 1 {
+		t.Errorf("MirrorFailures after replica capacity rejection = %d, want 1", got)
+	}
+	// Deleting an entry absent on the replica is not divergence.
+	if err := h.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.MirrorFailures(); got != 1 {
+		t.Errorf("MirrorFailures after delete of replica-absent key = %d, want 1", got)
+	}
+}
+
+// MaxItems must hold across shards under concurrency: the bound is enforced
+// with an atomic reservation, so racing inserts on different shards cannot
+// both squeeze past it.
+func TestMaxItemsBoundUnderConcurrency(t *testing.T) {
+	const bound = 32
+	c := New(Config{MaxItems: bound, Shards: 8})
+	var wg sync.WaitGroup
+	var accepted, rejected int64
+	var mu sync.Mutex
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < bound; i++ {
+				_, err := c.Put(fmt.Sprintf("w%d/k%d", w, i), []byte("v"), 0)
+				mu.Lock()
+				if err == nil {
+					accepted++
+				} else if errors.Is(err, ErrCapacity) {
+					rejected++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > bound {
+		t.Errorf("Len = %d exceeds MaxItems %d", c.Len(), bound)
+	}
+	if accepted != bound {
+		t.Errorf("accepted %d puts, want exactly %d", accepted, bound)
+	}
+	if rejected != 8*bound-bound {
+		t.Errorf("rejected %d puts, want %d", rejected, 8*bound-bound)
+	}
+}

@@ -1,7 +1,9 @@
 package memcache
 
 import (
+	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -12,13 +14,21 @@ import (
 //
 // Reads and writes always go to the current primary; every successful write
 // is mirrored synchronously to the replica so the replica can take over
-// without losing acknowledged entries.
+// without losing acknowledged entries. A mirror write that fails (replica at
+// capacity, stopped) does not fail the caller's write — the primary accepted
+// it — but it does mean the replica has silently diverged and a failover
+// would lose the entry; MirrorFailures counts those events so operators and
+// tests can detect the divergence instead of discovering it after a
+// promotion.
 type HACache struct {
 	mu       sync.RWMutex
 	primary  *Cache
 	replica  *Cache
 	factory  func() *Cache
 	failures int
+	// mirrorFailures counts writes the primary accepted but the replica
+	// rejected — acknowledged entries a failover would lose.
+	mirrorFailures atomic.Uint64
 }
 
 // NewHA wraps a primary/replica pair built by factory. The factory is also
@@ -45,6 +55,20 @@ func (h *HACache) Failures() int {
 	return h.failures
 }
 
+// MirrorFailures returns how many acknowledged writes the replica failed to
+// mirror. A non-zero count means the replica has diverged from the primary
+// and a failover would lose those entries.
+func (h *HACache) MirrorFailures() uint64 { return h.mirrorFailures.Load() }
+
+// mirror applies one replica write outcome: a failed mirror is counted, not
+// surfaced — the primary accepted the write, so the caller's operation
+// succeeded — and the counter is how the divergence stays observable.
+func (h *HACache) mirror(err error) {
+	if err != nil {
+		h.mirrorFailures.Add(1)
+	}
+}
+
 // Get reads from the primary.
 func (h *HACache) Get(key string) (Item, error) {
 	return h.Primary().Get(key)
@@ -67,7 +91,8 @@ func (h *HACache) Put(key string, value []byte, ttl time.Duration) (Item, error)
 	// The replica mirrors values but keeps its own version counter; entries
 	// are re-versioned on promotion, which is safe because registry entries
 	// are written once (paper §III-B).
-	_, _ = replica.Put(key, value, ttl)
+	_, merr := replica.Put(key, value, ttl)
+	h.mirror(merr)
 	return it, nil
 }
 
@@ -81,7 +106,8 @@ func (h *HACache) CAS(key string, value []byte, ttl time.Duration, expectedVersi
 	if err != nil {
 		return it, err
 	}
-	_, _ = replica.Put(key, value, ttl)
+	_, merr := replica.Put(key, value, ttl)
+	h.mirror(merr)
 	return it, nil
 }
 
@@ -91,7 +117,11 @@ func (h *HACache) Delete(key string) error {
 	primary, replica := h.primary, h.replica
 	h.mu.RUnlock()
 	err := primary.Delete(key)
-	_ = replica.Delete(key)
+	// A replica-side ErrNotFound is not divergence — the mirrored state is
+	// identical ("already gone"); only count deletes the primary accepted.
+	if merr := replica.Delete(key); merr != nil && err == nil && !errors.Is(merr, ErrNotFound) {
+		h.mirrorFailures.Add(1)
+	}
 	return err
 }
 
@@ -122,12 +152,15 @@ func (h *HACache) FailPrimary() {
 	for _, it := range h.primary.Snapshot() {
 		ttl := time.Duration(0)
 		if !it.Expires.IsZero() {
-			// Preserve the remaining TTL approximately.
-			ttl = time.Until(it.Expires)
+			// Preserve the remaining TTL approximately, against the cache's
+			// own clock so fake-clock tests repopulate correctly.
+			ttl = it.Expires.Sub(h.primary.cfg.Now())
 			if ttl <= 0 {
 				continue
 			}
 		}
-		_, _ = h.replica.Put(it.Key, it.Value, ttl)
+		if _, err := h.replica.Put(it.Key, it.Value, ttl); err != nil {
+			h.mirrorFailures.Add(1)
+		}
 	}
 }

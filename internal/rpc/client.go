@@ -524,8 +524,9 @@ func (pc *poolConn) do(ctx context.Context, f RequestFrame, timeout time.Duratio
 	}
 	pc.wmu.Lock()
 	pc.conn.SetWriteDeadline(time.Now().Add(timeout))
-	_, err = pc.conn.Write(frame)
+	_, err = pc.conn.Write(frame.Bytes())
 	pc.wmu.Unlock()
+	releaseFrame(frame)
 	if err != nil {
 		err = fmt.Errorf("rpc: write frame: %v: %w", err, registry.ErrUnavailable)
 		pc.fail(err)

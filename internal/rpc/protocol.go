@@ -89,6 +89,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"geomds/internal/cloud"
@@ -354,22 +355,46 @@ func decodeErr(code ErrCode, detail string) error {
 	}
 }
 
-// encodeFrame renders one length-prefixed gob message, ready to be written
-// with a single Write call. Pre-encoding lets callers keep the expensive gob
-// work outside their connection write locks.
-func encodeFrame(v any) ([]byte, error) {
-	var buf bytes.Buffer
+// maxPooledFrame caps what the frame and payload pools retain: a buffer
+// grown past it (one oversized bulk frame) is dropped instead of pinning
+// megabytes for the connection's lifetime.
+const maxPooledFrame = 1 << 20
+
+// framePool recycles encode buffers across frames. Every message on the wire
+// — request, response, batch, watch event — renders into a pooled buffer,
+// which goes back via releaseFrame once its bytes are written, so steady-state
+// traffic stops allocating a fresh buffer (and its gob growth) per frame.
+var framePool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// encodeFrame renders one length-prefixed gob message into a pooled buffer,
+// ready to be written with a single Write call. Pre-encoding lets callers
+// keep the expensive gob work outside their connection write locks. The
+// caller must hand the buffer to releaseFrame after writing it (encodeFrame
+// releases it itself on error).
+func encodeFrame(v any) (*bytes.Buffer, error) {
+	buf := framePool.Get().(*bytes.Buffer)
+	buf.Reset()
 	buf.Write([]byte{0, 0, 0, 0}) // length prefix, patched below
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+		releaseFrame(buf)
 		return nil, fmt.Errorf("rpc: encode: %w", err)
 	}
 	n := buf.Len() - 4
 	if n > MaxMessageSize {
+		releaseFrame(buf)
 		return nil, fmt.Errorf("rpc: message of %d bytes exceeds limit", n)
 	}
-	frame := buf.Bytes()
-	binary.BigEndian.PutUint32(frame[:4], uint32(n))
-	return frame, nil
+	binary.BigEndian.PutUint32(buf.Bytes()[:4], uint32(n))
+	return buf, nil
+}
+
+// releaseFrame returns an encode buffer to the pool. The frame's bytes must
+// not be referenced afterwards.
+func releaseFrame(buf *bytes.Buffer) {
+	if buf.Cap() > maxPooledFrame {
+		return
+	}
+	framePool.Put(buf)
 }
 
 // writeFrame writes one length-prefixed gob message to w.
@@ -378,15 +403,25 @@ func writeFrame(w io.Writer, v any) error {
 	if err != nil {
 		return err
 	}
-	if _, err := w.Write(frame); err != nil {
+	_, err = w.Write(frame.Bytes())
+	releaseFrame(frame)
+	if err != nil {
 		return fmt.Errorf("rpc: write frame: %w", err)
 	}
 	return nil
 }
 
+// payloadPool recycles read buffers across messages (gob copies everything
+// it decodes, so a payload is dead the moment decodePayload returns).
+var payloadPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
 // readPayload reads one length-prefixed message from r and returns its raw
-// gob payload. Keeping the bytes around lets the server re-decode a message
-// under the legacy (version-1) schema after version detection.
+// gob payload, backed by a pooled buffer — the caller owns it until it calls
+// releasePayload. Keeping the bytes around lets the server re-decode a
+// message under the legacy (version-1) schema after version detection.
 func readPayload(r io.Reader) ([]byte, error) {
 	var header [4]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
@@ -396,11 +431,26 @@ func readPayload(r io.Reader) ([]byte, error) {
 	if n > MaxMessageSize {
 		return nil, fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
 	}
-	payload := make([]byte, n)
+	bp := payloadPool.Get().(*[]byte)
+	if cap(*bp) < int(n) {
+		*bp = make([]byte, n)
+	}
+	payload := (*bp)[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
+		releasePayload(payload)
 		return nil, fmt.Errorf("rpc: read payload: %w", err)
 	}
 	return payload, nil
+}
+
+// releasePayload returns a readPayload buffer to the pool. The payload must
+// not be referenced afterwards.
+func releasePayload(p []byte) {
+	if cap(p) == 0 || cap(p) > maxPooledFrame {
+		return
+	}
+	p = p[:0]
+	payloadPool.Put(&p)
 }
 
 // decodePayload gob-decodes a raw payload into v.
@@ -417,7 +467,9 @@ func readFrame(r io.Reader, v any) error {
 	if err != nil {
 		return err
 	}
-	return decodePayload(payload, v)
+	err = decodePayload(payload, v)
+	releasePayload(payload)
+	return err
 }
 
 // siteFromN converts the N field of an OpSite response into a SiteID.

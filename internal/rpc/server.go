@@ -20,6 +20,35 @@ import (
 // pipelined requests unless WithMaxInflight says otherwise.
 const DefaultMaxInflight = 64
 
+// batchRespPool recycles the per-batch response slice assembled for every
+// FrameBatch: batches are the bulk hot path (PutMany/GetMany fan-out sends
+// hundreds of operations per frame), and the slice is dead the moment the
+// response frame is encoded.
+var batchRespPool = sync.Pool{New: func() any { return new([]Response) }}
+
+// takeBatchResponses returns a zeroed response slice of length n, reusing a
+// pooled backing array when one is large enough.
+func takeBatchResponses(n int) []Response {
+	bp := batchRespPool.Get().(*[]Response)
+	if cap(*bp) < n {
+		return make([]Response, n)
+	}
+	return (*bp)[:n]
+}
+
+// releaseBatchResponses returns a batch response slice to the pool once its
+// frame has been encoded; it is cleared here so pooled slices do not pin the
+// entries the responses referenced. A nil slice (non-batch frame) is a
+// no-op.
+func releaseBatchResponses(ops []Response) {
+	if cap(ops) == 0 {
+		return
+	}
+	clear(ops)
+	ops = ops[:0]
+	batchRespPool.Put(&ops)
+}
+
 // Server exposes one registry instance over TCP. One server corresponds to
 // the metadata registry deployment of a single datacenter.
 //
@@ -300,7 +329,9 @@ func (s *Server) handle(conn net.Conn) {
 			// either a version-1 message or garbage. Re-decode and answer in
 			// place, preserving the legacy one-at-a-time in-order contract.
 			var req Request
-			if err := decodePayload(payload, &req); err != nil {
+			err := decodePayload(payload, &req)
+			releasePayload(payload)
+			if err != nil {
 				s.logger.Printf("rpc: bad frame from %s: %v", conn.RemoteAddr(), err)
 				return
 			}
@@ -309,7 +340,7 @@ func (s *Server) handle(conn net.Conn) {
 			// Take the write lock: pipelined version-2 responses may still
 			// be in flight on this connection.
 			wmu.Lock()
-			err := writeFrame(conn, resp)
+			err = writeFrame(conn, resp)
 			wmu.Unlock()
 			if err != nil {
 				if !s.isClosed() {
@@ -319,6 +350,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			continue
 		}
+		releasePayload(payload)
 
 		switch rf.Header.Kind {
 		case FrameWatch:
@@ -352,7 +384,7 @@ func (s *Server) handle(conn net.Conn) {
 			switch rf.Header.Kind {
 			case FrameBatch:
 				s.requests.Add(int64(len(rf.Batch.Ops)))
-				out.Batch.Ops = make([]Response, len(rf.Batch.Ops))
+				out.Batch.Ops = takeBatchResponses(len(rf.Batch.Ops))
 				for i, req := range rf.Batch.Ops {
 					out.Batch.Ops[i] = s.dispatch(ctx, req)
 				}
@@ -364,9 +396,11 @@ func (s *Server) handle(conn net.Conn) {
 			frame, err := encodeFrame(out)
 			if err == nil {
 				wmu.Lock()
-				_, err = conn.Write(frame)
+				_, err = conn.Write(frame.Bytes())
 				wmu.Unlock()
+				releaseFrame(frame)
 			}
+			releaseBatchResponses(out.Batch.Ops)
 			if err != nil {
 				if !s.isClosed() {
 					s.logger.Printf("rpc: write to %s: %v", conn.RemoteAddr(), err)

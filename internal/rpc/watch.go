@@ -192,8 +192,9 @@ func writeWatchFrame(conn net.Conn, wmu *sync.Mutex, out ResponseFrame) error {
 		return err
 	}
 	wmu.Lock()
-	_, err = conn.Write(frame)
+	_, err = conn.Write(frame.Bytes())
 	wmu.Unlock()
+	releaseFrame(frame)
 	return err
 }
 

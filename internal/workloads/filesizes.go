@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -35,6 +36,9 @@ type LogNormalSizes struct {
 	// MaxBytes caps samples (0 = no cap).
 	MaxBytes int64
 
+	// mu guards rng: one distribution is often shared by every task of a
+	// generated workflow, and *rand.Rand is not safe for concurrent use.
+	mu  sync.Mutex
 	rng *rand.Rand
 }
 
@@ -53,8 +57,11 @@ func (d *LogNormalSizes) Name() string { return "lognormal" }
 
 // Sample implements SizeDistribution.
 func (d *LogNormalSizes) Sample() int64 {
+	d.mu.Lock()
+	draw := d.rng.NormFloat64()
+	d.mu.Unlock()
 	mu := math.Log(d.MedianBytes)
-	v := math.Exp(mu + d.SigmaLog*d.rng.NormFloat64())
+	v := math.Exp(mu + d.SigmaLog*draw)
 	size := int64(v)
 	if size < 1 {
 		size = 1

@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -115,4 +116,24 @@ func TestLogNormalBoundsProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
 	}
+}
+
+// One size distribution is commonly shared by every task of a generated
+// workflow; Sample must therefore be safe for concurrent use (run under
+// -race).
+func TestLogNormalSampleConcurrency(t *testing.T) {
+	d := SkySurveySizes(7)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if s := d.Sample(); s < 1 {
+					t.Errorf("Sample = %d, want >= 1", s)
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -1,6 +1,9 @@
 package workloads
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // Scenario reproduces one column of Table I: the per-job metadata pressure
 // and compute time of the real-life workflow experiments.
@@ -51,17 +54,25 @@ type TableIRow struct {
 }
 
 // TableI recomputes Table I from the workflow generators: for each scenario,
-// the settings plus the total metadata operations of BuzzFlow and Montage.
-func TableI() []TableIRow {
+// the settings plus the total metadata operations of BuzzFlow and Montage. A
+// Stats failure means a generator produced an invalid DAG — that is a bug,
+// and it surfaces as an error instead of a silently zeroed row.
+func TableI() ([]TableIRow, error) {
 	rows := make([]TableIRow, 0, len(Scenarios))
 	for _, sc := range Scenarios {
-		buzz, _ := BuzzFlow(DefaultBuzzFlowConfig(sc)).Stats()
-		mon, _ := Montage(DefaultMontageConfig(sc)).Stats()
+		buzz, err := BuzzFlow(DefaultBuzzFlowConfig(sc)).Stats()
+		if err != nil {
+			return nil, fmt.Errorf("workloads: table I %s buzzflow: %w", sc.Short(), err)
+		}
+		mon, err := Montage(DefaultMontageConfig(sc)).Stats()
+		if err != nil {
+			return nil, fmt.Errorf("workloads: table I %s montage: %w", sc.Short(), err)
+		}
 		rows = append(rows, TableIRow{
 			Scenario:        sc,
 			TotalOpsBuzz:    buzz.MetadataOps,
 			TotalOpsMontage: mon.MetadataOps,
 		})
 	}
-	return rows
+	return rows, nil
 }

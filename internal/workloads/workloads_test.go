@@ -177,7 +177,10 @@ func TestMontageShape(t *testing.T) {
 }
 
 func TestTableITotalsScaleWithScenario(t *testing.T) {
-	rows := TableI()
+	rows, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 3 {
 		t.Fatalf("TableI rows = %d", len(rows))
 	}

@@ -27,11 +27,13 @@ package geomds
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"geomds/internal/experiments"
 	"geomds/internal/memcache"
 	"geomds/internal/registry"
 	"geomds/internal/rpc"
@@ -70,11 +72,19 @@ func benchEntry(writer, i int) registry.Entry {
 }
 
 // runTransportBench drives the metadata-intensive workload through op, which
-// performs one writer's whole operation stream, and reports aggregate ops/s.
-func runTransportBench(b *testing.B, client *rpc.Client, perWriter func(writer int) (ops int, err error)) {
+// performs one writer's whole operation stream, and reports aggregate ops/s
+// plus heap allocations per operation (measured process-wide across the
+// client and the in-process server — the whole wire hot path). With
+// -benchjson set it also writes a BENCH_<name>.json result carrying
+// allocs_per_op, which cmd/benchdiff gates against the committed baselines
+// like throughput.
+func runTransportBench(b *testing.B, name string, client *rpc.Client, perWriter func(writer int) (ops int, err error)) {
 	b.Helper()
 	defer client.Close()
 	var total atomic.Int64
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mallocsBefore := ms.Mallocs
 	b.ResetTimer()
 	start := time.Now()
 	for i := 0; i < b.N; i++ {
@@ -100,8 +110,22 @@ func runTransportBench(b *testing.B, client *rpc.Client, perWriter func(writer i
 	}
 	elapsed := time.Since(start)
 	b.StopTimer()
+	runtime.ReadMemStats(&ms)
+	res := experiments.BenchResult{Name: name, Ops: int(total.Load())}
 	if elapsed > 0 {
-		b.ReportMetric(float64(total.Load())/elapsed.Seconds(), "ops/s")
+		res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+		b.ReportMetric(res.OpsPerSec, "ops/s")
+	}
+	if res.Ops > 0 {
+		res.AllocsPerOp = float64(ms.Mallocs-mallocsBefore) / float64(res.Ops)
+		b.ReportMetric(res.AllocsPerOp, "allocs/op")
+	}
+	if *benchJSONDir != "" && res.Ops > 0 {
+		path, err := res.WriteJSON(*benchJSONDir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote %s", path)
 	}
 }
 
@@ -117,7 +141,7 @@ func BenchmarkTransportSingleConn(b *testing.B) {
 	// A single connection pipelines by default; serialize the calls to
 	// reproduce the strict request/response regime of the old transport.
 	var serial sync.Mutex
-	runTransportBench(b, client, func(w int) (int, error) {
+	runTransportBench(b, "transport_single_conn", client, func(w int) (int, error) {
 		n := 0
 		for i := 0; i < benchOpsPerWriter/2; i++ {
 			serial.Lock()
@@ -144,7 +168,7 @@ func BenchmarkTransportPooledPipelined(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	runTransportBench(b, client, func(w int) (int, error) {
+	runTransportBench(b, "transport_pooled_pipelined", client, func(w int) (int, error) {
 		n := 0
 		for i := 0; i < benchOpsPerWriter/2; i++ {
 			if _, err := client.Put(bctx, benchEntry(w, i)); err != nil {
@@ -167,7 +191,7 @@ func BenchmarkTransportBatched(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	runTransportBench(b, client, func(w int) (int, error) {
+	runTransportBench(b, "transport_batched", client, func(w int) (int, error) {
 		n := 0
 		var ops []rpc.Request
 		flush := func() error {
