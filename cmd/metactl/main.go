@@ -46,7 +46,10 @@
 // each command's context, and the deadline is propagated over the wire so
 // the server abandons work metactl has given up on. Exit codes distinguish
 // the outcome: 0 success, 1 generic failure, 2 usage error, 3 entry not
-// found, 4 deadline exceeded / cancelled.
+// found, 4 deadline exceeded / cancelled, 5 overloaded (the server's
+// admission control refused the request; the message carries the server's
+// retry-after hint). The -tenant flag stamps every request with a tenant ID,
+// charged against that tenant's budget on servers running -tenant-config.
 //
 // The stats command renders a running metaserver's live metrics — counters,
 // gauges, latency histograms and the most recent per-operation trace events
@@ -72,6 +75,7 @@ import (
 
 	"geomds/internal/cloud"
 	"geomds/internal/feed"
+	"geomds/internal/limits"
 	"geomds/internal/metrics"
 	"geomds/internal/readcache"
 	"geomds/internal/registry"
@@ -80,9 +84,10 @@ import (
 
 // Exit codes; scripts branch on them instead of parsing messages.
 const (
-	exitUsage    = 2
-	exitNotFound = 3
-	exitDeadline = 4
+	exitUsage      = 2
+	exitNotFound   = 3
+	exitDeadline   = 4
+	exitOverloaded = 5
 )
 
 func main() {
@@ -97,6 +102,7 @@ func main() {
 	fromSeq := flag.Uint64("from", 0, "resume the watch command after this feed sequence number (0 = start of the retained window)")
 	noFallback := flag.Bool("no-fallback", false, "fail the watch command when -from predates the retained window instead of falling back to snapshot+tail")
 	cacheOn := flag.Bool("cache", false, "serve reads through a feed-coherent near cache kept coherent by the server's change feed (requires metaserver -feed; without one reads serve through uncached)")
+	tenant := flag.String("tenant", "", "tenant ID stamped on every request, charged against that tenant's admission budget on servers running -tenant-config (empty = the default tenant)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -132,7 +138,7 @@ func main() {
 	tryDial := func(a string) (*rpc.Client, error) {
 		dialCtx, cancel := opCtx()
 		defer cancel()
-		return rpc.Dial(dialCtx, a, rpc.WithPoolSize(*pool), rpc.WithTimeout(backstop))
+		return rpc.Dial(dialCtx, a, rpc.WithPoolSize(*pool), rpc.WithTimeout(backstop), rpc.WithTenant(*tenant))
 	}
 	dial := func(a string) *rpc.Client {
 		client, err := tryDial(a)
@@ -459,6 +465,17 @@ func renderStats(ctx context.Context, metricsAddr string, traceN int) error {
 		fmt.Printf("near cache hit ratio: %.1f%% (%d of %d reads)\n",
 			100*float64(hits)/float64(reads), hits, reads)
 	}
+	// Same derivation for admission control: the raw limits_* series render
+	// above, the summary says at a glance whether tenants are being refused
+	// and why.
+	admitted, rejected := snap.Counters["limits_admitted_total"], snap.Counters["limits_rejected_total"]
+	if total := admitted + rejected; total > 0 {
+		fmt.Printf("admission: %d of %d requests rejected (%.1f%%; rate %d, bytes %d, shed %d)\n",
+			rejected, total, 100*float64(rejected)/float64(total),
+			snap.Counters["limits_rejected_rate_total"],
+			snap.Counters["limits_rejected_bytes_total"],
+			snap.Counters["limits_rejected_inflight_total"])
+	}
 	return nil
 }
 
@@ -494,21 +511,44 @@ commands:
                                     (requires metaserver -metrics-addr; see
                                     also -trace to bound the event listing)
 
-exit codes: 0 ok, 1 error, 2 usage, 3 not found, 4 deadline exceeded`)
+exit codes: 0 ok, 1 error, 2 usage, 3 not found, 4 deadline exceeded,
+            5 overloaded (admission control refused the request)`)
+}
+
+// exitCodeFor maps a command failure to its exit code. Deadline beats
+// overloaded: a request the server refused *and* the client gave up on is,
+// to the script, a timeout first.
+func exitCodeFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return exitDeadline
+	case errors.Is(err, limits.ErrOverloaded):
+		return exitOverloaded
+	case errors.Is(err, registry.ErrNotFound):
+		return exitNotFound
+	default:
+		return 1
+	}
 }
 
 // fatal reports the failure and exits with a code that tells "the entry is
-// not there" apart from "the server did not answer in time".
+// not there" apart from "the server did not answer in time" apart from "the
+// server refused the request under admission control".
 func fatal(err error) {
-	switch {
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+	code := exitCodeFor(err)
+	switch code {
+	case exitDeadline:
 		fmt.Fprintf(os.Stderr, "metactl: deadline exceeded: %v\n", err)
-		os.Exit(exitDeadline)
-	case errors.Is(err, registry.ErrNotFound):
+	case exitOverloaded:
+		if d, ok := limits.RetryAfter(err); ok && d > 0 {
+			fmt.Fprintf(os.Stderr, "metactl: overloaded, retry in %s: %v\n", d, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "metactl: overloaded: %v\n", err)
+		}
+	case exitNotFound:
 		fmt.Fprintf(os.Stderr, "metactl: not found: %v\n", err)
-		os.Exit(exitNotFound)
 	default:
 		fmt.Fprintf(os.Stderr, "metactl: %v\n", err)
-		os.Exit(1)
 	}
+	os.Exit(code)
 }

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"geomds/internal/limits"
+	"geomds/internal/registry"
+)
+
+func TestExitCodeFor(t *testing.T) {
+	overload := &limits.Overload{Tenant: "t", Reason: limits.ReasonRate, RetryAfter: time.Second}
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"generic", errors.New("boom"), 1},
+		{"not-found", registry.ErrNotFound, exitNotFound},
+		{"wrapped not-found", fmt.Errorf("get: %w", registry.ErrNotFound), exitNotFound},
+		{"deadline", context.DeadlineExceeded, exitDeadline},
+		{"cancelled", context.Canceled, exitDeadline},
+		{"overloaded", overload, exitOverloaded},
+		{"wrapped overloaded", fmt.Errorf("put: %w", overload), exitOverloaded},
+		{"overloaded sentinel", limits.ErrOverloaded, exitOverloaded},
+		// A request that was refused *and* timed out is a timeout to scripts:
+		// the deadline branch wins.
+		{"deadline beats overloaded", fmt.Errorf("%w: %w", context.DeadlineExceeded, overload), exitDeadline},
+	}
+	for _, tc := range cases {
+		if got := exitCodeFor(tc.err); got != tc.want {
+			t.Errorf("%s: exitCodeFor = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}

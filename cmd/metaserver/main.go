@@ -39,7 +39,15 @@
 //     feed stream is down; without -feed it bounds staleness by the
 //     -cache-staleness TTL instead. The readcache hit/miss/invalidation
 //     counters and occupancy gauge report to -metrics-addr, so `metactl
-//     stats` shows the hit ratio.
+//     stats` shows the hit ratio;
+//   - -tenant-config F enforces multi-tenant admission control from the JSON
+//     file F: per-tenant token-bucket quotas on operations and payload bytes,
+//     plus a server-wide in-flight cap that sheds load before any work is
+//     queued. Over-limit requests are refused at the frame-decode boundary
+//     with the "overloaded" wire code and a retry-after hint; v1 clients and
+//     requests without a tenant ID are charged to the "default" tenant.
+//     SIGHUP reloads the file in place (a broken file keeps the previous
+//     limits). Per-tenant admission counters report to -metrics-addr.
 //
 // Usage:
 //
@@ -79,6 +87,7 @@ import (
 
 	"geomds/internal/cloud"
 	"geomds/internal/feed"
+	"geomds/internal/limits"
 	"geomds/internal/memcache"
 	"geomds/internal/metrics"
 	"geomds/internal/readcache"
@@ -107,6 +116,7 @@ func main() {
 		feedCap     = flag.Int("feed-capacity", feed.DefaultCapacity, "events the change feed retains for resuming watchers; older cursors take the snapshot fallback")
 		cacheOn     = flag.Bool("cache", false, "serve reads through a feed-coherent near cache in front of the deployment; coherent via the change feed with -feed, TTL-bounded without it")
 		cacheTTL    = flag.Duration("cache-staleness", 0, "max staleness the near cache may serve without a change feed (0 = the readcache default; ignored with -feed, where the feed is the bound)")
+		tenantCfg   = flag.String("tenant-config", "", "enforce per-tenant admission control from this JSON config (token-bucket quotas, load shedding); SIGHUP reloads it without dropping connections")
 	)
 	flag.Parse()
 
@@ -298,7 +308,21 @@ func main() {
 		}
 		api = nc
 	}
-	srv := rpc.NewServer(api, logger, rpc.WithMaxInflight(*inflight), rpc.WithServerMetrics(reg))
+	// -tenant-config arms admission control: every request is charged against
+	// its tenant's token buckets before any registry work, and SIGHUP swaps in
+	// an edited config without restarting (accumulated tokens carry over).
+	var limiter *limits.Limiter
+	serverOpts := []rpc.ServerOption{rpc.WithMaxInflight(*inflight), rpc.WithServerMetrics(reg)}
+	if *tenantCfg != "" {
+		lcfg, err := limits.LoadConfig(*tenantCfg)
+		if err != nil {
+			logger.Fatalf("-tenant-config: %v", err)
+		}
+		limiter = limits.New(lcfg, reg)
+		serverOpts = append(serverOpts, rpc.WithServerLimits(limiter))
+		deployment += ", admission control"
+	}
+	srv := rpc.NewServer(api, logger, serverOpts...)
 
 	bound, err := srv.Start(*addr)
 	if err != nil {
@@ -329,12 +353,28 @@ func main() {
 	ticker := time.NewTicker(30 * time.Second)
 	defer ticker.Stop()
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
 	for {
 		select {
 		case <-ticker.C:
 			logger.Printf("entries=%d requests=%d abandoned=%d", api.Len(context.Background()), srv.Requests(), srv.Abandoned())
 		case s := <-sig:
+			if s == syscall.SIGHUP {
+				// Reload the tenant config in place; a broken file keeps the
+				// previous limits rather than dropping protection.
+				if limiter == nil {
+					logger.Printf("received SIGHUP, no -tenant-config to reload")
+					continue
+				}
+				lcfg, err := limits.LoadConfig(*tenantCfg)
+				if err != nil {
+					logger.Printf("reload -tenant-config: %v (keeping previous limits)", err)
+					continue
+				}
+				limiter.UpdateConfig(lcfg)
+				logger.Printf("reloaded %s: %d tenant overrides, max inflight %d", *tenantCfg, len(lcfg.Tenants), lcfg.MaxInflight)
+				continue
+			}
 			logger.Printf("received %v, shutting down", s)
 			if metricsSrv != nil {
 				shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)

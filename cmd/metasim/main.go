@@ -46,6 +46,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "back every site's registry with this many shard instances behind a router (0/1 = single instance)")
 		repl      = flag.Int("replication", 0, "store every key on this many shards of each site's tier (requires -shards > 1; 0/1 = single-home placement)")
 		keydist   = flag.String("keydist", "", "key distribution for the synthetic readers: uniform (default), zipfian[:s], or hotspot[:frac,weight]")
+		tenants   = flag.Int("tenants", 0, "spread the synthetic workload's nodes across this many tenants (node n runs as tenant-<n mod N>); 0 keeps every node on the default tenant")
 		cacheOn   = flag.Bool("cache", false, "front every site's registry with a feed-coherent near cache (reads served locally, invalidated by the change feed)")
 		dataDir   = flag.String("data-dir", "", "back every registry with a write-ahead log under this directory, so runs pay real durability costs (each run logs under its own subdirectory)")
 		fsyncMode = flag.String("fsync", "always", "write-ahead log fsync policy with -data-dir: always or never")
@@ -85,6 +86,11 @@ func main() {
 	if *cacheOn {
 		cfg.NearCache = true
 	}
+	if *tenants < 0 {
+		fmt.Fprintln(os.Stderr, "metasim: -tenants must be >= 0")
+		os.Exit(2)
+	}
+	cfg.Tenants = *tenants
 	if *keydist != "" {
 		dist, err := workloads.ParseKeyDist(*keydist)
 		if err != nil {

@@ -95,6 +95,11 @@ type Config struct {
 	// skews concentrate reads on a small popular set so tail-latency
 	// machinery (hedging, coalescing) has contention to bite on.
 	KeyDist workloads.KeyDist
+	// Tenants spreads the synthetic workload's nodes across this many
+	// tenants (node n runs as "tenant-<n mod Tenants>"), exercising
+	// admission control on limit-enforcing deployments. 0 keeps every node
+	// on the default tenant.
+	Tenants int
 }
 
 // Validate checks the parts of the configuration that can fail at runtime

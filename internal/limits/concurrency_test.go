@@ -1,0 +1,163 @@
+package limits
+
+// Concurrency suite. These tests are looped under -race -count=20 by the
+// nightly chaos workflow; keep them fast and deterministic in outcome (not
+// in interleaving).
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"geomds/internal/metrics"
+)
+
+// TestTokenBucketConcurrentTake hammers one bucket from many goroutines and
+// checks conservation: admits never exceed burst + refill headroom.
+func TestTokenBucketConcurrentTake(t *testing.T) {
+	const (
+		workers = 8
+		tries   = 2000
+		burst   = 100
+		rate    = 1000.0
+	)
+	b := NewTokenBucket(rate, burst)
+	var admitted atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < tries; i++ {
+				if ok, _ := b.Take(1); ok {
+					admitted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	// Ceiling: initial burst plus everything that could have refilled,
+	// with generous slack for timer coarseness.
+	max := int64(burst + rate*elapsed*1.5 + 10)
+	if got := admitted.Load(); got > max {
+		t.Fatalf("admitted %d tokens, conservation ceiling %d", got, max)
+	}
+}
+
+// TestLimiterConcurrentAdmit drives many tenants through Admit/finish in
+// parallel and verifies in-flight accounting returns to zero and every
+// request is either admitted or rejected-with-hint.
+func TestLimiterConcurrentAdmit(t *testing.T) {
+	reg := metrics.NewRegistry()
+	l := New(Config{
+		Default:     TenantLimit{OpsPerSec: 50000, OpsBurst: 1000},
+		MaxInflight: 64,
+	}, reg)
+	var wg sync.WaitGroup
+	var admitted, rejected atomic.Int64
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant-%d", w%4)
+			for i := 0; i < 500; i++ {
+				finish, err := l.Admit(tenant, 1, 64)
+				if err != nil {
+					if !errors.Is(err, ErrOverloaded) {
+						t.Errorf("unexpected admit error: %v", err)
+						return
+					}
+					if d, ok := RetryAfter(err); !ok || d <= 0 {
+						t.Errorf("rejection without retry-after hint: %v", err)
+						return
+					}
+					rejected.Add(1)
+					continue
+				}
+				admitted.Add(1)
+				finish(time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Inflight() != 0 {
+		t.Fatalf("inflight = %d after all finishes, want 0", l.Inflight())
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["limits_admitted_total"] != admitted.Load() {
+		t.Fatalf("admitted counter %d != %d observed", snap.Counters["limits_admitted_total"], admitted.Load())
+	}
+	if snap.Counters["limits_rejected_total"] != rejected.Load() {
+		t.Fatalf("rejected counter %d != %d observed", snap.Counters["limits_rejected_total"], rejected.Load())
+	}
+}
+
+// TestLimiterEvictionVsAdmit races table eviction (tiny MaxTenants, many
+// distinct tenants) against concurrent admits on a hot tenant, while a
+// reloader rewrites the config. The invariants: no panic, table stays
+// bounded, in-flight accounting converges to zero.
+func TestLimiterEvictionVsAdmit(t *testing.T) {
+	const maxTenants = 4
+	l := New(Config{
+		Default:    TenantLimit{OpsPerSec: 100000, OpsBurst: 1000},
+		MaxTenants: maxTenants,
+		IdleAfter:  Duration(time.Millisecond),
+	}, metrics.NewRegistry())
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Churn: an open-ended stream of one-shot tenants forcing eviction.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if finish, err := l.Admit(fmt.Sprintf("churn-%d-%d", w, i), 1, 0); err == nil {
+					finish(0)
+				}
+			}
+		}(w)
+	}
+	// Hot tenant admitting concurrently with the churn-driven evictions.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if finish, err := l.Admit("hot", 1, 32); err == nil {
+					finish(time.Microsecond)
+				}
+			}
+		}()
+	}
+	// Reloader racing both.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			l.UpdateConfig(Config{
+				Default:    TenantLimit{OpsPerSec: 100000, OpsBurst: 1000},
+				MaxTenants: maxTenants,
+				IdleAfter:  Duration(time.Millisecond),
+			})
+			time.Sleep(100 * time.Microsecond)
+		}
+		close(stop)
+	}()
+	wg.Wait()
+	if got := l.Tenants(); got > maxTenants {
+		t.Fatalf("tenant table grew to %d, bound is %d", got, maxTenants)
+	}
+	if l.Inflight() != 0 {
+		t.Fatalf("inflight = %d, want 0", l.Inflight())
+	}
+}

@@ -197,8 +197,8 @@ func summarize(samples []Sample) Summary {
 }
 
 // Percentile returns the p-th percentile (0-100) of an ascending-sorted
-// slice of durations using nearest-rank interpolation. It returns 0 for an
-// empty slice.
+// slice of durations, interpolating linearly between the two nearest ranks.
+// It returns 0 for an empty slice.
 func Percentile(sorted []time.Duration, p float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0

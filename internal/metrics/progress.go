@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -99,7 +100,10 @@ func timeAtPercent(sortedCompletions []time.Duration, total int, pct float64) ti
 	if len(sortedCompletions) == 0 || total <= 0 {
 		return 0
 	}
-	need := int(pct / 100 * float64(total))
+	// Ceiling, not floor: "50% completed" means the ceil(total/2)-th
+	// completion has happened. The epsilon keeps binary-fraction noise
+	// (0.2*35 = 7.000000000000001) from rounding a whole rank up.
+	need := int(math.Ceil(pct/100*float64(total) - 1e-9))
 	if need <= 0 {
 		return 0
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"geomds/internal/cloud"
+	"geomds/internal/limits"
 	"geomds/internal/metrics"
 	"geomds/internal/registry"
 )
@@ -45,6 +46,7 @@ type Client struct {
 	site    cloud.SiteID
 	timeout time.Duration
 	pool    int
+	tenant  string
 	obs     clientObs
 
 	nextConn atomic.Uint64 // round-robin cursor over the pool
@@ -114,6 +116,15 @@ func WithPoolSize(n int) ClientOption {
 	}
 }
 
+// WithTenant sets the tenant ID stamped into every outgoing frame header,
+// identifying whose admission budget this client's requests consume (see
+// WithServerLimits). The default is the empty string — the server's default
+// tenant. A tenant attached to an individual call's context via
+// limits.WithTenant overrides the client-wide value for that call.
+func WithTenant(tenant string) ClientOption {
+	return func(c *Client) { c.tenant = tenant }
+}
+
 // WithMetrics selects the registry the client's instruments report to:
 // in-flight requests, calls/errors/retired-on-cancel counts, dials, batch
 // sizes and round-trip latencies, plus one trace event per call. The default
@@ -134,6 +145,11 @@ func Dial(ctx context.Context, addr string, opts ...ClientOption) (*Client, erro
 	resp, err := c.call(ctx, Request{Op: OpSite})
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	if !resp.OK {
+		// The server answered but refused the handshake — e.g. admission
+		// control rejecting a denied tenant.
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, decodeRespErr(resp))
 	}
 	c.site = siteFromN(resp.N)
 	return c, nil
@@ -215,7 +231,7 @@ func (c *Client) Delete(ctx context.Context, name string) error {
 	if err != nil {
 		return err
 	}
-	return decodeErr(resp.Err, resp.Detail)
+	return decodeRespErr(resp)
 }
 
 // Names implements registry.API. Transport errors yield an empty list and
@@ -236,7 +252,7 @@ func (c *Client) Entries(ctx context.Context) ([]registry.Entry, error) {
 		return nil, err
 	}
 	if !resp.OK {
-		return nil, decodeErr(resp.Err, resp.Detail)
+		return nil, decodeRespErr(resp)
 	}
 	return resp.Entries, nil
 }
@@ -248,7 +264,7 @@ func (c *Client) GetMany(ctx context.Context, names []string) ([]registry.Entry,
 		return nil, err
 	}
 	if !resp.OK {
-		return nil, decodeErr(resp.Err, resp.Detail)
+		return nil, decodeRespErr(resp)
 	}
 	return resp.Entries, nil
 }
@@ -263,7 +279,7 @@ func (c *Client) PutMany(ctx context.Context, entries []registry.Entry) ([]regis
 		return nil, err
 	}
 	if !resp.OK {
-		return nil, decodeErr(resp.Err, resp.Detail)
+		return nil, decodeRespErr(resp)
 	}
 	return resp.Entries, nil
 }
@@ -279,7 +295,7 @@ func (c *Client) DeleteMany(ctx context.Context, names []string) (int, error) {
 		return 0, err
 	}
 	if !resp.OK {
-		return 0, decodeErr(resp.Err, resp.Detail)
+		return 0, decodeRespErr(resp)
 	}
 	return resp.N, nil
 }
@@ -291,7 +307,7 @@ func (c *Client) Merge(ctx context.Context, entries []registry.Entry) (int, erro
 		return 0, err
 	}
 	if !resp.OK {
-		return 0, decodeErr(resp.Err, resp.Detail)
+		return 0, decodeRespErr(resp)
 	}
 	return resp.N, nil
 }
@@ -339,7 +355,7 @@ func (c *Client) entryCall(ctx context.Context, req Request) (registry.Entry, er
 		return registry.Entry{}, err
 	}
 	if !resp.OK {
-		return registry.Entry{}, decodeErr(resp.Err, resp.Detail)
+		return registry.Entry{}, decodeRespErr(resp)
 	}
 	return resp.Entry, nil
 }
@@ -397,6 +413,7 @@ func (c *Client) transact(ctx context.Context, f RequestFrame) (ResponseFrame, e
 	}
 	f.Header.ID = c.nextID.Add(1)
 	f.Header.TimeoutNs = headerTimeout(ctx)
+	f.Header.Tenant = c.tenantFor(ctx)
 	pc, err := c.grabConn(ctx)
 	if err != nil {
 		return ResponseFrame{}, err
@@ -425,6 +442,16 @@ func (c *Client) transact(ctx context.Context, f RequestFrame) (ResponseFrame, e
 	// would let the server's re-anchored deadline extend past the client's.
 	f.Header.TimeoutNs = headerTimeout(ctx)
 	return pc.do(ctx, f, c.timeout)
+}
+
+// tenantFor resolves the tenant stamped into a frame header: a per-call
+// override carried by the context wins over the client-wide WithTenant
+// value.
+func (c *Client) tenantFor(ctx context.Context) string {
+	if t := limits.TenantFromContext(ctx); t != "" {
+		return t
+	}
+	return c.tenant
 }
 
 // grabConn returns the next pooled connection in round-robin order, dialing

@@ -66,7 +66,20 @@
 //	unavailable         registry.ErrUnavailable
 //	deadline-exceeded   context.DeadlineExceeded
 //	canceled            context.Canceled
+//	overloaded          limits.ErrOverloaded (carries Response.RetryAfterNs)
 //	bad-op, internal    (no sentinel; opaque remote error)
+//
+// # Tenancy and admission control
+//
+// Header.Tenant names the tenant a request is accounted against; an empty
+// field — including every version-1 message, which has no header — maps to
+// limits.DefaultTenant. A server configured with a limits.Limiter (see
+// WithServerLimits) admits or rejects each frame before dispatching any
+// registry work; rejections travel as code "overloaded" with a retry-after
+// backoff hint in Response.RetryAfterNs, which the client surfaces as a
+// *limits.Overload matching limits.ErrOverloaded. Overloaded is deliberately
+// distinct from deadline-exceeded: the request was never started, so
+// retrying after the hint cannot duplicate work.
 //
 // # Compatibility with the version-1 un-tagged protocol
 //
@@ -93,6 +106,7 @@ import (
 	"time"
 
 	"geomds/internal/cloud"
+	"geomds/internal/limits"
 	"geomds/internal/registry"
 )
 
@@ -133,6 +147,11 @@ type Header struct {
 	// field is new within protocol version 2; gob tolerates its absence, so
 	// frames from clients predating it simply carry no deadline.
 	TimeoutNs int64
+	// Tenant names the tenant this request is accounted against for
+	// admission control; empty means limits.DefaultTenant. Like TimeoutNs
+	// it is a later version-2 extension — gob tolerates its absence, so
+	// frames from clients predating it land on the default tenant.
+	Tenant string
 }
 
 // headerTimeout converts a context's deadline into the wire representation:
@@ -261,6 +280,11 @@ type Response struct {
 	// N is the result of Len/Merge/DeleteMany, and carries the SiteID for
 	// OpSite.
 	N int
+	// RetryAfterNs is the backoff hint in nanoseconds accompanying an
+	// ErrOverloaded rejection (0 otherwise): how long the client should
+	// wait before retrying. A version-2 extension tolerated as absent by
+	// gob, like Header.Tenant.
+	RetryAfterNs int64
 }
 
 // ErrCode classifies errors across the wire so clients can map them back to
@@ -286,6 +310,10 @@ const (
 	// ErrCanceled reports that the operation's server-side context was
 	// cancelled (e.g. the server is shutting down).
 	ErrCanceled ErrCode = "canceled"
+	// ErrOverloaded reports that admission control rejected the request
+	// before any registry work was performed (rate limit, byte quota, or
+	// load shed). The response's RetryAfterNs carries the backoff hint.
+	ErrOverloaded ErrCode = "overloaded"
 )
 
 // MaxMessageSize bounds a single framed message (16 MiB), protecting both
@@ -299,6 +327,8 @@ func encodeErr(err error) (ErrCode, string) {
 	switch {
 	case err == nil:
 		return ErrNone, ""
+	case errors.Is(err, limits.ErrOverloaded):
+		return ErrOverloaded, err.Error()
 	case errors.Is(err, context.DeadlineExceeded):
 		return ErrDeadline, err.Error()
 	case errors.Is(err, context.Canceled):
@@ -350,9 +380,33 @@ func decodeErr(code ErrCode, detail string) error {
 		return &wireError{detail: "rpc: remote: " + detail, cause: context.DeadlineExceeded}
 	case ErrCanceled:
 		return &wireError{detail: "rpc: remote: " + detail, cause: context.Canceled}
+	case ErrOverloaded:
+		return &wireError{detail: detail, cause: &limits.Overload{}}
 	default:
 		return fmt.Errorf("rpc: remote error: %s", detail)
 	}
+}
+
+// decodeRespErr converts a Response's error fields back into an error. It
+// extends decodeErr with the overload retry-after hint, which travels in its
+// own Response field rather than inside the code.
+func decodeRespErr(resp Response) error {
+	if resp.Err == ErrOverloaded {
+		return &wireError{
+			detail: resp.Detail,
+			cause:  &limits.Overload{RetryAfter: time.Duration(resp.RetryAfterNs)},
+		}
+	}
+	return decodeErr(resp.Err, resp.Detail)
+}
+
+// retryAfterNs extracts the wire representation of an error's backoff hint
+// (0 when it carries none).
+func retryAfterNs(err error) int64 {
+	if d, ok := limits.RetryAfter(err); ok {
+		return int64(d)
+	}
+	return 0
 }
 
 // maxPooledFrame caps what the frame and payload pools retain: a buffer

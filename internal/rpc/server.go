@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"geomds/internal/limits"
 	"geomds/internal/metrics"
 	"geomds/internal/registry"
 )
@@ -70,6 +71,7 @@ type Server struct {
 	listener    net.Listener
 	logger      *log.Logger
 	maxInflight int
+	limiter     *limits.Limiter
 	obs         serverObs
 
 	// baseCtx is the root of every request context; cancelled on Close.
@@ -114,7 +116,7 @@ func newServerObs(reg *metrics.Registry) serverObs {
 		for _, code := range []ErrCode{
 			ErrNotFound, ErrExists, ErrConflict, ErrInvalid, ErrInternal,
 			ErrBadOp, ErrUnavailable, ErrDeadline, ErrCanceled,
-			ErrCursorTooOld, ErrFeedLagged, ErrFeedClosed,
+			ErrOverloaded, ErrCursorTooOld, ErrFeedLagged, ErrFeedClosed,
 		} {
 			obs.errsByCode[code] = reg.Counter("rpc_server_errors_" + strings.ReplaceAll(string(code), "-", "_") + "_total")
 		}
@@ -141,6 +143,18 @@ type ServerOption func(*Server)
 // nil to disable instrumentation entirely.
 func WithServerMetrics(reg *metrics.Registry) ServerOption {
 	return func(s *Server) { s.obs = newServerObs(reg) }
+}
+
+// WithServerLimits installs per-tenant admission control: every incoming
+// frame is offered to the limiter at the decode boundary — before it takes
+// an in-flight slot or touches the registry — and rejected frames are
+// answered with an "overloaded" error carrying the limiter's retry-after
+// hint. The tenant is read from the frame header (empty, and every
+// version-1 message, maps to limits.DefaultTenant); a batch frame pays one
+// operation token per batched op, and every frame pays its payload size in
+// byte tokens. A nil limiter (the default) admits everything.
+func WithServerLimits(l *limits.Limiter) ServerOption {
+	return func(s *Server) { s.limiter = l }
 }
 
 // WithMaxInflight bounds how many pipelined requests one connection may have
@@ -322,6 +336,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
+		payloadLen := len(payload) // byte cost for admission, before the buffer is recycled
 		var rf RequestFrame
 		if err := decodePayload(payload, &rf); err != nil {
 			// Not a version-2 envelope: gob refuses to decode a legacy bare
@@ -335,8 +350,18 @@ func (s *Server) handle(conn net.Conn) {
 				s.logger.Printf("rpc: bad frame from %s: %v", conn.RemoteAddr(), err)
 				return
 			}
-			s.requests.Add(1)
-			resp := s.dispatch(s.baseCtx, req)
+			// Version-1 messages carry no tenant header: they are admitted
+			// as (and accounted against) the default tenant.
+			var resp Response
+			if finish, aerr := s.limiter.Admit("", 1, payloadLen); aerr != nil {
+				s.obs.countErr(ErrOverloaded)
+				resp = failure(aerr)
+			} else {
+				s.requests.Add(1)
+				start := time.Now()
+				resp = s.dispatch(s.baseCtx, req)
+				finish(time.Since(start))
+			}
 			// Take the write lock: pipelined version-2 responses may still
 			// be in flight on this connection.
 			wmu.Lock()
@@ -354,13 +379,36 @@ func (s *Server) handle(conn net.Conn) {
 
 		switch rf.Header.Kind {
 		case FrameWatch:
+			// A subscription is long-lived, not an in-flight op: it pays
+			// one operation token at admission and releases its slot
+			// immediately.
+			if finish, aerr := s.limiter.Admit(rf.Header.Tenant, 1, payloadLen); aerr != nil {
+				s.rejectFrame(conn, &wmu, rf, aerr)
+				continue
+			} else {
+				finish(0)
+			}
 			// A watch is long-lived: it gets its own goroutine outside the
 			// in-flight slots so idle subscriptions never starve pipelined
 			// request/response traffic.
 			s.startWatch(conn, &wmu, &wg, watches, rf)
 			continue
 		case FrameWatchCancel:
+			// Cancels release resources; refusing one would only pin them.
 			watches.cancel(rf.Header.ID)
+			continue
+		}
+
+		// Admission control at the decode boundary: a rejected frame is
+		// answered here on the read loop, before it consumes an in-flight
+		// slot or performs any registry work.
+		ops := 1
+		if rf.Header.Kind == FrameBatch {
+			ops = len(rf.Batch.Ops)
+		}
+		finish, aerr := s.limiter.Admit(rf.Header.Tenant, ops, payloadLen)
+		if aerr != nil {
+			s.rejectFrame(conn, &wmu, rf, aerr)
 			continue
 		}
 
@@ -381,6 +429,7 @@ func (s *Server) handle(conn net.Conn) {
 			// Run the request under the deadline its client propagated in
 			// the header; work whose client has given up is abandoned.
 			ctx, cancel := deadlineContext(s.baseCtx, rf.Header.TimeoutNs)
+			start := time.Now()
 			switch rf.Header.Kind {
 			case FrameBatch:
 				s.requests.Add(int64(len(rf.Batch.Ops)))
@@ -392,6 +441,7 @@ func (s *Server) handle(conn net.Conn) {
 				s.requests.Add(1)
 				out.Resp = s.dispatch(ctx, rf.Req)
 			}
+			finish(time.Since(start))
 			cancel()
 			frame, err := encodeFrame(out)
 			if err == nil {
@@ -408,6 +458,37 @@ func (s *Server) handle(conn net.Conn) {
 				conn.Close() // unblock the read loop; the connection is gone
 			}
 		}(rf)
+	}
+}
+
+// rejectFrame answers an admission-rejected version-2 frame with an
+// "overloaded" error response (one per operation for a batch, so the frame
+// shape matches what the client expects). It runs on the connection's read
+// loop; the write happens under the shared write lock like any pipelined
+// response.
+func (s *Server) rejectFrame(conn net.Conn, wmu *sync.Mutex, rf RequestFrame, aerr error) {
+	s.obs.countErr(ErrOverloaded)
+	out := ResponseFrame{Header: Header{
+		Version: ProtocolVersion,
+		ID:      rf.Header.ID,
+		Kind:    rf.Header.Kind,
+	}}
+	resp := failure(aerr)
+	if rf.Header.Kind == FrameBatch {
+		out.Batch.Ops = takeBatchResponses(len(rf.Batch.Ops))
+		for i := range out.Batch.Ops {
+			out.Batch.Ops[i] = resp
+		}
+	} else {
+		out.Resp = resp
+	}
+	err := writeWatchFrame(conn, wmu, out) // encode + locked write; shape-agnostic
+	releaseBatchResponses(out.Batch.Ops)
+	if err != nil {
+		if !s.isClosed() {
+			s.logger.Printf("rpc: write to %s: %v", conn.RemoteAddr(), err)
+		}
+		conn.Close()
 	}
 }
 
@@ -530,5 +611,5 @@ func result(e registry.Entry, err error) Response {
 
 func failure(err error) Response {
 	code, detail := encodeErr(err)
-	return Response{OK: false, Err: code, Detail: detail}
+	return Response{OK: false, Err: code, Detail: detail, RetryAfterNs: retryAfterNs(err)}
 }

@@ -128,17 +128,18 @@ func encodeFeedErr(err error) (ErrCode, string) {
 }
 
 // decodeFeedErr maps the feed error codes back to their sentinels; other
-// codes fall through to the standard table.
-func decodeFeedErr(code ErrCode, detail string) error {
-	switch code {
+// codes fall through to the standard table (which preserves an overload's
+// retry-after hint).
+func decodeFeedErr(resp Response) error {
+	switch resp.Err {
 	case ErrFeedLagged:
-		return &wireError{detail: detail, cause: feed.ErrLagged}
+		return &wireError{detail: resp.Detail, cause: feed.ErrLagged}
 	case ErrFeedClosed:
-		return &wireError{detail: detail, cause: feed.ErrClosed}
+		return &wireError{detail: resp.Detail, cause: feed.ErrClosed}
 	case ErrCursorTooOld:
-		return &wireError{detail: detail, cause: feed.ErrCompacted}
+		return &wireError{detail: resp.Detail, cause: feed.ErrCompacted}
 	}
-	return decodeErr(code, detail)
+	return decodeRespErr(resp)
 }
 
 // --- Server side ---
@@ -438,7 +439,7 @@ func (c *Client) Watch(ctx context.Context, from uint64, opts WatchOptions) (*Wa
 	c.obs.dials.Inc()
 	id := c.nextID.Add(1)
 	req := RequestFrame{
-		Header: Header{Version: ProtocolVersion, ID: id, Kind: FrameWatch},
+		Header: Header{Version: ProtocolVersion, ID: id, Kind: FrameWatch, Tenant: c.tenantFor(ctx)},
 		Watch:  WatchRequest{FromSeq: from, Prefix: opts.Prefix, NoFallback: opts.NoFallback},
 	}
 	if err := writeFrame(conn, req); err != nil {
@@ -464,7 +465,7 @@ func (c *Client) Watch(ctx context.Context, from uint64, opts WatchOptions) (*Wa
 	}
 	if !ackFrame.Resp.OK {
 		conn.Close()
-		return nil, decodeFeedErr(ackFrame.Resp.Err, ackFrame.Resp.Detail)
+		return nil, decodeFeedErr(ackFrame.Resp)
 	}
 	buffer := opts.Buffer
 	if buffer <= 0 {
@@ -506,7 +507,7 @@ func (w *WatchStream) readLoop() {
 			}
 		}
 		if rf.Resp.Err != ErrNone {
-			w.setErr(decodeFeedErr(rf.Resp.Err, rf.Resp.Detail))
+			w.setErr(decodeFeedErr(rf.Resp))
 			return
 		}
 	}
